@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The repository's headline experiment: model-vs-simulator
+ * agreement.  For all 19 variants x {baseline, strategies 1-3, and
+ * strategy 4 where applicable}, the attack-graph verdict must match
+ * the executable outcome.
+ */
+
+#include "attacks/runner.hh"
+#include "bench_util.hh"
+#include "core/security_dependency.hh"
+#include "core/variants.hh"
+
+using namespace specsec;
+using namespace specsec::core;
+using attacks::AttackResult;
+using uarch::CpuConfig;
+
+int
+main()
+{
+    bench::header("model vs simulator agreement matrix");
+    std::printf("%-26s | %-11s | %-11s | %-11s | %-11s\n", "variant",
+                "baseline", "strategy 1", "strategy 2",
+                "strategy 3");
+    bench::rule();
+
+    int cells = 0, agreements = 0;
+    const auto cell = [&](bool model_vuln, bool sim_leak) {
+        ++cells;
+        const bool agree = model_vuln == sim_leak;
+        if (agree)
+            ++agreements;
+        return agree ? (sim_leak ? "leak/leak" : "safe/safe")
+                     : "DISAGREE";
+    };
+
+    for (AttackVariant v : allVariants()) {
+        const bool timing_only = v == AttackVariant::Spoiler;
+
+        const AttackGraph base = buildAttackGraph(v);
+        const AttackResult r0 =
+            attacks::runVariant(v, CpuConfig{});
+        const char *c0 = cell(base.isVulnerable(), r0.leaked);
+
+        const char *c1 = "n/a";
+        const char *c2 = "n/a";
+        const char *c3 = "n/a";
+        if (!timing_only) {
+            AttackGraph g1 = base;
+            applyDefense(g1, DefenseStrategy::PreventAccess);
+            CpuConfig cfg1;
+            cfg1.defense.fenceSpeculativeLoads = true;
+            c1 = cell(g1.isVulnerable(),
+                      attacks::runVariant(v, cfg1).leaked);
+
+            AttackGraph g2 = base;
+            applyDefense(g2, DefenseStrategy::PreventUse);
+            CpuConfig cfg2;
+            cfg2.defense.blockSpeculativeForwarding = true;
+            c2 = cell(g2.isVulnerable(),
+                      attacks::runVariant(v, cfg2).leaked);
+
+            AttackGraph g3 = base;
+            applyDefense(g3, DefenseStrategy::PreventSend);
+            CpuConfig cfg3;
+            cfg3.defense.invisibleSpeculation = true;
+            c3 = cell(g3.isVulnerable(),
+                      attacks::runVariant(v, cfg3).leaked);
+        }
+        std::printf("%-26.26s | %-11s | %-11s | %-11s | %-11s\n",
+                    variantInfo(v).name, c0, c1, c2, c3);
+    }
+    bench::rule();
+    std::printf("agreement: %d/%d cells (model verdict == simulator "
+                "outcome)\n",
+                agreements, cells);
+    return agreements == cells ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Reproduction of Fig. 4: the combined Meltdown/Foreshadow/MDS
+ * attack graph with five alternative secret sources, and the
+ * defense-placement study of Section V-B: dependency (1) on the
+ * memory read alone is insufficient (the cache-hit variant
+ * escapes); covering every source works; a single "prevent use"
+ * dependency is both sufficient and cheaper.  Each model verdict is
+ * cross-checked on the simulator.
+ */
+
+#include "attacks/runner.hh"
+#include "bench_util.hh"
+#include "core/security_dependency.hh"
+#include "core/variants.hh"
+
+using namespace specsec;
+using namespace specsec::core;
+
+int
+main()
+{
+    bench::header("Fig. 4: Meltdown / Foreshadow / MDS multi-source "
+                  "attack graph");
+    const AttackGraph base = buildFigure4Graph();
+    bench::describeGraph(base);
+
+    bench::header("defense placement study (Section V-B)");
+    std::printf("%-56s %-12s %6s\n", "placement", "model",
+                "edges");
+    bench::rule();
+
+    {
+        AttackGraph g = base;
+        const auto auth = g.authorizationNodes().front();
+        applyTargetedDependency(
+            g, auth, *g.tsg().findByLabel("Read S from memory"));
+        std::printf("%-56s %-12s %6d\n",
+                    "(1) auth -> read-from-memory only",
+                    g.isVulnerable() ? "VULNERABLE" : "blocked", 1);
+    }
+    {
+        AttackGraph g = base;
+        const auto auth = g.authorizationNodes().front();
+        applyTargetedDependency(
+            g, auth, *g.tsg().findByLabel("Read S from memory"));
+        applyTargetedDependency(
+            g, auth, *g.tsg().findByLabel("Read S from cache"));
+        std::printf("%-56s %-12s %6d\n",
+                    "(1)+(5) memory and cache reads",
+                    g.isVulnerable() ? "VULNERABLE" : "blocked", 2);
+    }
+    {
+        AttackGraph g = base;
+        const auto auth = g.authorizationNodes().front();
+        int edges = 0;
+        for (auto access : g.secretAccessNodes()) {
+            applyTargetedDependency(g, auth, access);
+            ++edges;
+        }
+        std::printf("%-56s %-12s %6d\n",
+                    "(1) on every source (memory/cache/port/LFB/SB)",
+                    g.isVulnerable() ? "VULNERABLE" : "blocked",
+                    edges);
+    }
+    {
+        AttackGraph g = base;
+        const auto added = applyDefense(g, DefenseStrategy::PreventUse);
+        std::printf("%-56s %-12s %6zu\n",
+                    "(2) prevent use before authorization",
+                    g.isVulnerable() ? "VULNERABLE" : "blocked",
+                    added.size());
+    }
+    {
+        AttackGraph g = base;
+        const auto added =
+            applyDefense(g, DefenseStrategy::PreventSend);
+        std::printf("%-56s %-12s %6zu\n",
+                    "(3) prevent send before authorization",
+                    g.isVulnerable() ? "VULNERABLE" : "blocked",
+                    added.size());
+    }
+
+    bench::header("simulator cross-check: fixing only the memory "
+                  "path leaves the cache path leaking");
+    uarch::CpuConfig fixed_memory_only;
+    fixed_memory_only.vuln.meltdown = false;
+    const auto meltdown =
+        attacks::runMeltdown(fixed_memory_only);
+    const auto foreshadow =
+        attacks::runForeshadow(fixed_memory_only);
+    std::printf("  Meltdown  (memory source): accuracy %5.1f%% %s\n",
+                meltdown.accuracy * 100,
+                meltdown.leaked ? "LEAKS" : "blocked");
+    std::printf("  Foreshadow (cache source): accuracy %5.1f%% %s\n",
+                foreshadow.accuracy * 100,
+                foreshadow.leaked ? "LEAKS" : "blocked");
+    std::printf("  -> partial dependency gives a false sense of "
+                "security, as the paper argues.\n");
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduction of Fig. 5: the special-register attacks (Meltdown
+ * v3a / RDMSR and LazyFP), whose illegal access reads registers
+ * rather than the cache-memory system.
+ */
+
+#include "bench_util.hh"
+#include "core/variants.hh"
+
+using namespace specsec;
+using namespace specsec::core;
+
+int
+main()
+{
+    for (AttackVariant v :
+         {AttackVariant::MeltdownV3a, AttackVariant::LazyFp}) {
+        const AttackGraph g = buildAttackGraph(v);
+        bench::header("Fig. 5: " + std::string(variantInfo(v).name));
+        bench::describeGraph(g);
+    }
+    return 0;
+}

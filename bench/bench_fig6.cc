@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Reproduction of Fig. 6: the memory-disambiguation-triggered
+ * attack (Spectre v4), whose authorization is the store-load
+ * address dependency resolution.
+ */
+
+#include "bench_util.hh"
+#include "core/variants.hh"
+
+using namespace specsec;
+using namespace specsec::core;
+
+int
+main()
+{
+    const AttackGraph g = buildAttackGraph(AttackVariant::SpectreV4);
+    bench::header("Fig. 6: TSG model of the memory disambiguation "
+                  "triggered attack (Spectre v4)");
+    bench::describeGraph(g);
+    return 0;
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Reproduction of Fig. 9: the attack-graph construction tool flow,
+ * run over a corpus of programs (vulnerable and safe, both attack
+ * classes).  Reports detection precision/recall and the automatic
+ * patch-and-verify loop.
+ */
+
+#include <chrono>
+
+#include "attacks/attack_kit.hh"
+#include "bench_util.hh"
+#include "tool/patcher.hh"
+
+using namespace specsec;
+using namespace specsec::tool;
+using namespace specsec::uarch;
+using attacks::Layout;
+
+namespace
+{
+
+struct Case
+{
+    const char *name;
+    bool expectVulnerable;
+    AnalysisSpec spec;
+};
+
+AnalysisSpec
+boundsSpec(bool fence, bool mask)
+{
+    Program p;
+    p.emit(load64(5, 2, 0));
+    auto bail = p.newLabel();
+    p.emitBranch(Cond::Geu, 1, 5, bail);
+    if (fence)
+        p.emit(lfence());
+    if (mask)
+        p.emit(andImm(1, 1, 0xf));
+    p.emit(add(7, 3, 1));
+    p.emit(load8(6, 7, 0));
+    p.emit(shlImm(8, 6, 12));
+    p.emit(add(9, 4, 8));
+    p.emit(load8(10, 9, 0));
+    p.bind(bail);
+    p.emit(halt());
+    AnalysisSpec spec;
+    spec.program = p;
+    spec.ranges = {{Layout::kUserSecret, kPageSize, "secret"}};
+    spec.attackerRegs = {1};
+    spec.knownRegs = {{2, Layout::kVictimBound},
+                      {3, Layout::kVictimArray},
+                      {4, Layout::kProbeArray}};
+    return spec;
+}
+
+AnalysisSpec
+meltdownSpec()
+{
+    Program p;
+    p.emit(load8(6, 3, 0));
+    p.emit(shlImm(8, 6, 12));
+    p.emit(add(9, 4, 8));
+    p.emit(load8(10, 9, 0));
+    p.emit(halt());
+    AnalysisSpec spec;
+    spec.program = p;
+    spec.ranges = {{Layout::kKernelData, kPageSize, "kernel"}};
+    spec.knownRegs = {{3, Layout::kKernelData},
+                      {4, Layout::kProbeArray}};
+    return spec;
+}
+
+AnalysisSpec
+rdmsrSpec()
+{
+    Program p;
+    p.emit(rdmsr(6, 5));
+    p.emit(shlImm(8, 6, 12));
+    p.emit(add(9, 4, 8));
+    p.emit(load8(10, 9, 0));
+    p.emit(halt());
+    AnalysisSpec spec;
+    spec.program = p;
+    spec.knownRegs = {{4, Layout::kProbeArray}};
+    return spec;
+}
+
+AnalysisSpec
+storeBypassSpec()
+{
+    Program p;
+    p.emit(store64(1, 0, 2));
+    p.emit(load64(3, 1, 0));
+    p.emit(shlImm(8, 3, 12));
+    p.emit(add(9, 4, 8));
+    p.emit(load8(10, 9, 0));
+    p.emit(halt());
+    AnalysisSpec spec;
+    spec.program = p;
+    spec.knownRegs = {{4, Layout::kProbeArray}};
+    return spec;
+}
+
+AnalysisSpec
+benignSpec()
+{
+    Program p;
+    p.emit(movImm(1, 5));
+    p.emit(addImm(2, 1, 3));
+    p.emit(store64(3, 0, 2));
+    p.emit(halt());
+    AnalysisSpec spec;
+    spec.program = p;
+    spec.knownRegs = {{3, Layout::kScratch}};
+    return spec;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Case corpus[] = {
+        {"Spectre v1 (Listing 1 shape)", true, boundsSpec(false, false)},
+        {"Listing 1 + LFENCE", false, boundsSpec(true, false)},
+        {"Listing 1 + address masking", false, boundsSpec(false, true)},
+        {"Meltdown (Listing 2 shape)", true, meltdownSpec()},
+        {"RDMSR gadget (v3a shape)", true, rdmsrSpec()},
+        {"store-bypass gadget (v4 shape)", true, storeBypassSpec()},
+        {"benign straight-line code", false, benignSpec()},
+    };
+
+    bench::header("Fig. 9: tool flow over the program corpus");
+    std::printf("%-34s %-9s %-9s %-8s %-7s %-8s %-8s\n", "program",
+                "expected", "verdict", "findings", "fences",
+                "patched", "residual");
+    bench::rule();
+    int true_pos = 0, false_pos = 0, true_neg = 0, false_neg = 0;
+    for (const Case &c : corpus) {
+        const AnalysisResult r = analyzeSpec(c.spec);
+        const PatchResult patch = autoPatch(c.spec);
+        std::printf("%-34s %-9s %-9s %8zu %7zu %-8s %8zu\n", c.name,
+                    c.expectVulnerable ? "VULN" : "safe",
+                    r.vulnerable ? "VULN" : "safe",
+                    r.findings.size(), patch.fencesInserted,
+                    patch.verified ? "yes" : "NO",
+                    patch.residualRaces);
+        if (c.expectVulnerable && r.vulnerable)
+            ++true_pos;
+        else if (c.expectVulnerable && !r.vulnerable)
+            ++false_neg;
+        else if (!c.expectVulnerable && r.vulnerable)
+            ++false_pos;
+        else
+            ++true_neg;
+    }
+    bench::rule();
+    std::printf("detection: %d true positives, %d true negatives, "
+                "%d false positives, %d false negatives\n",
+                true_pos, true_neg, false_pos, false_neg);
+    std::printf("residual races are intra-instruction authorization/"
+                "access races (Meltdown-type):\nsoftware fences cut "
+                "the exfiltration chain (relaxed strategy 3) but "
+                "only hardware\ndefenses or isolation (KPTI) remove "
+                "the access race itself.\n");
+
+    // Throughput of the full analyze+patch pipeline.
+    const auto spec = boundsSpec(false, false);
+    const auto start = std::chrono::steady_clock::now();
+    constexpr int kIterations = 2000;
+    std::size_t sink = 0;
+    for (int i = 0; i < kIterations; ++i)
+        sink += autoPatch(spec).fencesInserted;
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("\npipeline throughput: %.1f analyze+patch runs/ms "
+                "(%d iterations, checksum %zu)\n",
+                kIterations * 1000.0 /
+                    static_cast<double>(elapsed),
+                kIterations, sink);
+    return 0;
+}

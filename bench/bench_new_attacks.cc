@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Section V-A made executable: enumerate the three-dimensional
+ * attack space (delayed-authorization trigger x secret source x
+ * covert channel), verify with Theorem 1 that every point carries
+ * the authorization/access race, separate published variants from
+ * new-attack candidates — and run one novel candidate (v2 trigger x
+ * FPU source) on the simulator to show it actually leaks.
+ */
+
+#include "attacks/composed.hh"
+#include "bench_util.hh"
+#include "core/composer.hh"
+
+using namespace specsec;
+using namespace specsec::core;
+
+int
+main()
+{
+    bench::header("Section V-A: the attack space (trigger x source "
+                  "x channel)");
+    std::size_t total = 0, vulnerable = 0, known = 0;
+    for (TriggerKind trigger : allTriggerKinds()) {
+        for (SecretSource source : composableSources()) {
+            for (CovertChannelKind channel :
+                 {CovertChannelKind::FlushReload,
+                  CovertChannelKind::PrimeProbe}) {
+                const AttackRecipe recipe{trigger, source, channel};
+                const AttackGraph g = composeAttack(recipe);
+                ++total;
+                if (g.isVulnerable())
+                    ++vulnerable;
+                if (knownVariantFor(recipe))
+                    ++known;
+            }
+        }
+    }
+    std::printf("  combinations: %zu\n", total);
+    std::printf("  model-vulnerable (Theorem 1 race present): %zu\n",
+                vulnerable);
+    std::printf("  matching a published variant: %zu\n", known);
+    std::printf("  NEW attack candidates: %zu\n", vulnerable - known);
+
+    bench::header("per-trigger breakdown (Flush+Reload column)");
+    std::printf("%-24s %8s %8s %8s\n", "trigger", "combos",
+                "known", "new");
+    bench::rule();
+    for (TriggerKind trigger : allTriggerKinds()) {
+        std::size_t combos = 0, trig_known = 0;
+        for (SecretSource source : composableSources()) {
+            const AttackRecipe recipe{trigger, source,
+                                      CovertChannelKind::FlushReload};
+            ++combos;
+            if (knownVariantFor(recipe))
+                ++trig_known;
+        }
+        std::printf("%-24s %8zu %8zu %8zu\n",
+                    triggerKindName(trigger), combos, trig_known,
+                    combos - trig_known);
+    }
+
+    bench::header("one new candidate, executed: indirect-branch "
+                  "trigger x stale-FPU source");
+    const auto vulnerable_run =
+        attacks::runComposedV2FpuGadget(uarch::CpuConfig{});
+    std::printf("  vulnerable baseline: accuracy %5.1f%%  %s\n",
+                vulnerable_run.accuracy * 100.0,
+                vulnerable_run.leaked ? "** LEAKS (new attack works) **"
+                                      : "blocked");
+
+    uarch::CpuConfig eager;
+    eager.defense.eagerFpuSwitch = true;
+    const auto eager_run = attacks::runComposedV2FpuGadget(eager);
+    std::printf("  + eager FPU switching: accuracy %5.1f%%  %s\n",
+                eager_run.accuracy * 100.0,
+                eager_run.leaked ? "LEAKS" : "blocked (source gone)");
+
+    uarch::CpuConfig flush;
+    flush.defense.flushPredictorOnContextSwitch = true;
+    const auto flush_run = attacks::runComposedV2FpuGadget(flush);
+    std::printf("  + predictor flush (4): accuracy %5.1f%%  %s\n",
+                flush_run.accuracy * 100.0,
+                flush_run.leaked ? "LEAKS"
+                                 : "blocked (trigger gone)");
+
+    uarch::CpuConfig nda;
+    nda.defense.blockSpeculativeForwarding = true;
+    const auto nda_run = attacks::runComposedV2FpuGadget(nda);
+    std::printf("  + NDA forwarding block (2): accuracy %5.1f%%  "
+                "%s\n",
+                nda_run.accuracy * 100.0,
+                nda_run.leaked ? "LEAKS" : "blocked");
+
+    std::printf("\nthe composed attack falls to either dimension's "
+                "defense -- exactly what the\nmodel predicts: "
+                "removing any edge of the recipe removes the "
+                "race.\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Substrate performance (google-benchmark): simulator speed,
+ * end-to-end attack cost, covert-channel sweeps and graph
+ * construction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "attacks/runner.hh"
+#include "core/security_dependency.hh"
+#include "core/variants.hh"
+
+using namespace specsec;
+using namespace specsec::uarch;
+
+namespace
+{
+
+void
+BM_SimulatorAluLoop(benchmark::State &state)
+{
+    Memory mem(1 << 20);
+    PageTable pt;
+    pt.mapRange(0, 1 << 20, PageOwner::User, true, true);
+    Cpu cpu(CpuConfig{}, mem, pt);
+    Program p;
+    p.emit(movImm(1, 0));
+    p.emit(movImm(2, 0));
+    p.emit(movImm(3, 2000));
+    const std::size_t loop = p.size();
+    p.emit(add(2, 2, 1));
+    p.emit(addImm(1, 1, 1));
+    p.emit(branch(Cond::Ltu, 1, 3,
+                  static_cast<std::int64_t>(loop)));
+    p.emit(halt());
+    cpu.loadProgram(p);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        const RunResult r = cpu.run(0);
+        instructions += r.committed;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["instructions/s"] = benchmark::Counter(
+        static_cast<double>(instructions),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorAluLoop);
+
+void
+BM_SpectreV1EndToEnd(benchmark::State &state)
+{
+    attacks::AttackOptions opt;
+    opt.secretLen = 4;
+    for (auto _ : state) {
+        const auto r = attacks::runSpectreV1(CpuConfig{}, opt);
+        benchmark::DoNotOptimize(r.accuracy);
+    }
+}
+BENCHMARK(BM_SpectreV1EndToEnd);
+
+void
+BM_MeltdownEndToEnd(benchmark::State &state)
+{
+    attacks::AttackOptions opt;
+    opt.secretLen = 4;
+    for (auto _ : state) {
+        const auto r = attacks::runMeltdown(CpuConfig{}, opt);
+        benchmark::DoNotOptimize(r.accuracy);
+    }
+}
+BENCHMARK(BM_MeltdownEndToEnd);
+
+void
+BM_AttackGraphBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        for (core::AttackVariant v : core::allVariants()) {
+            const auto g = core::buildAttackGraph(v);
+            benchmark::DoNotOptimize(g.tsg().nodeCount());
+        }
+    }
+}
+BENCHMARK(BM_AttackGraphBuild);
+
+void
+BM_ModelDefenseSweep(benchmark::State &state)
+{
+    for (auto _ : state) {
+        for (core::AttackVariant v : core::allVariants()) {
+            const auto g = core::buildAttackGraph(v);
+            for (auto s : core::allDefenseStrategies())
+                benchmark::DoNotOptimize(core::defenseBlocks(g, s));
+        }
+    }
+}
+BENCHMARK(BM_ModelDefenseSweep);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache{CacheConfig{}};
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a));
+        a += 64;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

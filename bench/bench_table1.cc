@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduction of Table I: the first 13 speculative attacks and
+ * their impacts, with each attack *executed* on the vulnerable
+ * baseline CPU and its measured leak accuracy reported.
+ */
+
+#include <cinttypes>
+
+#include "attacks/runner.hh"
+#include "bench_util.hh"
+
+using namespace specsec;
+using namespace specsec::attacks;
+
+int
+main()
+{
+    bench::header("Table I: speculative attacks and their variants "
+                  "(executed on the vulnerable baseline)");
+    std::printf("%-26s %-16s %-42s %9s %7s\n", "Attack", "CVE",
+                "Impact", "accuracy", "leaked");
+    bench::rule();
+    const CpuConfig vulnerable;
+    for (core::AttackVariant v : core::tableIVariants()) {
+        const core::VariantInfo &info = core::variantInfo(v);
+        const AttackResult r = runVariant(v, vulnerable);
+        std::printf("%-26s %-16s %-42.42s %8.1f%% %7s\n", info.name,
+                    info.cve, info.impact, r.accuracy * 100.0,
+                    r.leaked ? "yes" : "no");
+    }
+    bench::rule();
+    std::printf("(newer variants, Table III rows 14-18)\n");
+    for (core::AttackVariant v : core::tableIIIVariants()) {
+        const core::VariantInfo &info = core::variantInfo(v);
+        if (info.inTableI)
+            continue;
+        const AttackResult r = runVariant(v, vulnerable);
+        std::printf("%-26s %-16s %-42.42s %8.1f%% %7s\n", info.name,
+                    info.cve, info.impact, r.accuracy * 100.0,
+                    r.leaked ? "yes" : "no");
+    }
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reproduction of Table II: industrial defenses against speculative
+ * attacks, with each mechanism classified under a paper strategy
+ * and *executed*: the attack runs undefended (leaks) and defended
+ * (blocked).
+ */
+
+#include "attacks/runner.hh"
+#include "bench_util.hh"
+#include "defense/mitigations.hh"
+
+using namespace specsec;
+using namespace specsec::attacks;
+using core::AttackVariant;
+using core::DefenseMechanism;
+
+namespace
+{
+
+struct Row
+{
+    DefenseMechanism mechanism;
+    AttackVariant variant;
+};
+
+const Row kRows[] = {
+    // Spectre / serialization.
+    {DefenseMechanism::LFence, AttackVariant::SpectreV1},
+    {DefenseMechanism::MFence, AttackVariant::SpectreV1},
+    // Meltdown / kernel isolation.
+    {DefenseMechanism::Kaiser, AttackVariant::Meltdown},
+    {DefenseMechanism::Kpti, AttackVariant::Meltdown},
+    // Prevent mis-training.
+    {DefenseMechanism::DisableBranchPrediction,
+     AttackVariant::SpectreV1},
+    {DefenseMechanism::Ibrs, AttackVariant::SpectreV2},
+    {DefenseMechanism::Stibp, AttackVariant::SpectreV2},
+    {DefenseMechanism::Ibpb, AttackVariant::SpectreV2},
+    {DefenseMechanism::InvalidatePredictorOnContextSwitch,
+     AttackVariant::SpectreV2},
+    {DefenseMechanism::Retpoline, AttackVariant::SpectreV2},
+    // Address masking.
+    {DefenseMechanism::CoarseAddressMasking,
+     AttackVariant::SpectreV1},
+    {DefenseMechanism::DataDependentAddressMasking,
+     AttackVariant::SpectreV1_1},
+    // Serialize stores and loads.
+    {DefenseMechanism::Ssbb, AttackVariant::SpectreV4},
+    {DefenseMechanism::Ssbs, AttackVariant::SpectreV4},
+    // Prevent RSB underfill.
+    {DefenseMechanism::RsbStuffing, AttackVariant::SpectreRsb},
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table II: industrial defenses, classified and "
+                  "executed");
+    std::printf("%-44s %-10s %-16s %6s %9s\n", "Defense", "Strategy",
+                "Attack", "bare", "defended");
+    bench::rule();
+    for (const Row &row : kRows) {
+        const core::DefenseInfo &dinfo =
+            core::defenseInfo(row.mechanism);
+        const core::VariantInfo &vinfo =
+            core::variantInfo(row.variant);
+        const AttackResult bare =
+            runVariant(row.variant, CpuConfig{});
+        CpuConfig cfg;
+        AttackOptions opt;
+        defense::applyMitigation(row.mechanism, cfg, opt);
+        const AttackResult defended =
+            runVariant(row.variant, cfg, opt);
+        std::printf("%-44.44s %-10.10s %-16.16s %5.0f%% %8.0f%%\n",
+                    dinfo.name,
+                    core::defenseStrategyName(dinfo.strategy),
+                    vinfo.name, bare.accuracy * 100.0,
+                    defended.accuracy * 100.0);
+    }
+    bench::rule();
+    std::printf("(academia defenses, Section V-B, same harness)\n");
+    const Row academia[] = {
+        {DefenseMechanism::ContextSensitiveFencing,
+         AttackVariant::SpectreV1},
+        {DefenseMechanism::Sabc, AttackVariant::SpectreV1},
+        {DefenseMechanism::SpectreGuard, AttackVariant::SpectreV1},
+        {DefenseMechanism::Nda, AttackVariant::Meltdown},
+        {DefenseMechanism::ConTExT, AttackVariant::ZombieLoad},
+        {DefenseMechanism::SpecShield, AttackVariant::LazyFp},
+        {DefenseMechanism::Stt, AttackVariant::SpectreV1},
+        {DefenseMechanism::Dawg, AttackVariant::SpectreV2},
+        {DefenseMechanism::InvisiSpec, AttackVariant::SpectreV1},
+        {DefenseMechanism::SafeSpec, AttackVariant::Meltdown},
+        {DefenseMechanism::ConditionalSpeculation,
+         AttackVariant::SpectreV1},
+        {DefenseMechanism::EfficientInvisibleSpeculation,
+         AttackVariant::Meltdown},
+        {DefenseMechanism::CleanupSpec, AttackVariant::Foreshadow},
+    };
+    for (const Row &row : academia) {
+        const core::DefenseInfo &dinfo =
+            core::defenseInfo(row.mechanism);
+        const core::VariantInfo &vinfo =
+            core::variantInfo(row.variant);
+        const AttackResult bare =
+            runVariant(row.variant, CpuConfig{});
+        CpuConfig cfg;
+        AttackOptions opt;
+        defense::applyMitigation(row.mechanism, cfg, opt);
+        const AttackResult defended =
+            runVariant(row.variant, cfg, opt);
+        std::printf("%-44.44s %-10.10s %-16.16s %5.0f%% %8.0f%%\n",
+                    dinfo.name,
+                    core::defenseStrategyName(dinfo.strategy),
+                    vinfo.name, bare.accuracy * 100.0,
+                    defended.accuracy * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Theorem 1 at scale (google-benchmark): transitive-closure
+ * construction, full race-pair detection and single-pair queries on
+ * random DAGs of growing size, plus an exhaustive
+ * enumeration-vs-path validation pass on small graphs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "graph/race.hh"
+#include "graph/topo.hh"
+
+using namespace specsec::graph;
+
+namespace
+{
+
+Tsg
+randomDag(std::size_t n, double p, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    Tsg g;
+    for (std::size_t i = 0; i < n; ++i)
+        g.addNode("n" + std::to_string(i));
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+            if (coin(rng) < p)
+                g.addEdge(u, v);
+        }
+    }
+    return g;
+}
+
+void
+BM_ReachabilityMatrix(benchmark::State &state)
+{
+    const Tsg g = randomDag(static_cast<std::size_t>(state.range(0)),
+                            4.0 / static_cast<double>(state.range(0)),
+                            7);
+    for (auto _ : state) {
+        ReachabilityMatrix m(g);
+        benchmark::DoNotOptimize(m.reachable(0, 1));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReachabilityMatrix)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
+void
+BM_RacePairs(benchmark::State &state)
+{
+    const Tsg g = randomDag(static_cast<std::size_t>(state.range(0)),
+                            4.0 / static_cast<double>(state.range(0)),
+                            11);
+    for (auto _ : state) {
+        auto races = racePairs(g);
+        benchmark::DoNotOptimize(races.size());
+    }
+}
+BENCHMARK(BM_RacePairs)->RangeMultiplier(4)->Range(16, 1024);
+
+void
+BM_SinglePairQuery(benchmark::State &state)
+{
+    const Tsg g = randomDag(static_cast<std::size_t>(state.range(0)),
+                            4.0 / static_cast<double>(state.range(0)),
+                            13);
+    const NodeId u = 0;
+    const NodeId v = static_cast<NodeId>(g.nodeCount() - 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hasRace(g, u, v));
+}
+BENCHMARK(BM_SinglePairQuery)->RangeMultiplier(4)->Range(16, 4096);
+
+void
+BM_Theorem1ExhaustiveValidation(benchmark::State &state)
+{
+    // Definition-level check against the path-based check on every
+    // pair of a small random DAG; aborts if they ever disagree.
+    std::size_t pairs_checked = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        const Tsg g = randomDag(
+            7, 0.3,
+            static_cast<unsigned>(pairs_checked + 1));
+        state.ResumeTiming();
+        for (NodeId u = 0; u < g.nodeCount(); ++u) {
+            for (NodeId v = u + 1; v < g.nodeCount(); ++v) {
+                if (raceByEnumeration(g, u, v) != hasRace(g, u, v))
+                    state.SkipWithError("Theorem 1 violated!");
+                ++pairs_checked;
+            }
+        }
+    }
+    state.counters["pairs"] =
+        static_cast<double>(pairs_checked);
+}
+BENCHMARK(BM_Theorem1ExhaustiveValidation);
+
+void
+BM_TopologicalSort(benchmark::State &state)
+{
+    const Tsg g = randomDag(static_cast<std::size_t>(state.range(0)),
+                            4.0 / static_cast<double>(state.range(0)),
+                            17);
+    for (auto _ : state) {
+        auto order = topologicalSort(g);
+        benchmark::DoNotOptimize(order.size());
+    }
+}
+BENCHMARK(BM_TopologicalSort)->RangeMultiplier(4)->Range(16, 4096);
+
+} // namespace
+
+BENCHMARK_MAIN();

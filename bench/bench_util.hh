@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared formatting helpers for the experiment reproduction
+ * binaries (one per paper table/figure).
+ */
+
+#ifndef SPECSEC_BENCH_UTIL_HH
+#define SPECSEC_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/attack_graph.hh"
+#include "graph/race.hh"
+
+namespace specsec::bench
+{
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void
+rule()
+{
+    std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+/** Print an attack graph's nodes, edges and race analysis. */
+inline void
+describeGraph(const core::AttackGraph &g)
+{
+    std::printf("nodes (%zu):\n", g.tsg().nodeCount());
+    for (graph::NodeId u = 0; u < g.tsg().nodeCount(); ++u) {
+        std::printf("  [%2u] %-52s %s\n", u,
+                    g.tsg().label(u).c_str(),
+                    core::nodeRoleName(g.role(u)));
+    }
+    std::printf("edges (%zu):\n", g.tsg().edgeCount());
+    for (const graph::Edge &e : g.tsg().edges()) {
+        std::printf("  %2u -> %-2u  %s\n", e.from, e.to,
+                    graph::edgeKindName(e.kind));
+    }
+    const auto findings = g.missingSecurityDependencies();
+    std::printf("missing security dependencies (%zu):\n",
+                findings.size());
+    for (const core::RaceFinding &f : findings) {
+        std::printf("  authorization [%u] races with %s [%u]\n",
+                    f.authorization,
+                    core::nodeRoleName(f.operationRole),
+                    f.operation);
+    }
+    const auto window = g.speculativeWindow();
+    std::printf("speculative window: {");
+    for (std::size_t i = 0; i < window.size(); ++i)
+        std::printf("%s%u", i ? ", " : "", window[i]);
+    std::printf("}\n");
+    std::printf("model verdict: %s\n",
+                g.isVulnerable() ? "VULNERABLE" : "blocked");
+}
+
+} // namespace specsec::bench
+
+#endif // SPECSEC_BENCH_UTIL_HH

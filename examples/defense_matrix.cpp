@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Defense explorer: sweep every attack variant against every
+ * hardware defense strategy realization and print the outcome
+ * matrix — the repository's answer to the paper's question "is this
+ * defense effective against that attack, and why?".
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "attacks/runner.hh"
+#include "core/variants.hh"
+
+using namespace specsec;
+using namespace specsec::attacks;
+using core::AttackVariant;
+
+namespace
+{
+
+struct Column
+{
+    const char *label;
+    void (*configure)(CpuConfig &);
+};
+
+const Column kColumns[] = {
+    {"fence(1)",
+     [](CpuConfig &c) { c.defense.fenceSpeculativeLoads = true; }},
+    {"nda(2)",
+     [](CpuConfig &c) {
+         c.defense.blockSpeculativeForwarding = true;
+     }},
+    {"stt(3)",
+     [](CpuConfig &c) { c.defense.blockTaintedTransmit = true; }},
+    {"invisi(3)",
+     [](CpuConfig &c) { c.defense.invisibleSpeculation = true; }},
+    {"cleanup(3)",
+     [](CpuConfig &c) { c.defense.cleanupSpec = true; }},
+    {"cond(3)",
+     [](CpuConfig &c) { c.defense.conditionalSpeculation = true; }},
+    {"flush(4)",
+     [](CpuConfig &c) {
+         c.defense.flushPredictorOnContextSwitch = true;
+     }},
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("attack x defense outcome matrix "
+                "(L = still leaks, . = blocked)\n\n");
+    std::printf("%-26s %8s", "variant", "baseline");
+    for (const Column &col : kColumns)
+        std::printf(" %10s", col.label);
+    std::printf("\n");
+    for (AttackVariant v : core::allVariants()) {
+        if (v == AttackVariant::Spoiler)
+            continue; // timing attack; see bench_table1
+        std::printf("%-26.26s", core::variantInfo(v).name);
+        const AttackResult base = runVariant(v, CpuConfig{});
+        std::printf(" %8s", base.leaked ? "L" : ".");
+        for (const Column &col : kColumns) {
+            CpuConfig cfg;
+            col.configure(cfg);
+            const AttackResult r = runVariant(v, cfg);
+            std::printf(" %10s", r.leaked ? "L" : ".");
+        }
+        std::printf("\n");
+    }
+    std::printf("\nnotes:\n");
+    std::printf("  - flush(4) only stops predictor-mistraining "
+                "attacks, exactly as the model predicts;\n");
+    std::printf("    the v1-family rows show L because in-process "
+                "bimodal training survives a context-switch\n");
+    std::printf("    flush keyed to attacker/victim separation "
+                "only when the attacker is cross-context (v2, "
+                "RSB).\n");
+    return 0;
+}

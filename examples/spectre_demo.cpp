@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Spectre v1 end to end on the simulated out-of-order core:
+ * leak a secret string byte by byte through the Flush+Reload
+ * channel, then repeat with an LFENCE after the bounds check and
+ * watch the leak disappear.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "attacks/spectre.hh"
+
+using namespace specsec;
+using namespace specsec::attacks;
+
+namespace
+{
+
+std::string
+printable(const std::vector<int> &bytes)
+{
+    std::string s;
+    for (int b : bytes) {
+        if (b >= 32 && b < 127)
+            s.push_back(static_cast<char>(b));
+        else
+            s.push_back('.');
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    AttackOptions opt;
+    opt.secretLen = 24;
+
+    std::printf("running Spectre v1 on the vulnerable baseline "
+                "core...\n");
+    const AttackResult leak = runSpectreV1(CpuConfig{}, opt);
+    std::printf("  expected secret : %s\n",
+                printable(std::vector<int>(leak.expected.begin(),
+                                           leak.expected.end()))
+                    .c_str());
+    std::printf("  recovered bytes : %s\n",
+                printable(leak.recovered).c_str());
+    std::printf("  accuracy        : %.1f%%  (guest cycles: %llu, "
+                "transient forwards: %llu)\n",
+                leak.accuracy * 100.0,
+                static_cast<unsigned long long>(leak.guestCycles),
+                static_cast<unsigned long long>(
+                    leak.transientForwards));
+
+    std::printf("\nsame attack with an LFENCE after the bounds "
+                "check (Table II, strategy 1)...\n");
+    AttackOptions fenced = opt;
+    fenced.softwareLfence = true;
+    const AttackResult blocked = runSpectreV1(CpuConfig{}, fenced);
+    std::printf("  recovered bytes : %s\n",
+                printable(blocked.recovered).c_str());
+    std::printf("  accuracy        : %.1f%%\n",
+                blocked.accuracy * 100.0);
+
+    std::printf("\nsame attack on NDA-style hardware (strategy 2: "
+                "no speculative forwarding)...\n");
+    CpuConfig nda;
+    nda.defense.blockSpeculativeForwarding = true;
+    const AttackResult nda_result = runSpectreV1(nda, opt);
+    std::printf("  accuracy        : %.1f%%\n",
+                nda_result.accuracy * 100.0);
+    return 0;
+}

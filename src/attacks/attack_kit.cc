@@ -1,0 +1,160 @@
+#include "attack_kit.hh"
+
+#include <algorithm>
+
+namespace specsec::attacks
+{
+
+Scenario::Scenario(const CpuConfig &config)
+    : mem_(Layout::kMemorySize)
+{
+    // Shared / attacker-accessible regions.
+    pt_.mapRange(Layout::kProbeArray, 256 * uarch::kPageSize,
+                 uarch::PageOwner::User, true, true);
+    pt_.mapRange(Layout::kEvictArray, 0x10000,
+                 uarch::PageOwner::User, true, true);
+    // Victim user-space data (bounds-protected, not OS-protected).
+    pt_.mapRange(Layout::kVictimArray, 0x8000,
+                 uarch::PageOwner::User, true, true);
+    pt_.mapRange(Layout::kReadOnlyPage, uarch::kPageSize,
+                 uarch::PageOwner::User, true, /*writable=*/false);
+    pt_.mapRange(Layout::kUserSecret, uarch::kPageSize,
+                 uarch::PageOwner::User, true, true);
+    // Privileged regions.
+    pt_.mapRange(Layout::kKernelData, uarch::kPageSize,
+                 uarch::PageOwner::Kernel, false, true);
+    pt_.mapRange(Layout::kEnclaveData, uarch::kPageSize,
+                 uarch::PageOwner::Enclave, false, true);
+    pt_.mapRange(Layout::kVmmData, uarch::kPageSize,
+                 uarch::PageOwner::Vmm, false, true);
+    // Layout::kUnmapped intentionally has no PTE.
+
+    cpu_ = std::make_unique<Cpu>(config, mem_, pt_);
+}
+
+void
+Scenario::plantBytes(Addr vaddr, const std::vector<std::uint8_t> &data)
+{
+    for (std::size_t i = 0; i < data.size(); ++i)
+        mem_.write8(vaddr + i, data[i]);
+}
+
+std::vector<std::uint8_t>
+Scenario::readBytes(Addr vaddr, std::size_t len) const
+{
+    std::vector<std::uint8_t> out(len);
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = mem_.read8(vaddr + i);
+    return out;
+}
+
+ChannelHarness::ChannelHarness(Cpu &cpu, CovertChannelKind kind)
+    : cpu_(cpu), kind_(kind),
+      fr_(cpu, Layout::kProbeArray, 256, uarch::kPageSize),
+      pp_(cpu, Layout::kEvictArray, 256)
+{
+}
+
+void
+ChannelHarness::setup()
+{
+    if (kind_ == CovertChannelKind::FlushReload)
+        fr_.setup();
+    else
+        pp_.prime();
+}
+
+int
+ChannelHarness::recover(const std::vector<int> &exclude)
+{
+    const uarch::ChannelRecovery r =
+        kind_ == CovertChannelKind::FlushReload ? fr_.recover()
+                                                : pp_.recover();
+    const auto excluded = [&exclude](std::size_t i) {
+        return std::find(exclude.begin(), exclude.end(),
+                         static_cast<int>(i)) != exclude.end();
+    };
+    int best = -1;
+    if (kind_ == CovertChannelKind::FlushReload) {
+        std::uint32_t best_lat = fr_.threshold();
+        for (std::size_t i = 0; i < r.latencies.size(); ++i) {
+            if (excluded(i))
+                continue;
+            if (r.latencies[i] < best_lat) {
+                best_lat = r.latencies[i];
+                best = static_cast<int>(i);
+            }
+        }
+    } else {
+        const uarch::CacheConfig &c = cpu_.config().cache;
+        const std::uint32_t floor =
+            c.ways * c.hitLatency + c.missLatency - c.hitLatency;
+        std::uint32_t best_lat = floor - 1;
+        for (std::size_t i = 0; i < r.latencies.size(); ++i) {
+            if (excluded(i))
+                continue;
+            if (r.latencies[i] > best_lat) {
+                best_lat = r.latencies[i];
+                best = static_cast<int>(i);
+            }
+        }
+    }
+    return best;
+}
+
+int
+ChannelHarness::noiseSet(Addr vaddr) const
+{
+    if (kind_ != CovertChannelKind::PrimeProbe)
+        return -1;
+    const uarch::CacheConfig &c = cpu_.config().cache;
+    return static_cast<int>((vaddr / c.lineSize) % c.sets);
+}
+
+unsigned
+ChannelHarness::sendShift() const
+{
+    // Flush+Reload probes page-strided slots; Prime+Probe encodes
+    // the byte as a cache set (line stride).
+    return kind_ == CovertChannelKind::FlushReload ? 12 : 6;
+}
+
+AttackResult
+scoreResult(std::string name, const std::vector<int> &recovered,
+            const std::vector<std::uint8_t> &expected,
+            std::uint64_t guest_cycles,
+            std::uint64_t transient_forwards)
+{
+    AttackResult r;
+    r.name = std::move(name);
+    r.recovered = recovered;
+    r.expected = expected;
+    r.guestCycles = guest_cycles;
+    r.transientForwards = transient_forwards;
+    std::size_t match = 0;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (i < recovered.size() &&
+            recovered[i] == static_cast<int>(expected[i])) {
+            ++match;
+        }
+    }
+    r.accuracy = expected.empty()
+                     ? 0.0
+                     : static_cast<double>(match) / expected.size();
+    r.leaked = r.accuracy >= 0.9;
+    return r;
+}
+
+std::vector<std::uint8_t>
+defaultSecret(std::size_t len)
+{
+    static const char kText[] =
+        "SQUEAMISH OSSIFRAGE: the magic words for transient leaks";
+    std::vector<std::uint8_t> secret(len);
+    for (std::size_t i = 0; i < len; ++i)
+        secret[i] = static_cast<std::uint8_t>(
+            kText[i % (sizeof(kText) - 1)]);
+    return secret;
+}
+
+} // namespace specsec::attacks

@@ -1,0 +1,100 @@
+#include "composed.hh"
+
+using namespace specsec::uarch;
+
+namespace specsec::attacks
+{
+
+namespace
+{
+
+constexpr RegId rPtr = 2;
+constexpr RegId rProbe = 4;
+constexpr RegId rSlow = 5;
+constexpr RegId rWord = 6;
+constexpr RegId rTmp = 7;
+constexpr RegId rEnc = 8;
+constexpr RegId rSend = 9;
+constexpr RegId rSink = 10;
+
+} // anonymous namespace
+
+AttackResult
+runComposedV2FpuGadget(const CpuConfig &config,
+                       const AttackOptions &opt)
+{
+    Scenario s(config);
+    Cpu &cpu = s.cpu();
+    const auto secret = defaultSecret(std::min<std::size_t>(
+        opt.secretLen, 8)); // one FP register's worth
+    s.mem().write64(Layout::kVictimPtr, 2); // legitimate target
+
+    ChannelHarness ch(cpu, opt.channel);
+
+    // Phase 1: the FPU-owning context (0) holds the secret in f2.
+    Program owner;
+    owner.emit(fpMov(2, 1));
+    owner.emit(halt());
+    cpu.contextSwitch(0);
+    cpu.setPrivilege(Privilege::User);
+    cpu.loadProgram(owner);
+    Word packed = 0;
+    for (std::size_t i = 0; i < secret.size(); ++i)
+        packed |= static_cast<Word>(secret[i]) << (8 * i);
+    cpu.setReg(1, packed);
+    cpu.run(0);
+
+    // Attacker trainer: an indirect branch at the victim's pc 1.
+    Program trainer;
+    trainer.emit(movImm(rSlow, 8)); // 0
+    trainer.emit(jmpInd(rSlow));    // 1
+    while (trainer.size() < 8)
+        trainer.emit(nop());
+    trainer.emit(halt()); // 8
+
+    const std::uint64_t c0 = cpu.stats().cycles;
+    const std::uint64_t f0 = cpu.stats().transientForwards;
+    std::vector<int> recovered;
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+        // Victim program for byte i: the gadget at pc 8 reads the
+        // stale FPU register transiently.
+        Program victim;
+        victim.emit(load64(rSlow, rPtr, 0)); // 0: slow target
+        victim.emit(jmpInd(rSlow));          // 1
+        victim.emit(halt());                 // 2: legitimate
+        while (victim.size() < 8)
+            victim.emit(nop());
+        victim.emit(fpRead(rWord, 2));       // 8: stale FPU read
+        victim.emit(
+            shrImm(rTmp, rWord, 8 * static_cast<std::int64_t>(i)));
+        victim.emit(andImm(rTmp, rTmp, 0xff));
+        victim.emit(shlImm(rEnc, rTmp, ch.sendShift()));
+        victim.emit(add(rSend, rProbe, rEnc));
+        victim.emit(load8(rSink, rSend, 0)); // send
+        victim.emit(halt());
+
+        // Step 1(b): train the BTB from the attacker context.
+        cpu.contextSwitch(2);
+        cpu.loadProgram(trainer);
+        for (unsigned t = 0; t < opt.trainingRounds; ++t)
+            cpu.run(0);
+
+        // Victim context (1): the FPU still belongs to context 0.
+        cpu.contextSwitch(1);
+        cpu.loadProgram(victim);
+        ch.setup();
+        cpu.flushLineVirt(Layout::kVictimPtr);
+        cpu.setReg(rPtr, Layout::kVictimPtr);
+        cpu.setReg(rProbe, ch.sendBase());
+        cpu.run(0);
+
+        cpu.contextSwitch(2);
+        recovered.push_back(
+            ch.recover({ch.noiseSet(Layout::kVictimPtr)}));
+    }
+    return scoreResult("Composed: v2 trigger x FPU source",
+                       recovered, secret, cpu.stats().cycles - c0,
+                       cpu.stats().transientForwards - f0);
+}
+
+} // namespace specsec::attacks

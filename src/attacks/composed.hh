@@ -1,0 +1,29 @@
+/**
+ * @file
+ * A *new* attack composed per Section V-A: combine the Spectre v2
+ * trigger (indirect-branch target injection) with the LazyFP secret
+ * source (stale FPU state) — a point in the paper's attack space
+ * that no published variant occupies.
+ *
+ * The attacker trains the BTB so the victim's indirect branch
+ * transiently executes a gadget that reads the *previous* context's
+ * floating-point register (never raising the FPU fault, because the
+ * gadget is squashed before commit) and sends it through the cache
+ * channel.
+ */
+
+#ifndef SPECSEC_ATTACKS_COMPOSED_HH
+#define SPECSEC_ATTACKS_COMPOSED_HH
+
+#include "attack_kit.hh"
+
+namespace specsec::attacks
+{
+
+/** BTB injection steering into a stale-FPU read gadget. */
+AttackResult runComposedV2FpuGadget(const CpuConfig &config,
+                                    const AttackOptions &options = {});
+
+} // namespace specsec::attacks
+
+#endif // SPECSEC_ATTACKS_COMPOSED_HH

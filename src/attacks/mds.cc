@@ -1,0 +1,246 @@
+#include "mds.hh"
+
+using namespace specsec::uarch;
+
+namespace specsec::attacks
+{
+
+namespace
+{
+
+constexpr RegId rBase = 3;
+constexpr RegId rProbe = 4;
+constexpr RegId rWord = 6;
+constexpr RegId rTmp = 7;
+constexpr RegId rEnc = 8;
+constexpr RegId rSend = 9;
+constexpr RegId rSink = 10;
+constexpr RegId rVal = 11;
+constexpr RegId rIdx2 = 12;
+constexpr RegId rTable = 14;
+
+/** Faulting 64-bit load + byte extract + send. */
+Program
+samplerProgram(unsigned shift, unsigned byte_index, bool in_txn)
+{
+    Program p;
+    Program::Label abort_label = p.newLabel();
+    if (in_txn)
+        p.emitXBegin(abort_label);
+    p.emit(load64(rWord, rBase, 0)); // faulting sample
+    p.emit(shrImm(rTmp, rWord, 8 * byte_index));
+    p.emit(andImm(rTmp, rTmp, 0xff));
+    p.emit(shlImm(rEnc, rTmp, shift));
+    p.emit(add(rSend, rProbe, rEnc));
+    p.emit(load8(rSink, rSend, 0));
+    if (in_txn)
+        p.emit(xend());
+    p.bind(abort_label);
+    p.emit(halt()); // also the fault handler for the non-TSX case
+    return p;
+}
+
+/** Run the fill-buffer sampling loop shared by RIDL-style attacks.
+ *
+ * @param victim_privilege privilege the victim runs at.
+ * @param in_txn use a TSX transaction (TAA / CacheOut).
+ */
+AttackResult
+runFillBufferSampling(const char *name, Privilege victim_privilege,
+                      bool in_txn, const CpuConfig &config,
+                      const AttackOptions &opt)
+{
+    Scenario s(config);
+    Cpu &cpu = s.cpu();
+    const auto secret = defaultSecret(std::min<std::size_t>(
+        opt.secretLen, 8)); // one in-flight line's worth
+    s.plantBytes(Layout::kUserSecret, secret);
+
+    // Victim: loads its secret word; the fill leaves residue in the
+    // line fill buffer.
+    Program victim;
+    victim.emit(load64(rWord, rBase, 0));
+    victim.emit(halt());
+
+    ChannelHarness ch(cpu, opt.channel);
+    cpu.setReg(rProbe, ch.sendBase());
+
+    const std::uint64_t c0 = cpu.stats().cycles;
+    const std::uint64_t f0 = cpu.stats().transientForwards;
+    std::vector<int> recovered;
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+        // Victim phase: force a fill so the LFB holds the secret.
+        cpu.contextSwitch(0);
+        cpu.setPrivilege(victim_privilege);
+        cpu.loadProgram(victim);
+        cpu.setFaultHandler(std::nullopt);
+        cpu.flushLineVirt(Layout::kUserSecret);
+        cpu.setReg(rBase, Layout::kUserSecret);
+        cpu.run(0);
+
+        // Attacker phase: faulting load samples the buffer.
+        cpu.contextSwitch(1);
+        cpu.setPrivilege(Privilege::User);
+        const Program sampler = samplerProgram(
+            ch.sendShift(), static_cast<unsigned>(i), in_txn);
+        cpu.loadProgram(sampler);
+        cpu.setFaultHandler(sampler.size() - 1);
+        ch.setup();
+        cpu.setReg(rBase, Layout::kUnmapped);
+        cpu.run(0);
+        recovered.push_back(ch.recover());
+    }
+    return scoreResult(name, recovered, secret,
+                       cpu.stats().cycles - c0,
+                       cpu.stats().transientForwards - f0);
+}
+
+} // anonymous namespace
+
+AttackResult
+runRidl(const CpuConfig &config, const AttackOptions &opt)
+{
+    return runFillBufferSampling("RIDL", Privilege::User, false,
+                                 config, opt);
+}
+
+AttackResult
+runZombieLoad(const CpuConfig &config, const AttackOptions &opt)
+{
+    return runFillBufferSampling("ZombieLoad", Privilege::Kernel,
+                                 false, config, opt);
+}
+
+AttackResult
+runTaa(const CpuConfig &config, const AttackOptions &opt)
+{
+    return runFillBufferSampling("TAA", Privilege::User, true, config,
+                                 opt);
+}
+
+AttackResult
+runCacheout(const CpuConfig &config, const AttackOptions &opt)
+{
+    // CacheOut evicts the victim's line from L1 first; the data then
+    // transits the fill buffer where the TAA sampler reads it.
+    return runFillBufferSampling("CacheOut", Privilege::Kernel, true,
+                                 config, opt);
+}
+
+AttackResult
+runFallout(const CpuConfig &config, const AttackOptions &opt)
+{
+    Scenario s(config);
+    Cpu &cpu = s.cpu();
+    const auto secret = defaultSecret(opt.secretLen);
+
+    // Victim: stores a secret byte; the store buffer keeps residue.
+    Program victim;
+    victim.emit(store8(rBase, 0, rVal));
+    victim.emit(halt());
+
+    ChannelHarness ch(cpu, opt.channel);
+    cpu.setReg(rProbe, ch.sendBase());
+
+    const Addr victim_store = Layout::kUserSecret + 0x80;
+    const std::uint64_t c0 = cpu.stats().cycles;
+    const std::uint64_t f0 = cpu.stats().transientForwards;
+    std::vector<int> recovered;
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+        cpu.contextSwitch(0);
+        cpu.setPrivilege(Privilege::Kernel);
+        cpu.loadProgram(victim);
+        cpu.setFaultHandler(std::nullopt);
+        cpu.setReg(rBase, victim_store);
+        cpu.setReg(rVal, secret[i]);
+        cpu.run(0);
+
+        // Attacker: faulting load whose page offset matches the
+        // victim's store -- the store buffer forwards its residue.
+        cpu.contextSwitch(1);
+        cpu.setPrivilege(Privilege::User);
+        const Program sampler =
+            samplerProgram(ch.sendShift(), 0, false);
+        cpu.loadProgram(sampler);
+        cpu.setFaultHandler(sampler.size() - 1);
+        ch.setup();
+        cpu.setReg(rBase,
+                   Layout::kUnmapped + (victim_store & 0xfff));
+        cpu.run(0);
+        recovered.push_back(ch.recover());
+    }
+    return scoreResult("Fallout", recovered, secret,
+                       cpu.stats().cycles - c0,
+                       cpu.stats().transientForwards - f0);
+}
+
+AttackResult
+runLvi(const CpuConfig &config, const AttackOptions &opt)
+{
+    Scenario s(config);
+    Cpu &cpu = s.cpu();
+    const auto secret = defaultSecret(opt.secretLen);
+    s.plantBytes(Layout::kUserSecret, secret);
+    s.mem().write64(Layout::kVictimPtr, Layout::kVictimTable);
+
+    // The victim's pointer page is made to fault (attacker acts as
+    // the OS, as in SGX LVI); its line is not cached.
+    s.pageTable().setPresent(Layout::kVictimPtr, false);
+
+    ChannelHarness ch(cpu, opt.channel);
+
+    // Attacker: plants the malicious value M in the store buffer
+    // (same page offset as the victim's pointer load).
+    Program plant;
+    plant.emit(store64(rBase, 0, rVal));
+    plant.emit(halt());
+
+    // Victim: loads its pointer (faults; M is injected), then its
+    // own gadget dereferences table + M and sends -- leaking the
+    // victim's own secret at the attacker-chosen offset.
+    Program victim;
+    victim.emit(load64(rIdx2, rBase, 0)); // faulting pointer load
+    victim.emit(add(rTmp, rTable, rIdx2));
+    victim.emit(load8(rWord, rTmp, 0));   // Load S (victim secret)
+    victim.emit(shlImm(rEnc, rWord, ch.sendShift()));
+    victim.emit(add(rSend, rProbe, rEnc));
+    victim.emit(load8(rSink, rSend, 0));  // send
+    victim.emit(halt());                  // 6: handler
+
+    const std::uint64_t c0 = cpu.stats().cycles;
+    const std::uint64_t f0 = cpu.stats().transientForwards;
+    std::vector<int> recovered;
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+        // Attacker plants M.
+        cpu.contextSwitch(1);
+        cpu.setPrivilege(Privilege::User);
+        cpu.loadProgram(plant);
+        cpu.setFaultHandler(std::nullopt);
+        cpu.setReg(rBase, Layout::kScratch); // same page offset (0)
+        cpu.setReg(rVal,
+                   Layout::kUserSecret + i - Layout::kVictimTable);
+        cpu.run(0);
+
+        // Victim runs its own code; the injected M diverts it.
+        cpu.contextSwitch(0);
+        cpu.setPrivilege(Privilege::User);
+        cpu.loadProgram(victim);
+        cpu.setFaultHandler(6);
+        ch.setup();
+        cpu.warmLine(Layout::kUserSecret + i);
+        cpu.flushLineVirt(Layout::kVictimPtr);
+        cpu.setReg(rBase, Layout::kVictimPtr);
+        cpu.setReg(rTable, Layout::kVictimTable);
+        cpu.setReg(rProbe, ch.sendBase());
+        cpu.run(0);
+
+        cpu.contextSwitch(1);
+        recovered.push_back(
+            ch.recover({ch.noiseSet(Layout::kUserSecret + i)}));
+    }
+    return scoreResult("LVI", recovered, secret,
+                       cpu.stats().cycles - c0,
+                       cpu.stats().transientForwards - f0);
+}
+
+} // namespace specsec::attacks

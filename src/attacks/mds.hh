@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The MDS / transient-buffer family (paper Figs. 4, 7 and Table III
+ * bottom): RIDL, ZombieLoad, Fallout, LVI, TAA and CacheOut.
+ *
+ * All sample stale data from micro-architectural buffers through a
+ * faulting (or aborting) load.
+ */
+
+#ifndef SPECSEC_ATTACKS_MDS_HH
+#define SPECSEC_ATTACKS_MDS_HH
+
+#include "attack_kit.hh"
+
+namespace specsec::attacks
+{
+
+/** Rogue in-flight data load: line fill buffer / load port. */
+AttackResult runRidl(const CpuConfig &config,
+                     const AttackOptions &options = {});
+
+/** ZombieLoad: fill-buffer sampling across privilege boundaries. */
+AttackResult runZombieLoad(const CpuConfig &config,
+                           const AttackOptions &options = {});
+
+/** Fallout: store-buffer data sampling via page-offset matching. */
+AttackResult runFallout(const CpuConfig &config,
+                        const AttackOptions &options = {});
+
+/** Load Value Injection: attacker data steers a victim's transient
+ *  execution into leaking the victim's own secret. */
+AttackResult runLvi(const CpuConfig &config,
+                    const AttackOptions &options = {});
+
+/** TSX Asynchronous Abort: in-transaction faulting load samples
+ *  buffers during the abort window. */
+AttackResult runTaa(const CpuConfig &config,
+                    const AttackOptions &options = {});
+
+/** CacheOut: TAA variant sampling evicted data from the fill
+ *  buffer. */
+AttackResult runCacheout(const CpuConfig &config,
+                         const AttackOptions &options = {});
+
+} // namespace specsec::attacks
+
+#endif // SPECSEC_ATTACKS_MDS_HH

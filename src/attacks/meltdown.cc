@@ -1,0 +1,240 @@
+#include "meltdown.hh"
+
+using namespace specsec::uarch;
+
+namespace specsec::attacks
+{
+
+namespace
+{
+
+constexpr RegId rBase = 3;
+constexpr RegId rProbe = 4;
+constexpr RegId rByte = 6;
+constexpr RegId rTmp = 7;
+constexpr RegId rEnc = 8;
+constexpr RegId rSend = 9;
+constexpr RegId rSink = 10;
+
+/** Faulting-load program: load, encode, send, halt (the handler). */
+Program
+faultingLoadProgram(unsigned shift)
+{
+    Program p;
+    p.emit(load8(rByte, rBase, 0)); // authorize-and-access
+    p.emit(shlImm(rEnc, rByte, shift));
+    p.emit(add(rSend, rProbe, rEnc));
+    p.emit(load8(rSink, rSend, 0)); // send
+    p.emit(halt());                 // 4: fault handler target
+    return p;
+}
+
+constexpr Addr kHandlerPc = 4;
+
+/** Word-source program: extract byte @p i of a 64-bit value that a
+ *  special-register read produces. */
+Program
+wordExtractProgram(unsigned shift, unsigned byte_index, bool use_msr)
+{
+    Program p;
+    if (use_msr)
+        p.emit(rdmsr(rByte, 5));
+    else
+        p.emit(fpRead(rByte, 2));
+    p.emit(shrImm(rTmp, rByte, 8 * byte_index));
+    p.emit(andImm(rTmp, rTmp, 0xff));
+    p.emit(shlImm(rEnc, rTmp, shift));
+    p.emit(add(rSend, rProbe, rEnc));
+    p.emit(load8(rSink, rSend, 0));
+    p.emit(halt()); // 7: handler
+    return p;
+}
+
+constexpr Addr kWordHandlerPc = 7;
+
+Word
+packWord(const std::vector<std::uint8_t> &bytes)
+{
+    Word w = 0;
+    for (std::size_t i = 0; i < bytes.size() && i < 8; ++i)
+        w |= static_cast<Word>(bytes[i]) << (8 * i);
+    return w;
+}
+
+} // anonymous namespace
+
+AttackResult
+runMeltdown(const CpuConfig &config, const AttackOptions &opt)
+{
+    Scenario s(config);
+    Cpu &cpu = s.cpu();
+    const auto secret = defaultSecret(opt.secretLen);
+    s.plantBytes(Layout::kKernelData, secret);
+    if (opt.kpti) {
+        // KPTI: the kernel page simply is not in the user page table.
+        s.pageTable().unmap(Layout::kKernelData);
+    }
+
+    ChannelHarness ch(cpu, opt.channel);
+    cpu.loadProgram(faultingLoadProgram(ch.sendShift()));
+    cpu.setPrivilege(Privilege::User);
+    cpu.setFaultHandler(kHandlerPc);
+    cpu.setReg(rProbe, ch.sendBase());
+
+    const std::uint64_t c0 = cpu.stats().cycles;
+    const std::uint64_t f0 = cpu.stats().transientForwards;
+    std::vector<int> recovered;
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+        ch.setup();
+        cpu.setReg(rBase, Layout::kKernelData + i);
+        cpu.run(0);
+        recovered.push_back(
+            ch.recover({ch.noiseSet(Layout::kKernelData + i)}));
+    }
+    return scoreResult("Meltdown", recovered, secret,
+                       cpu.stats().cycles - c0,
+                       cpu.stats().transientForwards - f0);
+}
+
+AttackResult
+runMeltdownV3a(const CpuConfig &config, const AttackOptions &opt)
+{
+    Scenario s(config);
+    Cpu &cpu = s.cpu();
+    const auto secret = defaultSecret(std::min<std::size_t>(
+        opt.secretLen, 8)); // one 64-bit system register
+    cpu.setMsr(5, packWord(secret));
+
+    ChannelHarness ch(cpu, opt.channel);
+    cpu.setPrivilege(Privilege::User);
+    cpu.setFaultHandler(kWordHandlerPc);
+    cpu.setReg(rProbe, ch.sendBase());
+
+    const std::uint64_t c0 = cpu.stats().cycles;
+    const std::uint64_t f0 = cpu.stats().transientForwards;
+    std::vector<int> recovered;
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+        cpu.loadProgram(wordExtractProgram(
+            ch.sendShift(), static_cast<unsigned>(i), true));
+        ch.setup();
+        cpu.run(0);
+        recovered.push_back(ch.recover());
+    }
+    return scoreResult("Meltdown v3a", recovered, secret,
+                       cpu.stats().cycles - c0,
+                       cpu.stats().transientForwards - f0);
+}
+
+namespace
+{
+
+/** Shared Foreshadow implementation across the three domains. */
+AttackResult
+runTerminalFault(const char *name, Addr secret_base,
+                 Privilege victim_privilege, bool victim_enclave,
+                 const CpuConfig &config, const AttackOptions &opt)
+{
+    Scenario s(config);
+    Cpu &cpu = s.cpu();
+    const auto secret = defaultSecret(opt.secretLen);
+    s.plantBytes(secret_base, secret);
+
+    // The attacker (acting as the OS for SGX, or a malicious guest
+    // setup) clears the present bit: accesses now terminal-fault.
+    s.pageTable().setPresent(secret_base, false);
+
+    ChannelHarness ch(cpu, opt.channel);
+    cpu.loadProgram(faultingLoadProgram(ch.sendShift()));
+    cpu.setFaultHandler(kHandlerPc);
+    cpu.setReg(rProbe, ch.sendBase());
+
+    const std::uint64_t c0 = cpu.stats().cycles;
+    const std::uint64_t f0 = cpu.stats().transientForwards;
+    std::vector<int> recovered;
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+        ch.setup();
+
+        // Victim phase: the protected domain touches its secret,
+        // leaving it in the L1.
+        cpu.setPrivilege(victim_privilege);
+        cpu.setEnclaveMode(victim_enclave);
+        cpu.warmLine(secret_base + i);
+        if (opt.flushL1OnExit)
+            cpu.flushLineVirt(secret_base + i); // the L1TF defense
+
+        // Attacker phase.
+        cpu.setPrivilege(Privilege::User);
+        cpu.setEnclaveMode(false);
+        cpu.setReg(rBase, secret_base + i);
+        cpu.run(0);
+        recovered.push_back(
+            ch.recover({ch.noiseSet(secret_base + i)}));
+    }
+    return scoreResult(name, recovered, secret,
+                       cpu.stats().cycles - c0,
+                       cpu.stats().transientForwards - f0);
+}
+
+} // anonymous namespace
+
+AttackResult
+runForeshadow(const CpuConfig &config, const AttackOptions &opt)
+{
+    return runTerminalFault("Foreshadow (L1TF)", Layout::kEnclaveData,
+                            Privilege::User, true, config, opt);
+}
+
+AttackResult
+runForeshadowOs(const CpuConfig &config, const AttackOptions &opt)
+{
+    return runTerminalFault("Foreshadow-OS", Layout::kKernelData,
+                            Privilege::Kernel, false, config, opt);
+}
+
+AttackResult
+runForeshadowVmm(const CpuConfig &config, const AttackOptions &opt)
+{
+    return runTerminalFault("Foreshadow-VMM", Layout::kVmmData,
+                            Privilege::Vmm, false, config, opt);
+}
+
+AttackResult
+runLazyFp(const CpuConfig &config, const AttackOptions &opt)
+{
+    Scenario s(config);
+    Cpu &cpu = s.cpu();
+    const auto secret = defaultSecret(std::min<std::size_t>(
+        opt.secretLen, 8)); // one FP register
+
+    // Victim (context 0) puts its secret in f2.
+    Program victim;
+    victim.emit(fpMov(2, 1));
+    victim.emit(halt());
+    cpu.loadProgram(victim);
+    cpu.setPrivilege(Privilege::User);
+    cpu.setReg(1, packWord(secret));
+    cpu.run(0);
+
+    // Context switch without an eager FPU save (unless defended).
+    cpu.contextSwitch(1);
+
+    ChannelHarness ch(cpu, opt.channel);
+    cpu.setFaultHandler(kWordHandlerPc);
+    cpu.setReg(rProbe, ch.sendBase());
+
+    const std::uint64_t c0 = cpu.stats().cycles;
+    const std::uint64_t f0 = cpu.stats().transientForwards;
+    std::vector<int> recovered;
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+        cpu.loadProgram(wordExtractProgram(
+            ch.sendShift(), static_cast<unsigned>(i), false));
+        ch.setup();
+        cpu.run(0);
+        recovered.push_back(ch.recover());
+    }
+    return scoreResult("Lazy FP", recovered, secret,
+                       cpu.stats().cycles - c0,
+                       cpu.stats().transientForwards - f0);
+}
+
+} // namespace specsec::attacks

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The Meltdown family: faulting accesses whose authorization and
+ * secret access race inside a single instruction (paper Figs. 3-5).
+ *
+ * Meltdown (kernel memory), Meltdown v3a (system registers),
+ * Foreshadow / Foreshadow-OS / Foreshadow-VMM (terminal faults
+ * reading the L1), and LazyFP (stale FPU state).
+ */
+
+#ifndef SPECSEC_ATTACKS_MELTDOWN_HH
+#define SPECSEC_ATTACKS_MELTDOWN_HH
+
+#include "attack_kit.hh"
+
+namespace specsec::attacks
+{
+
+/** Listing 2: user-mode read of kernel memory. */
+AttackResult runMeltdown(const CpuConfig &config,
+                         const AttackOptions &options = {});
+
+/** Rogue system register read (RDMSR before privilege check). */
+AttackResult runMeltdownV3a(const CpuConfig &config,
+                            const AttackOptions &options = {});
+
+/** L1 terminal fault against SGX enclave data. */
+AttackResult runForeshadow(const CpuConfig &config,
+                           const AttackOptions &options = {});
+
+/** L1 terminal fault against OS (kernel) data. */
+AttackResult runForeshadowOs(const CpuConfig &config,
+                             const AttackOptions &options = {});
+
+/** L1 terminal fault against VMM data. */
+AttackResult runForeshadowVmm(const CpuConfig &config,
+                              const AttackOptions &options = {});
+
+/** Lazy FPU state leak across a context switch. */
+AttackResult runLazyFp(const CpuConfig &config,
+                       const AttackOptions &options = {});
+
+} // namespace specsec::attacks
+
+#endif // SPECSEC_ATTACKS_MELTDOWN_HH

@@ -1,0 +1,56 @@
+#include "runner.hh"
+
+#include <stdexcept>
+
+namespace specsec::attacks
+{
+
+AttackResult
+runVariant(core::AttackVariant variant, const CpuConfig &config,
+           const AttackOptions &options)
+{
+    using core::AttackVariant;
+    switch (variant) {
+      case AttackVariant::SpectreV1:
+        return runSpectreV1(config, options);
+      case AttackVariant::SpectreV1_1:
+        return runSpectreV1_1(config, options);
+      case AttackVariant::SpectreV1_2:
+        return runSpectreV1_2(config, options);
+      case AttackVariant::SpectreV2:
+        return runSpectreV2(config, options);
+      case AttackVariant::Meltdown:
+        return runMeltdown(config, options);
+      case AttackVariant::MeltdownV3a:
+        return runMeltdownV3a(config, options);
+      case AttackVariant::SpectreV4:
+        return runSpectreV4(config, options);
+      case AttackVariant::SpectreRsb:
+        return runSpectreRsb(config, options);
+      case AttackVariant::Foreshadow:
+        return runForeshadow(config, options);
+      case AttackVariant::ForeshadowOs:
+        return runForeshadowOs(config, options);
+      case AttackVariant::ForeshadowVmm:
+        return runForeshadowVmm(config, options);
+      case AttackVariant::LazyFp:
+        return runLazyFp(config, options);
+      case AttackVariant::Spoiler:
+        return runSpoiler(config, options);
+      case AttackVariant::Ridl:
+        return runRidl(config, options);
+      case AttackVariant::ZombieLoad:
+        return runZombieLoad(config, options);
+      case AttackVariant::Fallout:
+        return runFallout(config, options);
+      case AttackVariant::Lvi:
+        return runLvi(config, options);
+      case AttackVariant::Taa:
+        return runTaa(config, options);
+      case AttackVariant::Cacheout:
+        return runCacheout(config, options);
+    }
+    throw std::invalid_argument("runVariant: unknown variant");
+}
+
+} // namespace specsec::attacks

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Dispatcher: run any cataloged attack variant on a configured CPU.
+ */
+
+#ifndef SPECSEC_ATTACKS_RUNNER_HH
+#define SPECSEC_ATTACKS_RUNNER_HH
+
+#include "core/variants.hh"
+#include "meltdown.hh"
+#include "mds.hh"
+#include "spectre.hh"
+
+namespace specsec::attacks
+{
+
+/** Run the executable attack for @p variant. */
+AttackResult runVariant(core::AttackVariant variant,
+                        const CpuConfig &config,
+                        const AttackOptions &options = {});
+
+} // namespace specsec::attacks
+
+#endif // SPECSEC_ATTACKS_RUNNER_HH

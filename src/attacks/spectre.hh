@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The Spectre family of executable attacks: v1 (bounds bypass), v1.1
+ * (speculative buffer overflow), v1.2 (read-only overwrite), v2
+ * (branch target injection), v4 (speculative store bypass), RSB
+ * (return stack underflow) and Spoiler (store-buffer address
+ * timing).
+ *
+ * Each runner builds the victim/attacker programs on the simulator,
+ * executes the paper's five attack steps, and reports recovered vs.
+ * planted secret bytes.
+ */
+
+#ifndef SPECSEC_ATTACKS_SPECTRE_HH
+#define SPECSEC_ATTACKS_SPECTRE_HH
+
+#include "attack_kit.hh"
+
+namespace specsec::attacks
+{
+
+/** Listing 1: bounds-check bypass reading out-of-bounds memory. */
+AttackResult runSpectreV1(const CpuConfig &config,
+                          const AttackOptions &options = {});
+
+/** Speculative out-of-bounds store redirecting a later load. */
+AttackResult runSpectreV1_1(const CpuConfig &config,
+                            const AttackOptions &options = {});
+
+/** Speculative store to a read-only page (write-protect bypass). */
+AttackResult runSpectreV1_2(const CpuConfig &config,
+                            const AttackOptions &options = {});
+
+/** BTB injection: victim's indirect branch runs the gadget. */
+AttackResult runSpectreV2(const CpuConfig &config,
+                          const AttackOptions &options = {});
+
+/** Store bypass: a load reads stale data past an unresolved store. */
+AttackResult runSpectreV4(const CpuConfig &config,
+                          const AttackOptions &options = {});
+
+/** RSB underflow: return speculates to a BTB-injected gadget. */
+AttackResult runSpectreRsb(const CpuConfig &config,
+                           const AttackOptions &options = {});
+
+/** Spoiler: physical-address aliasing revealed by store-buffer
+ *  dependency timing.  recovered/expected hold the alias index. */
+AttackResult runSpoiler(const CpuConfig &config,
+                        const AttackOptions &options = {});
+
+} // namespace specsec::attacks
+
+#endif // SPECSEC_ATTACKS_SPECTRE_HH

@@ -1,0 +1,237 @@
+#include "attack_graph.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/race.hh"
+
+namespace specsec::core
+{
+
+NodeId
+AttackGraph::addOperation(std::string label, NodeRole role,
+                          AttackStep step)
+{
+    const NodeId id = tsg_.addNode(std::move(label));
+    roles_.push_back(role);
+    steps_.push_back(step);
+    return id;
+}
+
+bool
+AttackGraph::addDependency(NodeId u, NodeId v, EdgeKind kind)
+{
+    return tsg_.addEdge(u, v, kind);
+}
+
+bool
+AttackGraph::addSecurityDependency(NodeId authorization,
+                                   NodeId protected_op)
+{
+    return tsg_.addEdge(authorization, protected_op,
+                        EdgeKind::Security);
+}
+
+NodeRole
+AttackGraph::role(NodeId u) const
+{
+    if (u >= roles_.size())
+        throw std::out_of_range("AttackGraph: node id out of range");
+    return roles_[u];
+}
+
+AttackStep
+AttackGraph::step(NodeId u) const
+{
+    if (u >= steps_.size())
+        throw std::out_of_range("AttackGraph: node id out of range");
+    return steps_[u];
+}
+
+void
+AttackGraph::setRole(NodeId u, NodeRole role)
+{
+    if (u >= roles_.size())
+        throw std::out_of_range("AttackGraph: node id out of range");
+    roles_[u] = role;
+}
+
+std::vector<NodeId>
+AttackGraph::nodesWithRole(NodeRole role) const
+{
+    std::vector<NodeId> result;
+    for (NodeId u = 0; u < roles_.size(); ++u) {
+        if (roles_[u] == role)
+            result.push_back(u);
+    }
+    return result;
+}
+
+std::vector<NodeId>
+AttackGraph::authorizationNodes() const
+{
+    return nodesWithRole(NodeRole::Authorization);
+}
+
+std::vector<NodeId>
+AttackGraph::secretAccessNodes() const
+{
+    return nodesWithRole(NodeRole::SecretAccess);
+}
+
+std::vector<NodeId>
+AttackGraph::sendNodes() const
+{
+    return nodesWithRole(NodeRole::Send);
+}
+
+std::vector<NodeId>
+AttackGraph::receiveNodes() const
+{
+    return nodesWithRole(NodeRole::Receive);
+}
+
+std::vector<RaceFinding>
+AttackGraph::missingSecurityDependencies() const
+{
+    std::vector<RaceFinding> findings;
+    const graph::ReachabilityMatrix m(tsg_);
+    for (NodeId auth : authorizationNodes()) {
+        for (NodeId u = 0; u < roles_.size(); ++u) {
+            const NodeRole r = roles_[u];
+            if (r != NodeRole::SecretAccess && r != NodeRole::Use &&
+                r != NodeRole::Send) {
+                continue;
+            }
+            if (graph::hasRace(m, auth, u))
+                findings.push_back({auth, u, r});
+        }
+    }
+    return findings;
+}
+
+std::vector<NodeId>
+AttackGraph::speculativeWindow() const
+{
+    std::vector<NodeId> window;
+    const graph::ReachabilityMatrix m(tsg_);
+    const auto auths = authorizationNodes();
+    for (NodeId u = 0; u < roles_.size(); ++u) {
+        if (roles_[u] == NodeRole::Authorization)
+            continue;
+        const bool races = std::any_of(
+            auths.begin(), auths.end(),
+            [&](NodeId a) { return graph::hasRace(m, a, u); });
+        if (races)
+            window.push_back(u);
+    }
+    return window;
+}
+
+namespace
+{
+
+/** True for the edge kinds a secret value propagates along. */
+bool
+propagates(EdgeKind kind)
+{
+    return kind == EdgeKind::Data || kind == EdgeKind::Address;
+}
+
+void
+extendFlows(const Tsg &g, const std::vector<NodeRole> &roles,
+            SecretFlow &current, std::vector<SecretFlow> &out)
+{
+    const NodeId tail = current.back();
+    if (roles[tail] == NodeRole::Send) {
+        out.push_back(current);
+        return;
+    }
+    for (NodeId next : g.successors(tail)) {
+        const auto kind = g.edgeKind(tail, next);
+        if (!kind || !propagates(*kind))
+            continue;
+        if (std::find(current.begin(), current.end(), next) !=
+            current.end()) {
+            continue;
+        }
+        current.push_back(next);
+        extendFlows(g, roles, current, out);
+        current.pop_back();
+    }
+}
+
+} // anonymous namespace
+
+std::vector<SecretFlow>
+AttackGraph::secretFlows() const
+{
+    std::vector<SecretFlow> flows;
+    for (NodeId access : secretAccessNodes()) {
+        SecretFlow current{access};
+        extendFlows(tsg_, roles_, current, flows);
+    }
+    return flows;
+}
+
+bool
+AttackGraph::flowEscapesAuthorization(const SecretFlow &flow,
+                                      NodeId authorization) const
+{
+    // Mask out every SecretAccess node that is not on this flow:
+    // alternative sources are OR-alternatives, so orderings imposed
+    // through them do not constrain this flow's execution.
+    std::vector<bool> excluded(tsg_.nodeCount(), false);
+    for (NodeId u = 0; u < roles_.size(); ++u) {
+        if (roles_[u] == NodeRole::SecretAccess &&
+            std::find(flow.begin(), flow.end(), u) == flow.end()) {
+            excluded[u] = true;
+        }
+    }
+    for (NodeId x : flow) {
+        if (graph::pathExistsAvoiding(tsg_, authorization, x,
+                                      excluded)) {
+            return false; // x is ordered after the authorization
+        }
+    }
+    return true;
+}
+
+bool
+AttackGraph::mistrainInfluenceIntact() const
+{
+    const auto mistrains = nodesWithRole(NodeRole::MistrainPredictor);
+    if (mistrains.empty())
+        return true;
+    const auto triggers = nodesWithRole(NodeRole::Trigger);
+    std::vector<bool> excluded(tsg_.nodeCount(), false);
+    for (NodeId u = 0; u < roles_.size(); ++u) {
+        if (roles_[u] == NodeRole::PredictorFlush)
+            excluded[u] = true;
+    }
+    for (NodeId m : mistrains) {
+        for (NodeId t : triggers) {
+            if (graph::pathExistsAvoiding(tsg_, m, t, excluded))
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+AttackGraph::isVulnerable() const
+{
+    if (!mistrainInfluenceIntact())
+        return false;
+    const auto auths = authorizationNodes();
+    const auto flows = secretFlows();
+    for (NodeId auth : auths) {
+        for (const SecretFlow &flow : flows) {
+            if (flowEscapesAuthorization(flow, auth))
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace specsec::core

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * AttackGraph: a TSG whose vertices carry attack-model roles and
+ * attack steps, plus the paper's analyses on top of it:
+ *
+ *  - missing-security-dependency detection (races between the
+ *    authorization node and access/use/send nodes, Theorem 1),
+ *  - speculative-window extraction (the red dashed block in Fig. 1),
+ *  - secret-flow enumeration (access -> ... -> send chains), and
+ *  - the attack-success predicate used to decide whether a defense
+ *    (an inserted security dependency) actually blocks the attack,
+ *    including the OR-join multi-source semantics of Fig. 4.
+ */
+
+#ifndef SPECSEC_CORE_ATTACK_GRAPH_HH
+#define SPECSEC_CORE_ATTACK_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/race_avoid.hh"
+#include "graph/tsg.hh"
+#include "node_role.hh"
+
+namespace specsec::core
+{
+
+using graph::EdgeKind;
+using graph::NodeId;
+using graph::Tsg;
+
+/** A race between an authorization and a protected operation. */
+struct RaceFinding
+{
+    NodeId authorization = graph::kInvalidNode;
+    NodeId operation = graph::kInvalidNode;
+    NodeRole operationRole = NodeRole::Other;
+
+    bool operator==(const RaceFinding &other) const = default;
+};
+
+/** One secret flow: a directed chain from a SecretAccess to a Send. */
+using SecretFlow = std::vector<NodeId>;
+
+/**
+ * An attack graph in the sense of Section IV.
+ *
+ * Vertices are added with addOperation(); dependency edges with
+ * addDependency().  Security dependencies (Definition 2) are ordinary
+ * edges of kind EdgeKind::Security added by addSecurityDependency()
+ * or by defense strategies (security_dependency.hh).
+ */
+class AttackGraph
+{
+  public:
+    AttackGraph() = default;
+
+    /** Descriptive name for reports and DOT export. */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Add an operation vertex with its role and step. */
+    NodeId addOperation(std::string label, NodeRole role,
+                        AttackStep step = AttackStep::Unspecified);
+
+    /**
+     * Add a dependency edge u -> v.
+     * @return false if rejected (would create a cycle).
+     */
+    bool addDependency(NodeId u, NodeId v,
+                       EdgeKind kind = EdgeKind::Data);
+
+    /**
+     * Add a security dependency: authorization must complete before
+     * the protected operation (Definition 2).
+     */
+    bool addSecurityDependency(NodeId authorization,
+                               NodeId protected_op);
+
+    /** The underlying TSG (const). */
+    const Tsg &tsg() const { return tsg_; }
+
+    /** The underlying TSG (mutable, for defense transformations). */
+    Tsg &tsg() { return tsg_; }
+
+    NodeRole role(NodeId u) const;
+    AttackStep step(NodeId u) const;
+    void setRole(NodeId u, NodeRole role);
+
+    /** All node ids carrying the given role. */
+    std::vector<NodeId> nodesWithRole(NodeRole role) const;
+
+    std::vector<NodeId> authorizationNodes() const;
+    std::vector<NodeId> secretAccessNodes() const;
+    std::vector<NodeId> sendNodes() const;
+    std::vector<NodeId> receiveNodes() const;
+
+    /**
+     * Find missing security dependencies: every (authorization,
+     * operation) pair that races per Theorem 1, where the operation's
+     * role is SecretAccess, Use or Send.  These are exactly the red
+     * dashed arrows of Figs. 4-8: candidate places to insert a
+     * security dependency.
+     */
+    std::vector<RaceFinding> missingSecurityDependencies() const;
+
+    /**
+     * The speculative window: every non-authorization node that races
+     * with at least one authorization node (it can execute before the
+     * authorization resolves).
+     */
+    std::vector<NodeId> speculativeWindow() const;
+
+    /**
+     * Enumerate secret flows: directed simple paths from a
+     * SecretAccess node to a Send node over Data/Address edges.
+     */
+    std::vector<SecretFlow> secretFlows() const;
+
+    /**
+     * Whether a given flow escapes a given authorization: no node on
+     * the flow is ordered after the authorization, evaluating paths
+     * with all *other* SecretAccess nodes masked out (OR-join
+     * semantics for the multi-source graphs of Fig. 4).
+     */
+    bool flowEscapesAuthorization(const SecretFlow &flow,
+                                  NodeId authorization) const;
+
+    /**
+     * Whether predictor mistraining still influences the trigger:
+     * true when the graph has no mistrain node, or when a path from a
+     * mistrain node to a trigger node avoids every PredictorFlush
+     * node.  Defense strategy 4 works by cutting this influence.
+     */
+    bool mistrainInfluenceIntact() const;
+
+    /**
+     * The paper's overall success condition: some secret flow escapes
+     * some authorization node, and (if the attack relies on predictor
+     * mistraining) the mistraining influence is intact.
+     */
+    bool isVulnerable() const;
+
+  private:
+    Tsg tsg_;
+    std::string name_ = "attack";
+    std::vector<NodeRole> roles_;
+    std::vector<AttackStep> steps_;
+};
+
+} // namespace specsec::core
+
+#endif // SPECSEC_CORE_ATTACK_GRAPH_HH

@@ -1,0 +1,238 @@
+#include "composer.hh"
+
+#include <string>
+
+namespace specsec::core
+{
+
+const char *
+triggerKindName(TriggerKind kind)
+{
+    switch (kind) {
+      case TriggerKind::ConditionalBranch:
+        return "conditional-branch";
+      case TriggerKind::IndirectBranch: return "indirect-branch";
+      case TriggerKind::ReturnAddress: return "return-address";
+      case TriggerKind::FaultingLoad: return "faulting-load";
+      case TriggerKind::MsrRead: return "msr-read";
+      case TriggerKind::FpAccess: return "fp-access";
+      case TriggerKind::MemoryDisambiguation:
+        return "memory-disambiguation";
+      case TriggerKind::TsxAbort: return "tsx-abort";
+    }
+    return "unknown";
+}
+
+const std::vector<TriggerKind> &
+allTriggerKinds()
+{
+    static const std::vector<TriggerKind> kinds = {
+        TriggerKind::ConditionalBranch, TriggerKind::IndirectBranch,
+        TriggerKind::ReturnAddress,     TriggerKind::FaultingLoad,
+        TriggerKind::MsrRead,           TriggerKind::FpAccess,
+        TriggerKind::MemoryDisambiguation, TriggerKind::TsxAbort,
+    };
+    return kinds;
+}
+
+const std::vector<SecretSource> &
+composableSources()
+{
+    static const std::vector<SecretSource> sources = {
+        SecretSource::Memory,        SecretSource::Cache,
+        SecretSource::LineFillBuffer, SecretSource::StoreBuffer,
+        SecretSource::LoadPort,      SecretSource::SystemRegister,
+        SecretSource::FpuRegister,   SecretSource::StaleMemory,
+    };
+    return sources;
+}
+
+namespace
+{
+
+struct TriggerSpec
+{
+    const char *triggerLabel;
+    const char *authLabel;
+    const char *mistrainLabel; ///< nullptr when not prediction-based
+    bool intraInstruction;
+};
+
+TriggerSpec
+triggerSpec(TriggerKind kind)
+{
+    switch (kind) {
+      case TriggerKind::ConditionalBranch:
+        return {"Conditional branch instruction",
+                "Branch resolution (bounds check)",
+                "Mistrain branch predictor", false};
+      case TriggerKind::IndirectBranch:
+        return {"Indirect branch instruction",
+                "Indirect branch target resolution",
+                "Mistrain BTB", false};
+      case TriggerKind::ReturnAddress:
+        return {"Return instruction", "Return target resolution",
+                "Underfill / poison RSB", false};
+      case TriggerKind::FaultingLoad:
+        return {"Load instruction", "Load permission/fault check",
+                nullptr, true};
+      case TriggerKind::MsrRead:
+        return {"RDMSR instruction", "RDMSR privilege check",
+                nullptr, true};
+      case TriggerKind::FpAccess:
+        return {"FP instruction after context switch",
+                "FPU owner check", nullptr, true};
+      case TriggerKind::MemoryDisambiguation:
+        return {"Load instruction (aliasing a pending store)",
+                "Store-load address dependency resolution", nullptr,
+                true};
+      case TriggerKind::TsxAbort:
+        return {"TSX transaction access",
+                "TSX asynchronous abort completion", nullptr, true};
+    }
+    return {"?", "?", nullptr, false};
+}
+
+std::string
+accessLabel(SecretSource source)
+{
+    switch (source) {
+      case SecretSource::Memory: return "Read S from memory";
+      case SecretSource::Cache: return "Read S from cache";
+      case SecretSource::LineFillBuffer:
+        return "Read S from line fill buffer";
+      case SecretSource::StoreBuffer:
+        return "Read S from store buffer";
+      case SecretSource::LoadPort: return "Read S from load port";
+      case SecretSource::SystemRegister:
+        return "Read S from special register";
+      case SecretSource::FpuRegister: return "Read S from FPU";
+      case SecretSource::StaleMemory: return "Read stale data S";
+      case SecretSource::AddressMapping:
+        return "Observe address-dependent timing";
+    }
+    return "Read S";
+}
+
+} // anonymous namespace
+
+AttackGraph
+composeAttack(const AttackRecipe &recipe)
+{
+    const TriggerSpec spec = triggerSpec(recipe.trigger);
+    AttackGraph g;
+    g.setName(std::string("composed: ") +
+              triggerKindName(recipe.trigger) + " x " +
+              secretSourceName(recipe.source) + " x " +
+              covertChannelName(recipe.channel));
+
+    // Channel half (steps 1a, 4, 5).
+    const bool flush_reload =
+        recipe.channel == CovertChannelKind::FlushReload;
+    const NodeId setup = g.addOperation(
+        flush_reload ? "Flush probe array (clflush)"
+                     : "Prime cache sets",
+        NodeRole::Setup, AttackStep::Setup);
+    const NodeId use = g.addOperation(
+        "Compute send address R from secret", NodeRole::Use,
+        AttackStep::UseSend);
+    const NodeId send = g.addOperation(
+        flush_reload ? "Load R to cache"
+                     : "Load R: evict receiver line",
+        NodeRole::Send, AttackStep::UseSend);
+    const NodeId receive = g.addOperation(
+        flush_reload ? "Reload probe array and time"
+                     : "Probe cache sets and time",
+        NodeRole::Receive, AttackStep::Receive);
+    g.addDependency(use, send, EdgeKind::Address);
+    g.addDependency(setup, send, EdgeKind::Resource);
+    g.addDependency(send, receive, EdgeKind::Resource);
+
+    // Trigger / authorization half (steps 1b, 2, 3).
+    NodeId mistrain = graph::kInvalidNode;
+    if (spec.mistrainLabel) {
+        mistrain = g.addOperation(spec.mistrainLabel,
+                                  NodeRole::MistrainPredictor,
+                                  AttackStep::Setup);
+    }
+    const NodeId trigger = g.addOperation(
+        spec.triggerLabel, NodeRole::Trigger,
+        AttackStep::DelayedAuth);
+    const NodeId auth = g.addOperation(
+        spec.authLabel, NodeRole::Authorization,
+        AttackStep::DelayedAuth);
+    const NodeId squash = g.addOperation(
+        "Squash or commit", NodeRole::Squash,
+        AttackStep::DelayedAuth);
+    if (mistrain != graph::kInvalidNode)
+        g.addDependency(mistrain, trigger, EdgeKind::Resource);
+    g.addDependency(trigger, auth, EdgeKind::Data);
+    g.addDependency(auth, squash, EdgeKind::Control);
+
+    const NodeId access = g.addOperation(
+        accessLabel(recipe.source), NodeRole::SecretAccess,
+        AttackStep::Access);
+    // Intra-instruction triggers feed the access as a micro-op of
+    // the same instruction; prediction triggers reach it along the
+    // speculative fetch path.
+    g.addDependency(trigger, access,
+                    spec.intraInstruction ? EdgeKind::Data
+                                          : EdgeKind::Control);
+    g.addDependency(access, use, EdgeKind::Data);
+    return g;
+}
+
+std::optional<AttackVariant>
+knownVariantFor(const AttackRecipe &r)
+{
+    using enum TriggerKind;
+    using enum SecretSource;
+    // The published variants, located in the three-dimensional
+    // space (channel choice does not change the variant identity).
+    switch (r.trigger) {
+      case ConditionalBranch:
+        if (r.source == Memory)
+            return AttackVariant::SpectreV1;
+        return std::nullopt;
+      case IndirectBranch:
+        if (r.source == Memory)
+            return AttackVariant::SpectreV2;
+        return std::nullopt;
+      case ReturnAddress:
+        if (r.source == Memory)
+            return AttackVariant::SpectreRsb;
+        return std::nullopt;
+      case FaultingLoad:
+        switch (r.source) {
+          case Memory: return AttackVariant::Meltdown;
+          case Cache: return AttackVariant::Foreshadow;
+          case LineFillBuffer: return AttackVariant::ZombieLoad;
+          case StoreBuffer: return AttackVariant::Fallout;
+          case LoadPort: return AttackVariant::Ridl;
+          default: return std::nullopt;
+        }
+      case MsrRead:
+        if (r.source == SystemRegister)
+            return AttackVariant::MeltdownV3a;
+        return std::nullopt;
+      case FpAccess:
+        if (r.source == FpuRegister)
+            return AttackVariant::LazyFp;
+        return std::nullopt;
+      case MemoryDisambiguation:
+        if (r.source == StaleMemory)
+            return AttackVariant::SpectreV4;
+        return std::nullopt;
+      case TsxAbort:
+        switch (r.source) {
+          case Cache:
+          case StoreBuffer:
+          case LoadPort: return AttackVariant::Taa;
+          case LineFillBuffer: return AttackVariant::Cacheout;
+          default: return std::nullopt;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace specsec::core

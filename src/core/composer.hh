@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Attack composition (paper Section V-A): "any new combination of
+ * these three dimensions of an attack gives a new attack".
+ *
+ * The three dimensions are (1) the hardware feature that delays
+ * authorization while execution proceeds (the trigger), (2) the
+ * source of the secret, and (3) the covert channel.  composeAttack()
+ * builds the attack graph for an arbitrary combination; the
+ * cross-product minus the published variants is the space of
+ * new-attack candidates the model predicts.
+ */
+
+#ifndef SPECSEC_CORE_COMPOSER_HH
+#define SPECSEC_CORE_COMPOSER_HH
+
+#include <optional>
+#include <vector>
+
+#include "variants.hh"
+
+namespace specsec::core
+{
+
+/** The delayed-authorization mechanisms the paper identifies. */
+enum class TriggerKind : std::uint8_t
+{
+    ConditionalBranch,    ///< bounds-check resolution (v1 family)
+    IndirectBranch,       ///< BTB target resolution (v2)
+    ReturnAddress,        ///< RSB/return resolution (Spectre-RSB)
+    FaultingLoad,         ///< load permission/fault check (Meltdown)
+    MsrRead,              ///< RDMSR privilege check (v3a)
+    FpAccess,             ///< FPU ownership check (LazyFP)
+    MemoryDisambiguation, ///< store-load resolution (v4)
+    TsxAbort,             ///< transaction abort completion (TAA)
+};
+
+/** @return stable human-readable trigger name. */
+const char *triggerKindName(TriggerKind kind);
+
+/** All triggers, for sweeps. */
+const std::vector<TriggerKind> &allTriggerKinds();
+
+/** One point in the paper's three-dimensional attack space. */
+struct AttackRecipe
+{
+    TriggerKind trigger;
+    SecretSource source;
+    CovertChannelKind channel = CovertChannelKind::FlushReload;
+};
+
+/**
+ * Build the attack graph for an arbitrary recipe.  Mistraining
+ * setup is added for prediction-based triggers; faulting triggers
+ * get intra-instruction expansion.
+ */
+AttackGraph composeAttack(const AttackRecipe &recipe);
+
+/**
+ * @return the published variant matching this recipe, if any
+ *         (nullopt identifies a new-attack candidate).
+ */
+std::optional<AttackVariant> knownVariantFor(const AttackRecipe &r);
+
+/** Sources that make sense to compose (excludes AddressMapping,
+ *  which is a timing side channel rather than a data source). */
+const std::vector<SecretSource> &composableSources();
+
+} // namespace specsec::core
+
+#endif // SPECSEC_CORE_COMPOSER_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The defense catalog: every industry defense of Table II and every
+ * academia defense discussed in Section V-B, each classified under
+ * one of the paper's four defense strategies.  This encodes the
+ * paper's claim that "all currently proposed defenses, from both
+ * industry and academia, can be modelled by our defense strategies".
+ */
+
+#ifndef SPECSEC_CORE_DEFENSE_CATALOG_HH
+#define SPECSEC_CORE_DEFENSE_CATALOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "security_dependency.hh"
+#include "variants.hh"
+
+namespace specsec::core
+{
+
+/** Every defense mechanism the paper discusses. */
+enum class DefenseMechanism : std::uint8_t
+{
+    // Industry (Table II).
+    LFence,
+    MFence,
+    Kaiser,
+    Kpti,
+    DisableBranchPrediction,
+    Ibrs,
+    Stibp,
+    Ibpb,
+    InvalidatePredictorOnContextSwitch,
+    Retpoline,
+    CoarseAddressMasking,
+    DataDependentAddressMasking,
+    Ssbb,
+    Ssbs,
+    RsbStuffing,
+    // Academia (Section V-B).
+    ContextSensitiveFencing,
+    Sabc,
+    SpectreGuard,
+    Nda,
+    ConTExT,
+    SpecShield,
+    SpecShieldErpPlus,
+    Stt,
+    Dawg,
+    InvisiSpec,
+    SafeSpec,
+    ConditionalSpeculation,
+    EfficientInvisibleSpeculation,
+    CleanupSpec,
+};
+
+/** Who proposed the mechanism. */
+enum class DefenseOrigin : std::uint8_t
+{
+    Industry,
+    Academia,
+};
+
+/** Static description of a defense mechanism. */
+struct DefenseInfo
+{
+    DefenseMechanism mechanism;
+    const char *name;
+    DefenseOrigin origin;
+    DefenseStrategy strategy; ///< the paper strategy it falls under
+    const char *description;
+    std::vector<AttackVariant> designedAgainst;
+};
+
+/** @return the static description of @p mechanism. */
+const DefenseInfo &defenseInfo(DefenseMechanism mechanism);
+
+/** @return every cataloged mechanism. */
+const std::vector<DefenseMechanism> &allDefenseMechanisms();
+
+/** @return true if @p mechanism is designed against @p variant. */
+bool defenseApplies(DefenseMechanism mechanism, AttackVariant variant);
+
+/**
+ * Model @p mechanism on an attack graph: apply the strategy it falls
+ * under (the paper's equivalence between a working defense and an
+ * inserted security dependency).
+ *
+ * @return the security edges inserted.
+ */
+std::vector<graph::Edge> modelDefense(AttackGraph &g,
+                                      DefenseMechanism mechanism);
+
+} // namespace specsec::core
+
+#endif // SPECSEC_CORE_DEFENSE_CATALOG_HH

@@ -1,0 +1,58 @@
+#include "node_role.hh"
+
+namespace specsec::core
+{
+
+const char *
+nodeRoleName(NodeRole role)
+{
+    switch (role) {
+      case NodeRole::Setup: return "setup";
+      case NodeRole::MistrainPredictor: return "mistrain-predictor";
+      case NodeRole::PredictorFlush: return "predictor-flush";
+      case NodeRole::Trigger: return "trigger";
+      case NodeRole::Authorization: return "authorization";
+      case NodeRole::SecretAccess: return "secret-access";
+      case NodeRole::Use: return "use";
+      case NodeRole::Send: return "send";
+      case NodeRole::Receive: return "receive";
+      case NodeRole::Squash: return "squash";
+      case NodeRole::Other: return "other";
+    }
+    return "unknown";
+}
+
+const char *
+attackStepName(AttackStep step)
+{
+    switch (step) {
+      case AttackStep::Unspecified: return "unspecified";
+      case AttackStep::FindSecret: return "step0-find-secret";
+      case AttackStep::Setup: return "step1-setup";
+      case AttackStep::DelayedAuth: return "step2-delayed-auth";
+      case AttackStep::Access: return "step3-secret-access";
+      case AttackStep::UseSend: return "step4-use-and-send";
+      case AttackStep::Receive: return "step5-receive";
+    }
+    return "unknown";
+}
+
+bool
+isPartA(AttackStep step, NodeRole role)
+{
+    if (step == AttackStep::Setup)
+        return role == NodeRole::MistrainPredictor;
+    return step == AttackStep::FindSecret ||
+           step == AttackStep::DelayedAuth ||
+           step == AttackStep::Access;
+}
+
+bool
+isPartB(AttackStep step, NodeRole role)
+{
+    if (step == AttackStep::Setup)
+        return role != NodeRole::MistrainPredictor;
+    return step == AttackStep::UseSend || step == AttackStep::Receive;
+}
+
+} // namespace specsec::core

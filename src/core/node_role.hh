@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Operation roles and attack steps for attack graphs.
+ *
+ * Section IV-B of the paper requires four vertex types in every
+ * attack graph: authorization operations, the sender's secret access,
+ * the sender's send (micro-architectural state change), and the
+ * receiver's secret retrieval.  We add the auxiliary roles that the
+ * paper's figures use (setup, mistraining, trigger instruction,
+ * squash) so the full figures can be reconstructed.
+ *
+ * Section III decomposes every speculative attack into steps 0-5;
+ * AttackStep records which step an operation belongs to, and the
+ * partA()/partB() helpers reproduce the paper's A/B split (secret
+ * access vs. covert channel).
+ */
+
+#ifndef SPECSEC_CORE_NODE_ROLE_HH
+#define SPECSEC_CORE_NODE_ROLE_HH
+
+#include <cstdint>
+
+namespace specsec::core
+{
+
+/** Role of an operation vertex in an attack graph. */
+enum class NodeRole : std::uint8_t
+{
+    Setup,             ///< covert channel preparation (e.g. clflush)
+    MistrainPredictor, ///< attacker steering of a hardware predictor
+    PredictorFlush,    ///< defensive predictor clearing (strategy 4)
+    Trigger,           ///< instruction initiating delayed authorization
+    Authorization,     ///< completion of the authorization check
+    SecretAccess,      ///< sender's illegal access of the secret
+    Use,               ///< transformation of the secret (compute R)
+    Send,              ///< micro-architectural state change (send)
+    Receive,           ///< receiver's retrieval via the covert channel
+    Squash,            ///< pipeline squash-or-commit after resolution
+    Other,             ///< any other operation
+};
+
+/** @return stable human-readable role name. */
+const char *nodeRoleName(NodeRole role);
+
+/** The 6-step attack decomposition of Section III. */
+enum class AttackStep : std::uint8_t
+{
+    Unspecified,
+    FindSecret,  ///< step 0: locate the secret
+    Setup,       ///< step 1: channel setup + access setup
+    DelayedAuth, ///< step 2: authorization delayed, window opens
+    Access,      ///< step 3: sender illegally accesses the secret
+    UseSend,     ///< step 4: transform + send the secret
+    Receive,     ///< step 5: receiver retrieves the secret
+};
+
+/** @return stable human-readable step name. */
+const char *attackStepName(AttackStep step);
+
+/**
+ * @return true if the operation belongs to part A (secret access):
+ *         steps 0, 1(b), 2 and 3.  Step 1 splits by role: predictor
+ *         mistraining is 1(b) (part A), channel setup is 1(a)
+ *         (part B).
+ */
+bool isPartA(AttackStep step, NodeRole role);
+
+/**
+ * @return true if the operation belongs to part B (covert channel):
+ *         steps 1(a), 4 and 5.
+ */
+bool isPartB(AttackStep step, NodeRole role);
+
+} // namespace specsec::core
+
+#endif // SPECSEC_CORE_NODE_ROLE_HH

@@ -1,0 +1,108 @@
+#include "security_dependency.hh"
+
+namespace specsec::core
+{
+
+const char *
+defenseStrategyName(DefenseStrategy strategy)
+{
+    switch (strategy) {
+      case DefenseStrategy::PreventAccess:
+        return "1-prevent-access-before-authorization";
+      case DefenseStrategy::PreventUse:
+        return "2-prevent-use-before-authorization";
+      case DefenseStrategy::PreventSend:
+        return "3-prevent-send-before-authorization";
+      case DefenseStrategy::ClearPredictions:
+        return "4-clear-predictions";
+    }
+    return "unknown";
+}
+
+std::vector<DefenseStrategy>
+allDefenseStrategies()
+{
+    return {DefenseStrategy::PreventAccess, DefenseStrategy::PreventUse,
+            DefenseStrategy::PreventSend,
+            DefenseStrategy::ClearPredictions};
+}
+
+namespace
+{
+
+/** Insert auth -> node security edges for every node of @p role. */
+std::vector<graph::Edge>
+protectRole(AttackGraph &g, NodeRole role)
+{
+    std::vector<graph::Edge> added;
+    for (NodeId auth : g.authorizationNodes()) {
+        for (NodeId target : g.nodesWithRole(role)) {
+            if (!g.tsg().hasEdge(auth, target) &&
+                g.addSecurityDependency(auth, target)) {
+                added.push_back(
+                    {auth, target, EdgeKind::Security});
+            }
+        }
+    }
+    return added;
+}
+
+/** Splice a PredictorFlush node into mistrain -> trigger edges. */
+std::vector<graph::Edge>
+clearPredictions(AttackGraph &g)
+{
+    std::vector<graph::Edge> added;
+    const auto mistrains = g.nodesWithRole(NodeRole::MistrainPredictor);
+    const auto triggers = g.nodesWithRole(NodeRole::Trigger);
+    for (NodeId m : mistrains) {
+        for (NodeId t : triggers) {
+            if (!g.tsg().hasEdge(m, t))
+                continue;
+            g.tsg().removeEdge(m, t);
+            const NodeId flush = g.addOperation(
+                "Flush predictor state (context switch)",
+                NodeRole::PredictorFlush, AttackStep::Setup);
+            g.addDependency(m, flush, EdgeKind::Resource);
+            g.addSecurityDependency(flush, t);
+            added.push_back({flush, t, EdgeKind::Security});
+        }
+    }
+    return added;
+}
+
+} // anonymous namespace
+
+std::vector<graph::Edge>
+applyDefense(AttackGraph &g, DefenseStrategy strategy)
+{
+    switch (strategy) {
+      case DefenseStrategy::PreventAccess:
+        return protectRole(g, NodeRole::SecretAccess);
+      case DefenseStrategy::PreventUse:
+        return protectRole(g, NodeRole::Use);
+      case DefenseStrategy::PreventSend:
+        return protectRole(g, NodeRole::Send);
+      case DefenseStrategy::ClearPredictions:
+        return clearPredictions(g);
+    }
+    return {};
+}
+
+bool
+applyTargetedDependency(AttackGraph &g, NodeId authorization,
+                        NodeId protected_op)
+{
+    return g.addSecurityDependency(authorization, protected_op);
+}
+
+bool
+defenseBlocks(const AttackGraph &g, DefenseStrategy strategy)
+{
+    AttackGraph copy = g;
+    const auto added = applyDefense(copy, strategy);
+    if (added.empty())
+        return false; // nothing to protect: the strategy is a no-op
+    return !copy.isVulnerable();
+}
+
+} // namespace specsec::core

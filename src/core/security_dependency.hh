@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Security dependencies (Definition 2) and the four defense
+ * strategies of Section V-B.
+ *
+ * A security dependency orders an authorization operation before a
+ * protected operation.  The strategies differ in *which* operation is
+ * protected:
+ *
+ *   1 PreventAccess  -- authorization before the secret access,
+ *   2 PreventUse     -- authorization before use of accessed data,
+ *   3 PreventSend    -- authorization before the micro-architectural
+ *                       state change that sends the secret,
+ *   4 ClearPredictions -- cut predictor-mistraining influence on the
+ *                       trigger instruction (IBPB-style).
+ *
+ * applyDefense() edits an AttackGraph in place; defenseBlocks()
+ * answers the paper's key question -- does this defense defeat this
+ * attack, and why -- by re-running the attack-success analysis.
+ */
+
+#ifndef SPECSEC_CORE_SECURITY_DEPENDENCY_HH
+#define SPECSEC_CORE_SECURITY_DEPENDENCY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack_graph.hh"
+
+namespace specsec::core
+{
+
+/** The paper's four defense strategies (Fig. 8 circled 1-4). */
+enum class DefenseStrategy : std::uint8_t
+{
+    PreventAccess = 1,
+    PreventUse = 2,
+    PreventSend = 3,
+    ClearPredictions = 4,
+};
+
+/** @return stable human-readable strategy name. */
+const char *defenseStrategyName(DefenseStrategy strategy);
+
+/** All four strategies, for sweeps. */
+std::vector<DefenseStrategy> allDefenseStrategies();
+
+/**
+ * Apply a defense strategy to @p g in place.
+ *
+ * Strategies 1-3 insert security-dependency edges from every
+ * authorization node to every node of the protected role.
+ * Strategy 4 splices a PredictorFlush node into every
+ * mistrain -> trigger influence edge.
+ *
+ * @return the security edges inserted (empty when the strategy has no
+ *         applicable target, e.g. strategy 4 on Meltdown).
+ */
+std::vector<graph::Edge> applyDefense(AttackGraph &g,
+                                      DefenseStrategy strategy);
+
+/**
+ * Insert one targeted security dependency authorization -> node
+ * (a single red dashed arrow in Fig. 4), for studying partial
+ * defenses such as the insufficiency example of Section V-B.
+ *
+ * @return true if the edge was inserted (or already present).
+ */
+bool applyTargetedDependency(AttackGraph &g, NodeId authorization,
+                             NodeId protected_op);
+
+/**
+ * Decide whether a strategy blocks the attack modeled by @p g:
+ * copies the graph, applies the strategy, and re-evaluates
+ * AttackGraph::isVulnerable().
+ */
+bool defenseBlocks(const AttackGraph &g, DefenseStrategy strategy);
+
+} // namespace specsec::core
+
+#endif // SPECSEC_CORE_SECURITY_DEPENDENCY_HH

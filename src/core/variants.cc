@@ -1,0 +1,531 @@
+#include "variants.hh"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace specsec::core
+{
+
+const char *
+secretSourceName(SecretSource source)
+{
+    switch (source) {
+      case SecretSource::Memory: return "memory";
+      case SecretSource::Cache: return "cache";
+      case SecretSource::LineFillBuffer: return "line-fill-buffer";
+      case SecretSource::StoreBuffer: return "store-buffer";
+      case SecretSource::LoadPort: return "load-port";
+      case SecretSource::SystemRegister: return "system-register";
+      case SecretSource::FpuRegister: return "fpu-register";
+      case SecretSource::StaleMemory: return "stale-memory";
+      case SecretSource::AddressMapping: return "address-mapping";
+    }
+    return "unknown";
+}
+
+const char *
+covertChannelName(CovertChannelKind kind)
+{
+    switch (kind) {
+      case CovertChannelKind::FlushReload: return "flush-reload";
+      case CovertChannelKind::PrimeProbe: return "prime-probe";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+using enum AttackVariant;
+using enum AttackClass;
+using enum SecretSource;
+
+const std::vector<VariantInfo> kVariantTable = {
+    {SpectreV1, "Spectre v1", "CVE-2017-5753",
+     "Boundary check bypass",
+     "Boundary-check branch resolution",
+     "Read out-of-bounds memory",
+     SpectreType, "Fig. 1", {Memory},
+     true, false, true, true},
+    {SpectreV1_1, "Spectre v1.1", "CVE-2018-3693",
+     "Speculative buffer overflow",
+     "Boundary-check branch resolution",
+     "Write out-of-bounds memory",
+     SpectreType, "Fig. 1", {Memory},
+     true, false, true, true},
+    {SpectreV1_2, "Spectre v1.2", "N/A",
+     "Overwrite read-only memory",
+     "Page read-only bit check",
+     "Write read-only memory",
+     SpectreType, "Fig. 1", {Memory},
+     true, false, true, true},
+    {SpectreV2, "Spectre v2", "CVE-2017-5715",
+     "Branch target injection",
+     "Indirect branch target resolution",
+     "Execute code not intended to be executed",
+     SpectreType, "Fig. 1", {Memory},
+     true, false, true, true},
+    {Meltdown, "Meltdown (Spectre v3)", "CVE-2017-5754",
+     "Kernel content leakage to unprivileged attacker",
+     "Kernel privilege check",
+     "Read from kernel memory",
+     MeltdownType, "Fig. 3", {Memory},
+     false, true, true, true},
+    {MeltdownV3a, "Meltdown variant 1 (Spectre v3a)", "CVE-2018-3640",
+     "System register value leakage to unprivileged attacker",
+     "RDMSR instruction privilege check",
+     "Read system register",
+     MeltdownType, "Fig. 5", {SystemRegister},
+     false, true, true, true},
+    {SpectreV4, "Spectre v4", "CVE-2018-3639",
+     "Speculative store bypass, read stale data in memory",
+     "Store-load address dependency resolution",
+     "Read stale data",
+     SpectreType, "Fig. 6", {StaleMemory},
+     false, true, true, true},
+    {SpectreRsb, "Spectre RSB", "CVE-2018-15572",
+     "Return mis-predict, execute wrong code",
+     "Return target resolution",
+     "Execute code not intended to be executed",
+     SpectreType, "Fig. 1", {Memory},
+     true, false, true, true},
+    {Foreshadow, "Foreshadow (L1 Terminal Fault)", "CVE-2018-3615",
+     "SGX enclave memory leakage",
+     "Page permission check",
+     "Read enclave data in L1 cache from outside enclave",
+     MeltdownType, "Fig. 4", {Cache},
+     false, true, true, true},
+    {ForeshadowOs, "Foreshadow-OS", "CVE-2018-3620",
+     "OS memory leakage",
+     "Page permission check",
+     "Read kernel data in cache",
+     MeltdownType, "Fig. 4", {Cache},
+     false, true, true, true},
+    {ForeshadowVmm, "Foreshadow-VMM", "CVE-2018-3646",
+     "VMM memory leakage",
+     "Page permission check",
+     "Read VMM data in cache",
+     MeltdownType, "Fig. 4", {Cache},
+     false, true, true, true},
+    {LazyFp, "Lazy FP", "CVE-2018-3665",
+     "Leak of FPU state",
+     "FPU owner check",
+     "Read stale FPU state",
+     MeltdownType, "Fig. 5", {FpuRegister},
+     false, true, true, true},
+    {Spoiler, "Spoiler", "CVE-2019-0162",
+     "Virtual-to-physical address mapping leakage",
+     "Store-load address dependency resolution (partial match)",
+     "Observe address-dependent store-buffer timing",
+     SpectreType, "-", {AddressMapping},
+     false, true, true, false},
+    {Ridl, "RIDL", "CVE-2018-12126/12127",
+     "In-flight data leakage across privilege boundaries",
+     "Load fault check",
+     "Forward data from fill buffer and load port",
+     MeltdownType, "Fig. 4", {LineFillBuffer, LoadPort},
+     false, true, false, true},
+    {ZombieLoad, "ZombieLoad", "CVE-2018-12130",
+     "Cross-privilege-boundary data sampling",
+     "Load fault check",
+     "Forward data from fill buffer",
+     MeltdownType, "Fig. 4", {LineFillBuffer},
+     false, true, false, true},
+    {Fallout, "Fallout", "CVE-2018-12126",
+     "Leaking data on Meltdown-resistant CPUs",
+     "Load fault check",
+     "Forward data from store buffer",
+     MeltdownType, "Fig. 4", {StoreBuffer},
+     false, true, false, true},
+    {Lvi, "LVI", "CVE-2020-0551",
+     "Load value injection into victim transient execution",
+     "Load fault check",
+     "Forward data from micro-architectural buffers (L1D cache, load "
+     "port, store buffer and line fill buffer)",
+     MeltdownType, "Fig. 7",
+     {Cache, LoadPort, StoreBuffer, LineFillBuffer},
+     false, true, false, true},
+    {Taa, "TAA", "CVE-2019-11135",
+     "TSX asynchronous abort data leakage",
+     "TSX Asynchronous Abort Completion",
+     "Load data from L1D cache, store or load buffers",
+     MeltdownType, "Fig. 4", {Cache, StoreBuffer, LoadPort},
+     false, true, false, true},
+    {Cacheout, "CacheOut", "CVE-2020-0549",
+     "Leaking data on Intel CPUs via cache evictions",
+     "TSX Asynchronous Abort Completion",
+     "Forward data from fill buffer",
+     MeltdownType, "Fig. 4", {LineFillBuffer},
+     false, true, false, true},
+};
+
+/** Channel vertices shared by every attack graph. */
+struct ChannelNodes
+{
+    NodeId setup = graph::kInvalidNode;   ///< flush / prime
+    NodeId use = graph::kInvalidNode;     ///< compute load address R
+    NodeId send = graph::kInvalidNode;    ///< load R to cache / evict
+    NodeId receive = graph::kInvalidNode; ///< reload / probe
+    NodeId measure = graph::kInvalidNode; ///< measure time
+};
+
+/**
+ * Add the covert-channel half (steps 1a, 4, 5) of an attack graph:
+ * setup -> ... -> send -> receive -> measure, with the "use" node
+ * (compute R) ready to be fed by the variant's secret access.
+ */
+ChannelNodes
+addChannel(AttackGraph &g, CovertChannelKind kind)
+{
+    ChannelNodes ch;
+    if (kind == CovertChannelKind::FlushReload) {
+        ch.setup = g.addOperation("Flush Array_A (clflush)",
+                                  NodeRole::Setup, AttackStep::Setup);
+        ch.use = g.addOperation("Compute load address R from secret",
+                                NodeRole::Use, AttackStep::UseSend);
+        ch.send = g.addOperation("Load R to cache",
+                                 NodeRole::Send, AttackStep::UseSend);
+        ch.receive = g.addOperation("Reload Array_A",
+                                    NodeRole::Receive,
+                                    AttackStep::Receive);
+        ch.measure = g.addOperation("Measure access time",
+                                    NodeRole::Receive,
+                                    AttackStep::Receive);
+    } else {
+        ch.setup = g.addOperation("Prime cache sets with attacker data",
+                                  NodeRole::Setup, AttackStep::Setup);
+        ch.use = g.addOperation("Compute load address R from secret",
+                                NodeRole::Use, AttackStep::UseSend);
+        ch.send = g.addOperation("Load R: evict attacker line",
+                                 NodeRole::Send, AttackStep::UseSend);
+        ch.receive = g.addOperation("Probe cache sets",
+                                    NodeRole::Receive,
+                                    AttackStep::Receive);
+        ch.measure = g.addOperation("Measure access time",
+                                    NodeRole::Receive,
+                                    AttackStep::Receive);
+    }
+    g.addDependency(ch.use, ch.send, EdgeKind::Address);
+    g.addDependency(ch.setup, ch.send, EdgeKind::Resource);
+    g.addDependency(ch.send, ch.receive, EdgeKind::Resource);
+    g.addDependency(ch.receive, ch.measure, EdgeKind::Data);
+    return ch;
+}
+
+/**
+ * Build a Fig. 1-shaped graph: misprediction-triggered attack where
+ * the authorization is the (delayed) resolution of a prediction.
+ */
+AttackGraph
+buildPredictionGraph(const VariantInfo &info, CovertChannelKind kind,
+                     const char *mistrain_label,
+                     const char *trigger_label)
+{
+    AttackGraph g;
+    g.setName(info.name);
+    const ChannelNodes ch = addChannel(g, kind);
+    NodeId mistrain = graph::kInvalidNode;
+    if (info.requiresMistraining) {
+        mistrain = g.addOperation(mistrain_label,
+                                  NodeRole::MistrainPredictor,
+                                  AttackStep::Setup);
+    }
+    const NodeId trigger = g.addOperation(
+        trigger_label, NodeRole::Trigger, AttackStep::DelayedAuth);
+    const NodeId resolve = g.addOperation(
+        info.authorization, NodeRole::Authorization,
+        AttackStep::DelayedAuth);
+    const NodeId access = g.addOperation(
+        info.illegalAccess, NodeRole::SecretAccess, AttackStep::Access);
+    const NodeId squash = g.addOperation(
+        "Squash or commit", NodeRole::Squash, AttackStep::DelayedAuth);
+
+    if (mistrain != graph::kInvalidNode)
+        g.addDependency(mistrain, trigger, EdgeKind::Resource);
+    g.addDependency(trigger, resolve, EdgeKind::Data);
+    g.addDependency(trigger, access, EdgeKind::Control);
+    g.addDependency(access, ch.use, EdgeKind::Data);
+    g.addDependency(resolve, squash, EdgeKind::Control);
+    return g;
+}
+
+/**
+ * Build a Fig. 3/4-shaped graph: a faulting access whose
+ * authorization (permission/fault check) and secret access live in
+ * the same instruction, possibly with several alternative sources.
+ */
+AttackGraph
+buildFaultingAccessGraph(const VariantInfo &info, CovertChannelKind kind,
+                         const char *trigger_label,
+                         const std::vector<std::string> &source_labels,
+                         const char *squash_label)
+{
+    AttackGraph g;
+    g.setName(info.name);
+    const ChannelNodes ch = addChannel(g, kind);
+    const NodeId trigger = g.addOperation(
+        trigger_label, NodeRole::Trigger, AttackStep::DelayedAuth);
+    const NodeId check = g.addOperation(
+        info.authorization, NodeRole::Authorization,
+        AttackStep::DelayedAuth);
+    const NodeId squash = g.addOperation(
+        squash_label, NodeRole::Squash, AttackStep::DelayedAuth);
+    g.addDependency(trigger, check, EdgeKind::Data);
+    g.addDependency(check, squash, EdgeKind::Control);
+    for (const std::string &label : source_labels) {
+        const NodeId access = g.addOperation(
+            label, NodeRole::SecretAccess, AttackStep::Access);
+        g.addDependency(trigger, access, EdgeKind::Data);
+        g.addDependency(access, ch.use, EdgeKind::Data);
+    }
+    return g;
+}
+
+/** Source labels for the Fig. 4 style multi-source graphs. */
+std::string
+sourceLabel(SecretSource source)
+{
+    switch (source) {
+      case Memory: return "Read S from memory";
+      case Cache: return "Read S from cache";
+      case LineFillBuffer: return "Read S from line fill buffer";
+      case StoreBuffer: return "Read S from store buffer";
+      case LoadPort: return "Read S from load port";
+      case SystemRegister: return "Read S from special register";
+      case FpuRegister: return "Read S from FPU";
+      case StaleMemory: return "Read stale data S";
+      case AddressMapping: return "Observe address-dependent timing";
+    }
+    return "Read S";
+}
+
+} // anonymous namespace
+
+const VariantInfo &
+variantInfo(AttackVariant variant)
+{
+    for (const VariantInfo &info : kVariantTable) {
+        if (info.variant == variant)
+            return info;
+    }
+    throw std::invalid_argument("variantInfo: unknown variant");
+}
+
+const std::vector<AttackVariant> &
+allVariants()
+{
+    static const std::vector<AttackVariant> all = [] {
+        std::vector<AttackVariant> v;
+        for (const VariantInfo &info : kVariantTable)
+            v.push_back(info.variant);
+        return v;
+    }();
+    return all;
+}
+
+std::vector<AttackVariant>
+tableIIIVariants()
+{
+    std::vector<AttackVariant> v;
+    for (const VariantInfo &info : kVariantTable) {
+        if (info.inTableIII)
+            v.push_back(info.variant);
+    }
+    return v;
+}
+
+std::vector<AttackVariant>
+tableIVariants()
+{
+    std::vector<AttackVariant> v;
+    for (const VariantInfo &info : kVariantTable) {
+        if (info.inTableI)
+            v.push_back(info.variant);
+    }
+    return v;
+}
+
+AttackGraph
+buildAttackGraph(AttackVariant variant, CovertChannelKind channel)
+{
+    const VariantInfo &info = variantInfo(variant);
+    switch (variant) {
+      case SpectreV1:
+        return buildPredictionGraph(
+            info, channel, "Mistrain branch predictor",
+            "Conditional branch instruction (bounds check)");
+      case SpectreV1_1:
+        return buildPredictionGraph(
+            info, channel, "Mistrain branch predictor",
+            "Conditional branch instruction (bounds check)");
+      case SpectreV1_2:
+        return buildPredictionGraph(
+            info, channel, "Mistrain branch predictor",
+            "Speculated store instruction (read-only page)");
+      case SpectreV2:
+        return buildPredictionGraph(
+            info, channel, "Mistrain BTB (branch target injection)",
+            "Indirect branch instruction");
+      case SpectreRsb:
+        return buildPredictionGraph(
+            info, channel, "Underfill / poison return stack buffer",
+            "Return instruction");
+      case Meltdown:
+        return buildFaultingAccessGraph(
+            info, channel, "Load instruction (kernel address)",
+            {info.illegalAccess}, "Load exception: squash pipeline");
+      case MeltdownV3a:
+        return buildFaultingAccessGraph(
+            info, channel, "RDMSR instruction",
+            {info.illegalAccess},
+            "Privilege exception: squash pipeline");
+      case LazyFp: {
+        AttackGraph g = buildFaultingAccessGraph(
+            info, channel, "First FP instruction after context switch",
+            {info.illegalAccess}, "FPU fault: squash pipeline");
+        const NodeId lazy = g.addOperation(
+            "Context switch without FPU state save", NodeRole::Setup,
+            AttackStep::Setup);
+        const auto trigger = g.nodesWithRole(NodeRole::Trigger);
+        g.addDependency(lazy, trigger.front(), EdgeKind::Resource);
+        return g;
+      }
+      case Foreshadow:
+      case ForeshadowOs:
+      case ForeshadowVmm:
+        return buildFaultingAccessGraph(
+            info, channel,
+            "Load instruction (PTE not present / reserved bits)",
+            {info.illegalAccess}, "Terminal fault: squash pipeline");
+      case Ridl:
+      case ZombieLoad:
+      case Fallout: {
+        std::vector<std::string> labels;
+        for (SecretSource s : info.sources)
+            labels.push_back(sourceLabel(s));
+        return buildFaultingAccessGraph(
+            info, channel, "Faulting load instruction", labels,
+            "Load exception: squash pipeline");
+      }
+      case Taa:
+      case Cacheout: {
+        std::vector<std::string> labels;
+        for (SecretSource s : info.sources)
+            labels.push_back(sourceLabel(s));
+        return buildFaultingAccessGraph(
+            info, channel,
+            "TSX transaction load (asynchronous abort)", labels,
+            "Transaction abort: roll back");
+      }
+      case SpectreV4: {
+        AttackGraph g;
+        g.setName(info.name);
+        const ChannelNodes ch = addChannel(g, channel);
+        const NodeId store = g.addOperation(
+            "Store: overwrite stale secret S at address A",
+            NodeRole::Other, AttackStep::DelayedAuth);
+        const NodeId load = g.addOperation(
+            "Load instruction (address A)", NodeRole::Trigger,
+            AttackStep::DelayedAuth);
+        const NodeId disamb = g.addOperation(
+            info.authorization, NodeRole::Authorization,
+            AttackStep::DelayedAuth);
+        const NodeId access = g.addOperation(
+            info.illegalAccess, NodeRole::SecretAccess,
+            AttackStep::Access);
+        const NodeId squash = g.addOperation(
+            "Squash or commit", NodeRole::Squash,
+            AttackStep::DelayedAuth);
+        g.addDependency(store, disamb, EdgeKind::Address);
+        g.addDependency(load, disamb, EdgeKind::Address);
+        g.addDependency(load, access, EdgeKind::Data);
+        g.addDependency(access, ch.use, EdgeKind::Data);
+        g.addDependency(disamb, squash, EdgeKind::Control);
+        return g;
+      }
+      case Lvi: {
+        AttackGraph g;
+        g.setName(info.name);
+        const ChannelNodes ch = addChannel(g, channel);
+        const NodeId plant = g.addOperation(
+            "Place malicious value M in hardware buffers",
+            NodeRole::Setup, AttackStep::Setup);
+        const NodeId load = g.addOperation(
+            "Victim faulting load instruction", NodeRole::Trigger,
+            AttackStep::DelayedAuth);
+        const NodeId check = g.addOperation(
+            info.authorization, NodeRole::Authorization,
+            AttackStep::DelayedAuth);
+        const NodeId squash = g.addOperation(
+            "Load exception: squash pipeline", NodeRole::Squash,
+            AttackStep::DelayedAuth);
+        g.addDependency(load, check, EdgeKind::Data);
+        g.addDependency(check, squash, EdgeKind::Control);
+        const NodeId divert = g.addOperation(
+            "Victim's control or data flow diverted by M",
+            NodeRole::Use, AttackStep::Access);
+        for (SecretSource s : info.sources) {
+            const std::string label =
+                "Read M from " + std::string(secretSourceName(s));
+            const NodeId read_m = g.addOperation(
+                label, NodeRole::SecretAccess, AttackStep::Access);
+            g.addDependency(plant, read_m, EdgeKind::Resource);
+            g.addDependency(load, read_m, EdgeKind::Data);
+            g.addDependency(read_m, divert, EdgeKind::Data);
+        }
+        const NodeId load_s = g.addOperation(
+            "Load S (victim secret at attacker-chosen location)",
+            NodeRole::SecretAccess, AttackStep::Access);
+        g.addDependency(divert, load_s, EdgeKind::Data);
+        g.addDependency(load_s, ch.use, EdgeKind::Data);
+        return g;
+      }
+      case Spoiler: {
+        AttackGraph g;
+        g.setName(info.name);
+        const NodeId stores = g.addOperation(
+            "Repeated stores with 1MB-aliased addresses",
+            NodeRole::Other, AttackStep::Setup);
+        const NodeId load = g.addOperation(
+            "Load instruction (aliased address)", NodeRole::Trigger,
+            AttackStep::DelayedAuth);
+        const NodeId disamb = g.addOperation(
+            info.authorization, NodeRole::Authorization,
+            AttackStep::DelayedAuth);
+        const NodeId probe = g.addOperation(
+            info.illegalAccess, NodeRole::SecretAccess,
+            AttackStep::Access);
+        const NodeId stall = g.addOperation(
+            "Store-buffer dependency stall (timing state change)",
+            NodeRole::Send, AttackStep::UseSend);
+        const NodeId measure = g.addOperation(
+            "Measure load latency", NodeRole::Receive,
+            AttackStep::Receive);
+        g.addDependency(stores, disamb, EdgeKind::Address);
+        g.addDependency(load, disamb, EdgeKind::Address);
+        g.addDependency(load, probe, EdgeKind::Data);
+        g.addDependency(probe, stall, EdgeKind::Data);
+        g.addDependency(stall, measure, EdgeKind::Data);
+        return g;
+      }
+    }
+    throw std::invalid_argument("buildAttackGraph: unknown variant");
+}
+
+AttackGraph
+buildFigure4Graph(CovertChannelKind channel)
+{
+    VariantInfo info = variantInfo(AttackVariant::Meltdown);
+    info.name = "Meltdown/Foreshadow/MDS (Fig. 4)";
+    std::vector<std::string> labels = {
+        sourceLabel(Memory), sourceLabel(Cache), sourceLabel(LoadPort),
+        sourceLabel(LineFillBuffer), sourceLabel(StoreBuffer)};
+    AttackGraph g = buildFaultingAccessGraph(
+        info, channel, "Load instruction", labels,
+        "Load exception: squash pipeline");
+    g.setName("Meltdown/Foreshadow/MDS (Fig. 4)");
+    return g;
+}
+
+} // namespace specsec::core

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The attack-variant catalog: metadata (Tables I and III) and attack
+ * graph builders (Figs. 1, 3, 4, 5, 6, 7) for every speculative
+ * execution attack the paper models.
+ */
+
+#ifndef SPECSEC_CORE_VARIANTS_HH
+#define SPECSEC_CORE_VARIANTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack_graph.hh"
+
+namespace specsec::core
+{
+
+/** Every attack variant the paper catalogs. */
+enum class AttackVariant : std::uint8_t
+{
+    SpectreV1,
+    SpectreV1_1,
+    SpectreV1_2,
+    SpectreV2,
+    Meltdown,
+    MeltdownV3a,
+    SpectreV4,
+    SpectreRsb,
+    Foreshadow,
+    ForeshadowOs,
+    ForeshadowVmm,
+    LazyFp,
+    Spoiler,
+    Ridl,
+    ZombieLoad,
+    Fallout,
+    Lvi,
+    Taa,
+    Cacheout,
+};
+
+/**
+ * The paper's structural split (insight 6): Spectre-type attacks are
+ * triggered by mispredictions and can be modeled at the instruction
+ * level; Meltdown-type attacks have authorization and access inside
+ * the same instruction and require intra-instruction (micro-op)
+ * modeling.
+ */
+enum class AttackClass : std::uint8_t
+{
+    SpectreType,
+    MeltdownType,
+};
+
+/** Where the illegally accessed secret comes from (Figs. 4, 5). */
+enum class SecretSource : std::uint8_t
+{
+    Memory,
+    Cache,
+    LineFillBuffer,
+    StoreBuffer,
+    LoadPort,
+    SystemRegister,
+    FpuRegister,
+    StaleMemory,
+    AddressMapping, ///< Spoiler: physical-address bits via timing
+};
+
+/** @return stable human-readable source name. */
+const char *secretSourceName(SecretSource source);
+
+/** Static description of one attack variant (Tables I + III). */
+struct VariantInfo
+{
+    AttackVariant variant;
+    const char *name;
+    const char *cve;
+    const char *impact;        ///< Table I "Impact" column
+    const char *authorization; ///< Table III "Authorization" column
+    const char *illegalAccess; ///< Table III "Illegal Access" column
+    AttackClass klass;
+    const char *figure; ///< which paper figure models it
+    std::vector<SecretSource> sources;
+    bool requiresMistraining;  ///< needs predictor steering (step 1b)
+    bool intraInstruction;     ///< needs micro-op level modeling
+    bool inTableI;             ///< listed among the first 13 attacks
+    bool inTableIII;           ///< has authorization/access entries
+};
+
+/** @return the static description of @p variant. */
+const VariantInfo &variantInfo(AttackVariant variant);
+
+/** @return every variant, in Table III order (plus Spoiler). */
+const std::vector<AttackVariant> &allVariants();
+
+/** @return the variants listed in Table III (18 entries). */
+std::vector<AttackVariant> tableIIIVariants();
+
+/** @return the variants listed in Table I (13 entries). */
+std::vector<AttackVariant> tableIVariants();
+
+/** Covert channel used for the send/receive half of the graph. */
+enum class CovertChannelKind : std::uint8_t
+{
+    FlushReload,
+    PrimeProbe,
+};
+
+/** @return stable human-readable channel name. */
+const char *covertChannelName(CovertChannelKind kind);
+
+/**
+ * Build the attack graph for @p variant, reproducing the paper's
+ * figure for that variant (see VariantInfo::figure).  The graph
+ * carries the Table III authorization/access strings as the labels
+ * of the authorization and secret-access nodes.
+ */
+AttackGraph
+buildAttackGraph(AttackVariant variant,
+                 CovertChannelKind channel = CovertChannelKind::FlushReload);
+
+/**
+ * Build the combined Meltdown/Foreshadow/MDS graph of Fig. 4 with all
+ * four-plus-one secret sources (memory, cache, load port, line fill
+ * buffer, store buffer), used by the defense-placement study.
+ */
+AttackGraph
+buildFigure4Graph(CovertChannelKind channel = CovertChannelKind::FlushReload);
+
+} // namespace specsec::core
+
+#endif // SPECSEC_CORE_VARIANTS_HH

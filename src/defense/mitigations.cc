@@ -1,0 +1,125 @@
+#include "mitigations.hh"
+
+namespace specsec::defense
+{
+
+bool
+applyMitigation(DefenseMechanism mechanism, CpuConfig &config,
+                AttackOptions &options)
+{
+    using enum DefenseMechanism;
+    switch (mechanism) {
+      case LFence:
+      case MFence:
+      case Sabc:
+        options.softwareLfence = true;
+        return true;
+      case ContextSensitiveFencing:
+        config.defense.fenceSpeculativeLoads = true;
+        return true;
+      case Kaiser:
+      case Kpti:
+        options.kpti = true;
+        return true;
+      case DisableBranchPrediction:
+        config.defense.noBranchPrediction = true;
+        return true;
+      case Ibrs:
+      case Stibp:
+      case Ibpb:
+      case InvalidatePredictorOnContextSwitch:
+        config.defense.flushPredictorOnContextSwitch = true;
+        return true;
+      case Retpoline:
+        config.defense.noIndirectPrediction = true;
+        return true;
+      case CoarseAddressMasking:
+      case DataDependentAddressMasking:
+        options.addressMasking = true;
+        return true;
+      case Ssbb:
+      case Ssbs:
+        config.defense.safeStoreBypass = true;
+        return true;
+      case RsbStuffing:
+        options.rsbStuffing = true;
+        return true;
+      case SpectreGuard:
+      case Nda:
+      case ConTExT:
+      case SpecShield:
+        config.defense.blockSpeculativeForwarding = true;
+        return true;
+      case SpecShieldErpPlus:
+      case Stt:
+        config.defense.blockTaintedTransmit = true;
+        return true;
+      case Dawg:
+        config.defense.partitionedCache = true;
+        return true;
+      case InvisiSpec:
+      case SafeSpec:
+        config.defense.invisibleSpeculation = true;
+        return true;
+      case ConditionalSpeculation:
+      case EfficientInvisibleSpeculation:
+        config.defense.conditionalSpeculation = true;
+        return true;
+      case CleanupSpec:
+        config.defense.cleanupSpec = true;
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+insertLfenceAfterBranches(Program &program)
+{
+    std::size_t inserted = 0;
+    for (std::size_t pc = 0; pc < program.size(); ++pc) {
+        if (program.at(pc).op == uarch::Opcode::Branch) {
+            program.insertAt(pc + 1, uarch::lfence());
+            ++inserted;
+            ++pc; // skip the fence we just inserted
+        }
+    }
+    return inserted;
+}
+
+void
+insertLfenceBefore(Program &program, std::size_t pc)
+{
+    program.insertAt(pc, uarch::lfence());
+}
+
+void
+insertMaskAfterBranch(Program &program, std::size_t branch_pc,
+                      uarch::RegId index_reg, std::uint64_t mask)
+{
+    program.insertAt(branch_pc + 1,
+                     uarch::andImm(index_reg, index_reg,
+                                   static_cast<std::int64_t>(mask)));
+}
+
+std::size_t
+insertStoreLoadBarriers(Program &program)
+{
+    std::size_t inserted = 0;
+    for (std::size_t pc = 0; pc < program.size(); ++pc) {
+        if (program.at(pc).op != uarch::Opcode::Store)
+            continue;
+        // Find the next load and fence just before it.
+        for (std::size_t j = pc + 1; j < program.size(); ++j) {
+            if (program.at(j).op == uarch::Opcode::Load) {
+                program.insertAt(j, uarch::lfence());
+                ++inserted;
+                break;
+            }
+            if (uarch::isControl(program.at(j).op))
+                break;
+        }
+    }
+    return inserted;
+}
+
+} // namespace specsec::defense

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Runnable mitigations: the bridge between the paper's defense
+ * catalog (core/defense_catalog.hh) and the simulator.
+ *
+ * applyMitigation() translates a cataloged mechanism into the
+ * hardware configuration flags and/or scenario options that
+ * implement it on the simulated CPU, so experiment harnesses can
+ * sweep mechanism x attack.  Program-level transforms (fence
+ * insertion, address masking) are also provided standalone for the
+ * Fig. 9 tool's patcher.
+ */
+
+#ifndef SPECSEC_DEFENSE_MITIGATIONS_HH
+#define SPECSEC_DEFENSE_MITIGATIONS_HH
+
+#include "attacks/attack_kit.hh"
+#include "core/defense_catalog.hh"
+#include "uarch/isa.hh"
+
+namespace specsec::defense
+{
+
+using attacks::AttackOptions;
+using core::DefenseMechanism;
+using uarch::CpuConfig;
+using uarch::Program;
+
+/**
+ * Apply a cataloged defense mechanism to a CPU configuration and
+ * the scenario options.
+ *
+ * @return false if the mechanism has no simulator realization (none
+ *         currently; reserved for future mechanisms).
+ */
+bool applyMitigation(DefenseMechanism mechanism, CpuConfig &config,
+                     AttackOptions &options);
+
+/**
+ * Insert an LFENCE after every conditional branch: the classic
+ * strategy-1 software fix for bounds-bypass Spectre.
+ *
+ * @return number of fences inserted.
+ */
+std::size_t insertLfenceAfterBranches(Program &program);
+
+/**
+ * Insert an LFENCE immediately before the instruction at @p pc
+ * (targeted patching, used by the Fig. 9 tool).
+ */
+void insertLfenceBefore(Program &program, std::size_t pc);
+
+/**
+ * Insert `and index, index, mask` immediately after the conditional
+ * branch at @p branch_pc (coarse address masking).
+ */
+void insertMaskAfterBranch(Program &program, std::size_t branch_pc,
+                           uarch::RegId index_reg, std::uint64_t mask);
+
+/**
+ * Insert an SSBB-style barrier (modeled as LFENCE) between every
+ * store and the next load.
+ *
+ * @return number of barriers inserted.
+ */
+std::size_t insertStoreLoadBarriers(Program &program);
+
+} // namespace specsec::defense
+
+#endif // SPECSEC_DEFENSE_MITIGATIONS_HH

@@ -1,0 +1,66 @@
+#include "dot.hh"
+
+#include <sstream>
+
+namespace specsec::graph
+{
+
+namespace
+{
+
+/** Escape double quotes and backslashes for a DOT string literal. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+const char *
+edgeStyle(EdgeKind kind)
+{
+    switch (kind) {
+      case EdgeKind::Data: return "";
+      case EdgeKind::Control: return " [style=dashed]";
+      case EdgeKind::Address: return " [style=dotted]";
+      case EdgeKind::Fence: return " [color=blue]";
+      case EdgeKind::Resource: return " [color=gray]";
+      case EdgeKind::Security:
+        return " [color=red,penwidth=2,label=\"security\"]";
+    }
+    return "";
+}
+
+} // anonymous namespace
+
+std::string
+toDot(const Tsg &g, const DotOptions &options)
+{
+    std::ostringstream os;
+    os << "digraph \"" << escape(options.name) << "\" {\n";
+    os << "  rankdir=" << options.rankdir << ";\n";
+    os << "  node [shape=box,fontname=\"Helvetica\"];\n";
+    for (NodeId u = 0; u < g.nodeCount(); ++u) {
+        os << "  n" << u << " [label=\"" << escape(g.label(u)) << "\"";
+        if (options.nodeStyle) {
+            const std::string extra = options.nodeStyle(u);
+            if (!extra.empty())
+                os << "," << extra;
+        }
+        os << "];\n";
+    }
+    for (const Edge &e : g.edges()) {
+        os << "  n" << e.from << " -> n" << e.to
+           << edgeStyle(e.kind) << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace specsec::graph

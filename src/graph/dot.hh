@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Graphviz (DOT) export of TSGs, used by benches and examples to
+ * regenerate the paper's attack-graph figures.
+ */
+
+#ifndef SPECSEC_GRAPH_DOT_HH
+#define SPECSEC_GRAPH_DOT_HH
+
+#include <functional>
+#include <string>
+
+#include "tsg.hh"
+
+namespace specsec::graph
+{
+
+/** Rendering options for toDot(). */
+struct DotOptions
+{
+    /** Graph name emitted in the digraph header. */
+    std::string name = "tsg";
+
+    /** Layout direction; the paper's figures flow top-down. */
+    std::string rankdir = "TB";
+
+    /**
+     * Optional extra per-node attributes, e.g. role-based coloring.
+     * Return a string like "fillcolor=red,style=filled" or "".
+     */
+    std::function<std::string(NodeId)> nodeStyle;
+};
+
+/** @return the DOT source for @p g. */
+std::string toDot(const Tsg &g, const DotOptions &options = {});
+
+} // namespace specsec::graph
+
+#endif // SPECSEC_GRAPH_DOT_HH

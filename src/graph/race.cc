@@ -1,0 +1,181 @@
+#include "race.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "topo.hh"
+
+namespace specsec::graph
+{
+
+bool
+pathExists(const Tsg &g, NodeId u, NodeId v)
+{
+    if (!g.isNode(u) || !g.isNode(v))
+        throw std::out_of_range("pathExists: node id out of range");
+    if (u == v)
+        return true;
+    std::vector<bool> visited(g.nodeCount(), false);
+    std::vector<NodeId> stack{u};
+    visited[u] = true;
+    while (!stack.empty()) {
+        const NodeId cur = stack.back();
+        stack.pop_back();
+        for (NodeId next : g.successors(cur)) {
+            if (next == v)
+                return true;
+            if (!visited[next]) {
+                visited[next] = true;
+                stack.push_back(next);
+            }
+        }
+    }
+    return false;
+}
+
+ReachabilityMatrix::ReachabilityMatrix(const Tsg &g)
+    : n_(g.nodeCount()), words_((n_ + 63) / 64), bits_(n_ * words_, 0)
+{
+    // Process nodes in reverse topological order so every successor's
+    // closure row is final before it is OR-ed into its predecessors.
+    const std::vector<NodeId> order = topologicalSort(g);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const NodeId u = *it;
+        std::uint64_t *row = &bits_[u * words_];
+        row[u / 64] |= (std::uint64_t{1} << (u % 64));
+        for (NodeId v : g.successors(u)) {
+            const std::uint64_t *vrow = &bits_[v * words_];
+            for (std::size_t w = 0; w < words_; ++w)
+                row[w] |= vrow[w];
+        }
+    }
+}
+
+bool
+ReachabilityMatrix::reachable(NodeId u, NodeId v) const
+{
+    if (u >= n_ || v >= n_)
+        throw std::out_of_range("ReachabilityMatrix: node out of range");
+    return (bits_[u * words_ + v / 64] >> (v % 64)) & 1;
+}
+
+bool
+hasRace(const Tsg &g, NodeId u, NodeId v)
+{
+    if (u == v)
+        return false;
+    return !pathExists(g, u, v) && !pathExists(g, v, u);
+}
+
+bool
+hasRace(const ReachabilityMatrix &m, NodeId u, NodeId v)
+{
+    if (u == v)
+        return false;
+    return !m.reachable(u, v) && !m.reachable(v, u);
+}
+
+std::vector<std::pair<NodeId, NodeId>>
+racePairs(const Tsg &g)
+{
+    const ReachabilityMatrix m(g);
+    std::vector<std::pair<NodeId, NodeId>> races;
+    for (NodeId u = 0; u < g.nodeCount(); ++u) {
+        for (NodeId v = u + 1; v < g.nodeCount(); ++v) {
+            if (hasRace(m, u, v))
+                races.emplace_back(u, v);
+        }
+    }
+    return races;
+}
+
+namespace
+{
+
+/**
+ * Kahn's algorithm that defers @p deferred as long as possible, which
+ * schedules every operation not depending on it first.  If @p winner
+ * does not depend on @p deferred, the result orders winner before
+ * deferred -- the constructive step in the proof of Theorem 1.
+ */
+std::vector<NodeId>
+orderingDeferring(const Tsg &g, NodeId deferred)
+{
+    const std::size_t n = g.nodeCount();
+    std::vector<std::size_t> indeg(n, 0);
+    for (NodeId u = 0; u < n; ++u)
+        indeg[u] = g.predecessors(u).size();
+
+    std::vector<NodeId> ready;
+    for (NodeId u = 0; u < n; ++u) {
+        if (indeg[u] == 0)
+            ready.push_back(u);
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        // Pick any ready node other than `deferred` if one exists.
+        std::size_t pick = 0;
+        bool found = false;
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+            if (ready[i] != deferred) {
+                pick = i;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            pick = 0; // only `deferred` is ready; emit it
+        const NodeId u = ready[pick];
+        ready.erase(ready.begin() +
+                    static_cast<std::ptrdiff_t>(pick));
+        order.push_back(u);
+        for (NodeId v : g.successors(u)) {
+            if (--indeg[v] == 0)
+                ready.push_back(v);
+        }
+    }
+    return order;
+}
+
+} // anonymous namespace
+
+std::optional<RaceWitness>
+raceWitness(const Tsg &g, NodeId u, NodeId v)
+{
+    if (!hasRace(g, u, v))
+        return std::nullopt;
+    RaceWitness w;
+    w.uFirst = orderingDeferring(g, v);
+    w.vFirst = orderingDeferring(g, u);
+    return w;
+}
+
+bool
+raceByEnumeration(const Tsg &g, NodeId u, NodeId v)
+{
+    if (u == v)
+        return false;
+    bool seen_u_first = false;
+    bool seen_v_first = false;
+    // Enumerate orderings lazily would be nicer; for the graph sizes
+    // used in tests full enumeration is fine.
+    for (const auto &order : allValidOrderings(g)) {
+        for (NodeId x : order) {
+            if (x == u) {
+                seen_u_first = true;
+                break;
+            }
+            if (x == v) {
+                seen_v_first = true;
+                break;
+            }
+        }
+        if (seen_u_first && seen_v_first)
+            return true;
+    }
+    return false;
+}
+
+} // namespace specsec::graph

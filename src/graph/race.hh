@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Race-condition detection on TSGs (paper Section IV-B, Theorem 1).
+ *
+ * A race condition exists between vertices u and v iff there are two
+ * valid orderings that disagree on their relative order.  Theorem 1
+ * proves this is equivalent to: *no* directed path connects u and v
+ * (in either direction).  This module implements both sides:
+ * path-based detection (the efficient check a tool would use) and
+ * ordering-enumeration detection (the definition, used to cross-check
+ * the theorem in tests and benchmarks).
+ */
+
+#ifndef SPECSEC_GRAPH_RACE_HH
+#define SPECSEC_GRAPH_RACE_HH
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "tsg.hh"
+
+namespace specsec::graph
+{
+
+/**
+ * @return true if a directed path (possibly of length zero, i.e.
+ *         u == v) exists from u to v.
+ */
+bool pathExists(const Tsg &g, NodeId u, NodeId v);
+
+/**
+ * Precomputed transitive closure for O(1) reachability queries.
+ *
+ * Uses a bitset-per-node closure computed in reverse topological
+ * order: O(V * E / 64).  Snapshot semantics: the matrix reflects the
+ * graph at construction time.
+ */
+class ReachabilityMatrix
+{
+  public:
+    explicit ReachabilityMatrix(const Tsg &g);
+
+    /** @return true if v is reachable from u (u == v counts). */
+    bool reachable(NodeId u, NodeId v) const;
+
+    /** @return number of nodes the matrix was built for. */
+    std::size_t size() const { return n_; }
+
+  private:
+    std::size_t n_;
+    std::size_t words_;
+    std::vector<std::uint64_t> bits_;
+};
+
+/**
+ * Theorem 1 check: u and v race iff neither reaches the other.
+ * @pre u != v (a node cannot race with itself; returns false).
+ */
+bool hasRace(const Tsg &g, NodeId u, NodeId v);
+
+/** hasRace() against a prebuilt closure, for bulk queries. */
+bool hasRace(const ReachabilityMatrix &m, NodeId u, NodeId v);
+
+/** @return all unordered racing pairs (u < v). */
+std::vector<std::pair<NodeId, NodeId>> racePairs(const Tsg &g);
+
+/**
+ * Two valid orderings witnessing a race: one with u before v, one
+ * with v before u.  Built constructively following the proof of
+ * Theorem 1 (schedule the non-target side first).
+ */
+struct RaceWitness
+{
+    std::vector<NodeId> uFirst; ///< valid ordering with u before v
+    std::vector<NodeId> vFirst; ///< valid ordering with v before u
+};
+
+/**
+ * Produce a witness for the race between u and v.
+ *
+ * @return nullopt if u and v do not race (a path connects them).
+ */
+std::optional<RaceWitness> raceWitness(const Tsg &g, NodeId u, NodeId v);
+
+/**
+ * Definition-level race check: enumerate valid orderings and look for
+ * disagreement on the relative order of u and v.  Exponential; only
+ * for small graphs (tests / Theorem 1 validation).
+ */
+bool raceByEnumeration(const Tsg &g, NodeId u, NodeId v);
+
+} // namespace specsec::graph
+
+#endif // SPECSEC_GRAPH_RACE_HH

@@ -1,0 +1,37 @@
+#include "race_avoid.hh"
+
+#include <stdexcept>
+
+namespace specsec::graph
+{
+
+bool
+pathExistsAvoiding(const Tsg &g, NodeId u, NodeId v,
+                   const std::vector<bool> &excluded)
+{
+    if (!g.isNode(u) || !g.isNode(v))
+        throw std::out_of_range("pathExistsAvoiding: node out of range");
+    if (excluded.size() != g.nodeCount())
+        throw std::invalid_argument(
+            "pathExistsAvoiding: excluded mask size mismatch");
+    if (u == v)
+        return true;
+    std::vector<bool> visited(g.nodeCount(), false);
+    std::vector<NodeId> stack{u};
+    visited[u] = true;
+    while (!stack.empty()) {
+        const NodeId cur = stack.back();
+        stack.pop_back();
+        for (NodeId next : g.successors(cur)) {
+            if (next == v)
+                return true;
+            if (!visited[next] && !excluded[next]) {
+                visited[next] = true;
+                stack.push_back(next);
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace specsec::graph

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reachability queries that treat a subset of nodes as absent.
+ *
+ * Attack graphs with several alternative secret sources (paper
+ * Fig. 4) are OR-joins: the dependent computation fires as soon as
+ * *any* source supplies data.  Evaluating whether one particular
+ * source-to-send flow is ordered after an authorization therefore
+ * must ignore ordering constraints that pass through the *other*
+ * sources.  This helper provides path queries with an excluded set.
+ */
+
+#ifndef SPECSEC_GRAPH_RACE_AVOID_HH
+#define SPECSEC_GRAPH_RACE_AVOID_HH
+
+#include <vector>
+
+#include "tsg.hh"
+
+namespace specsec::graph
+{
+
+/**
+ * @return true if a directed path from u to v exists whose interior
+ *         nodes all have excluded[node] == false.  Endpoints u and v
+ *         are never treated as excluded.  u == v returns true.
+ */
+bool pathExistsAvoiding(const Tsg &g, NodeId u, NodeId v,
+                        const std::vector<bool> &excluded);
+
+} // namespace specsec::graph
+
+#endif // SPECSEC_GRAPH_RACE_AVOID_HH

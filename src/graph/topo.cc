@@ -1,0 +1,171 @@
+#include "topo.hh"
+
+#include <algorithm>
+#include <queue>
+
+namespace specsec::graph
+{
+
+std::vector<NodeId>
+topologicalSort(const Tsg &g)
+{
+    const std::size_t n = g.nodeCount();
+    std::vector<std::size_t> indeg(n, 0);
+    for (NodeId u = 0; u < n; ++u)
+        indeg[u] = g.predecessors(u).size();
+
+    std::priority_queue<NodeId, std::vector<NodeId>,
+                        std::greater<NodeId>> ready;
+    for (NodeId u = 0; u < n; ++u) {
+        if (indeg[u] == 0)
+            ready.push(u);
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const NodeId u = ready.top();
+        ready.pop();
+        order.push_back(u);
+        for (NodeId v : g.successors(u)) {
+            if (--indeg[v] == 0)
+                ready.push(v);
+        }
+    }
+    return order;
+}
+
+bool
+isValidOrdering(const Tsg &g, const std::vector<NodeId> &order)
+{
+    const std::size_t n = g.nodeCount();
+    if (order.size() != n)
+        return false;
+    std::vector<std::size_t> pos(n, 0);
+    std::vector<bool> seen(n, false);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const NodeId u = order[i];
+        if (u >= n || seen[u])
+            return false;
+        seen[u] = true;
+        pos[u] = i;
+    }
+    for (const Edge &e : g.edges()) {
+        if (pos[e.from] >= pos[e.to])
+            return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Shared backtracking core for enumeration and counting. */
+struct OrderingEnumerator
+{
+    const Tsg &g;
+    std::vector<std::size_t> indeg;
+    std::vector<NodeId> current;
+    std::vector<std::vector<NodeId>> *sink = nullptr;
+    std::size_t limit = 0;
+    std::uint64_t count = 0;
+    std::uint64_t cap = 0;
+
+    explicit
+    OrderingEnumerator(const Tsg &graph)
+        : g(graph), indeg(graph.nodeCount(), 0)
+    {
+        for (NodeId u = 0; u < g.nodeCount(); ++u)
+            indeg[u] = g.predecessors(u).size();
+    }
+
+    /** @return false once the limit/cap is hit and recursion must stop. */
+    bool
+    recurse()
+    {
+        if (current.size() == g.nodeCount()) {
+            ++count;
+            if (sink)
+                sink->push_back(current);
+            if (sink && limit != kNoOrderingLimit && sink->size() >= limit)
+                return false;
+            if (!sink && cap != 0 && count >= cap)
+                return false;
+            return true;
+        }
+        for (NodeId u = 0; u < g.nodeCount(); ++u) {
+            if (indeg[u] != 0 || used[u])
+                continue;
+            used[u] = true;
+            current.push_back(u);
+            for (NodeId v : g.successors(u))
+                --indeg[v];
+            const bool keep_going = recurse();
+            for (NodeId v : g.successors(u))
+                ++indeg[v];
+            current.pop_back();
+            used[u] = false;
+            if (!keep_going)
+                return false;
+        }
+        return true;
+    }
+
+    std::vector<bool> used = std::vector<bool>(g.nodeCount(), false);
+};
+
+} // anonymous namespace
+
+std::vector<std::vector<NodeId>>
+allValidOrderings(const Tsg &g, std::size_t limit)
+{
+    std::vector<std::vector<NodeId>> result;
+    OrderingEnumerator e(g);
+    e.sink = &result;
+    e.limit = limit;
+    e.recurse();
+    return result;
+}
+
+std::uint64_t
+countValidOrderings(const Tsg &g, std::uint64_t cap)
+{
+    OrderingEnumerator e(g);
+    e.cap = cap;
+    e.recurse();
+    return e.count;
+}
+
+std::vector<NodeId>
+randomValidOrdering(const Tsg &g, std::mt19937 &rng)
+{
+    const std::size_t n = g.nodeCount();
+    std::vector<std::size_t> indeg(n, 0);
+    for (NodeId u = 0; u < n; ++u)
+        indeg[u] = g.predecessors(u).size();
+
+    std::vector<NodeId> ready;
+    for (NodeId u = 0; u < n; ++u) {
+        if (indeg[u] == 0)
+            ready.push_back(u);
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        std::uniform_int_distribution<std::size_t>
+            pick(0, ready.size() - 1);
+        const std::size_t i = pick(rng);
+        const NodeId u = ready[i];
+        ready[i] = ready.back();
+        ready.pop_back();
+        order.push_back(u);
+        for (NodeId v : g.successors(u)) {
+            if (--indeg[v] == 0)
+                ready.push_back(v);
+        }
+    }
+    return order;
+}
+
+} // namespace specsec::graph

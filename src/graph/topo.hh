@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Topological orderings of a TSG.
+ *
+ * The paper defines a *valid ordering* of a TSG as a permutation of
+ * all vertices such that for every edge (u, v), u comes before v.
+ * Race conditions are defined over the set of valid orderings, so
+ * this module provides sorting, validity checking, exhaustive
+ * enumeration (for small graphs / property tests) and uniform random
+ * sampling of valid orderings.
+ */
+
+#ifndef SPECSEC_GRAPH_TOPO_HH
+#define SPECSEC_GRAPH_TOPO_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tsg.hh"
+
+namespace specsec::graph
+{
+
+/** No limit for allValidOrderings(). */
+constexpr std::size_t kNoOrderingLimit = 0;
+
+/**
+ * Compute one valid ordering using Kahn's algorithm.
+ *
+ * Ties are broken by smallest node id, so the result is
+ * deterministic.
+ *
+ * @return a valid ordering of all nodes.  The graph is acyclic by
+ *         construction, so one always exists.
+ */
+std::vector<NodeId> topologicalSort(const Tsg &g);
+
+/**
+ * Check whether @p order is a valid ordering of @p g: it must contain
+ * every vertex exactly once and respect every edge.
+ */
+bool isValidOrdering(const Tsg &g, const std::vector<NodeId> &order);
+
+/**
+ * Enumerate valid orderings by backtracking.
+ *
+ * @param limit Stop after this many orderings (kNoOrderingLimit
+ *              enumerates all; exponential in general, intended for
+ *              graphs of at most ~12 nodes).
+ */
+std::vector<std::vector<NodeId>>
+allValidOrderings(const Tsg &g, std::size_t limit = kNoOrderingLimit);
+
+/**
+ * Count valid orderings without materializing them.
+ *
+ * @param cap Stop counting once the count reaches @p cap (0 = exact).
+ * @return the number of valid orderings, saturated at @p cap.
+ */
+std::uint64_t countValidOrderings(const Tsg &g, std::uint64_t cap = 0);
+
+/**
+ * Sample a random valid ordering: at each step pick uniformly among
+ * the currently ready vertices.  (This is not uniform over orderings,
+ * but reaches every valid ordering with non-zero probability, which
+ * is what the race property tests need.)
+ */
+std::vector<NodeId> randomValidOrdering(const Tsg &g, std::mt19937 &rng);
+
+} // namespace specsec::graph
+
+#endif // SPECSEC_GRAPH_TOPO_HH

@@ -1,0 +1,190 @@
+#include "tsg.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace specsec::graph
+{
+
+const char *
+edgeKindName(EdgeKind kind)
+{
+    switch (kind) {
+      case EdgeKind::Data: return "data";
+      case EdgeKind::Control: return "control";
+      case EdgeKind::Address: return "address";
+      case EdgeKind::Fence: return "fence";
+      case EdgeKind::Resource: return "resource";
+      case EdgeKind::Security: return "security";
+    }
+    return "unknown";
+}
+
+NodeId
+Tsg::addNode(std::string label)
+{
+    const NodeId id = static_cast<NodeId>(labels_.size());
+    labels_.push_back(std::move(label));
+    out_.emplace_back();
+    in_.emplace_back();
+    succCache_.emplace_back();
+    succCacheValid_.push_back(false);
+    return id;
+}
+
+void
+Tsg::checkNode(NodeId u) const
+{
+    if (u >= labels_.size())
+        throw std::out_of_range("Tsg: node id out of range");
+}
+
+bool
+Tsg::hasEdge(NodeId u, NodeId v) const
+{
+    checkNode(u);
+    checkNode(v);
+    const auto &outs = out_[u];
+    return std::any_of(outs.begin(), outs.end(),
+                       [v](const OutEdge &e) { return e.to == v; });
+}
+
+std::optional<EdgeKind>
+Tsg::edgeKind(NodeId u, NodeId v) const
+{
+    checkNode(u);
+    checkNode(v);
+    for (const auto &e : out_[u]) {
+        if (e.to == v)
+            return e.kind;
+    }
+    return std::nullopt;
+}
+
+bool
+Tsg::wouldCreateCycle(NodeId u, NodeId v) const
+{
+    checkNode(u);
+    checkNode(v);
+    if (u == v)
+        return true;
+    // A cycle appears iff u is already reachable from v.
+    std::vector<bool> visited(labels_.size(), false);
+    std::vector<NodeId> stack{v};
+    visited[v] = true;
+    while (!stack.empty()) {
+        const NodeId cur = stack.back();
+        stack.pop_back();
+        if (cur == u)
+            return true;
+        for (const auto &e : out_[cur]) {
+            if (!visited[e.to]) {
+                visited[e.to] = true;
+                stack.push_back(e.to);
+            }
+        }
+    }
+    return false;
+}
+
+bool
+Tsg::addEdge(NodeId u, NodeId v, EdgeKind kind)
+{
+    checkNode(u);
+    checkNode(v);
+    if (hasEdge(u, v))
+        return true;
+    if (wouldCreateCycle(u, v))
+        return false;
+    out_[u].push_back({v, kind});
+    in_[v].push_back(u);
+    edgeList_.push_back({u, v, kind});
+    ++edgeCount_;
+    succCacheValid_[u] = false;
+    return true;
+}
+
+bool
+Tsg::removeEdge(NodeId u, NodeId v)
+{
+    checkNode(u);
+    checkNode(v);
+    auto &outs = out_[u];
+    auto it = std::find_if(outs.begin(), outs.end(),
+                           [v](const OutEdge &e) { return e.to == v; });
+    if (it == outs.end())
+        return false;
+    outs.erase(it);
+    auto &ins = in_[v];
+    ins.erase(std::find(ins.begin(), ins.end(), u));
+    auto lit = std::find_if(edgeList_.begin(), edgeList_.end(),
+                            [u, v](const Edge &e) {
+                                return e.from == u && e.to == v;
+                            });
+    edgeList_.erase(lit);
+    --edgeCount_;
+    succCacheValid_[u] = false;
+    return true;
+}
+
+const std::vector<NodeId> &
+Tsg::successors(NodeId u) const
+{
+    checkNode(u);
+    if (!succCacheValid_[u]) {
+        succCache_[u].clear();
+        succCache_[u].reserve(out_[u].size());
+        for (const auto &e : out_[u])
+            succCache_[u].push_back(e.to);
+        succCacheValid_[u] = true;
+    }
+    return succCache_[u];
+}
+
+const std::vector<NodeId> &
+Tsg::predecessors(NodeId u) const
+{
+    checkNode(u);
+    return in_[u];
+}
+
+const std::string &
+Tsg::label(NodeId u) const
+{
+    checkNode(u);
+    return labels_[u];
+}
+
+void
+Tsg::setLabel(NodeId u, std::string label)
+{
+    checkNode(u);
+    labels_[u] = std::move(label);
+}
+
+std::optional<NodeId>
+Tsg::findByLabel(const std::string &label) const
+{
+    for (NodeId u = 0; u < labels_.size(); ++u) {
+        if (labels_[u] == label)
+            return u;
+    }
+    return std::nullopt;
+}
+
+std::vector<Edge>
+Tsg::edges() const
+{
+    return edgeList_;
+}
+
+std::vector<NodeId>
+Tsg::nodes() const
+{
+    std::vector<NodeId> all(labels_.size());
+    for (NodeId u = 0; u < labels_.size(); ++u)
+        all[u] = u;
+    return all;
+}
+
+} // namespace specsec::graph

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Topological Sort Graph (TSG), the formal object underlying attack
+ * graphs in "New Models for Understanding and Reasoning about
+ * Speculative Execution Attacks" (HPCA 2021), Section IV-B.
+ *
+ * A TSG is a directed acyclic graph whose vertices are operations and
+ * whose edges are dependencies: if an edge (u, v) exists, operation u
+ * must happen before operation v in every valid ordering.  The library
+ * distinguishes edge kinds (data, control, address, fence, resource,
+ * security) because the paper's central concept -- the *security
+ * dependency* -- is an edge kind that hardware must honor in addition
+ * to data and control dependencies.
+ */
+
+#ifndef SPECSEC_GRAPH_TSG_HH
+#define SPECSEC_GRAPH_TSG_HH
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace specsec::graph
+{
+
+/** Identifier of a vertex (operation) in a TSG. */
+using NodeId = std::uint32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/**
+ * Kind of a dependency edge.
+ *
+ * Data, Control and Address dependencies arise from ordinary program
+ * semantics.  Fence edges are inserted by serializing instructions.
+ * Resource edges model structural hazards (e.g. a shared port).
+ * Security edges are the paper's new dependency kind: an ordering of
+ * an authorization operation before a protected operation that must be
+ * enforced to avoid a security breach (Definition 2).
+ */
+enum class EdgeKind : std::uint8_t
+{
+    Data,
+    Control,
+    Address,
+    Fence,
+    Resource,
+    Security,
+};
+
+/** @return a stable human-readable name for an edge kind. */
+const char *edgeKindName(EdgeKind kind);
+
+/** A directed dependency edge from one operation to another. */
+struct Edge
+{
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    EdgeKind kind = EdgeKind::Data;
+
+    bool operator==(const Edge &other) const = default;
+};
+
+/**
+ * A topological sort graph: a labeled DAG with kinded edges.
+ *
+ * The class maintains the acyclicity invariant: addEdge() refuses to
+ * insert an edge that would create a directed cycle, since a cyclic
+ * dependency graph has no valid ordering and cannot model a program.
+ *
+ * Node ids are dense and stable: the i-th added node has id i.
+ */
+class Tsg
+{
+  public:
+    Tsg() = default;
+
+    /**
+     * Add an operation vertex.
+     *
+     * @param label Human-readable description of the operation.
+     * @return The id of the new vertex.
+     */
+    NodeId addNode(std::string label);
+
+    /**
+     * Add a dependency edge u -> v ("u happens before v").
+     *
+     * Inserting an edge that already exists is an idempotent success
+     * (the original kind is kept).  Self-loops and cycle-creating
+     * edges are rejected.
+     *
+     * @return true if the edge exists after the call, false if it was
+     *         rejected because it would create a cycle or self-loop.
+     * @throws std::out_of_range if either endpoint is not a node.
+     */
+    bool addEdge(NodeId u, NodeId v, EdgeKind kind = EdgeKind::Data);
+
+    /**
+     * Remove the edge u -> v if present.
+     * @return true if an edge was removed.
+     */
+    bool removeEdge(NodeId u, NodeId v);
+
+    /** @return true if the edge u -> v is present. */
+    bool hasEdge(NodeId u, NodeId v) const;
+
+    /** @return the kind of edge u -> v, or nullopt if absent. */
+    std::optional<EdgeKind> edgeKind(NodeId u, NodeId v) const;
+
+    /** @return true if adding u -> v would create a directed cycle. */
+    bool wouldCreateCycle(NodeId u, NodeId v) const;
+
+    /** @return number of vertices. */
+    std::size_t nodeCount() const { return labels_.size(); }
+
+    /** @return number of edges. */
+    std::size_t edgeCount() const { return edgeCount_; }
+
+    /** @return successor node ids of u (direct dependents). */
+    const std::vector<NodeId> &successors(NodeId u) const;
+
+    /** @return predecessor node ids of u (direct dependencies). */
+    const std::vector<NodeId> &predecessors(NodeId u) const;
+
+    /** @return the label of node u. */
+    const std::string &label(NodeId u) const;
+
+    /** Replace the label of node u. */
+    void setLabel(NodeId u, std::string label);
+
+    /** @return the first node whose label equals @p label, if any. */
+    std::optional<NodeId> findByLabel(const std::string &label) const;
+
+    /** @return a snapshot of every edge, in insertion order. */
+    std::vector<Edge> edges() const;
+
+    /** @return all node ids, i.e. 0 .. nodeCount()-1. */
+    std::vector<NodeId> nodes() const;
+
+    /** @return true if @p u is a valid node id. */
+    bool isNode(NodeId u) const { return u < labels_.size(); }
+
+  private:
+    /** Throw std::out_of_range unless u is a valid node id. */
+    void checkNode(NodeId u) const;
+
+    struct OutEdge
+    {
+        NodeId to;
+        EdgeKind kind;
+    };
+
+    std::vector<std::string> labels_;
+    std::vector<std::vector<OutEdge>> out_;
+    std::vector<std::vector<NodeId>> in_;
+    std::vector<Edge> edgeList_;
+    std::size_t edgeCount_ = 0;
+
+    // successors() returns a reference; cache the id-only projection.
+    mutable std::vector<std::vector<NodeId>> succCache_;
+    mutable std::vector<bool> succCacheValid_;
+};
+
+} // namespace specsec::graph
+
+#endif // SPECSEC_GRAPH_TSG_HH

@@ -1,0 +1,520 @@
+#include "analyzer.hh"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace specsec::tool
+{
+
+using core::AttackGraph;
+using core::AttackStep;
+using core::NodeRole;
+using graph::EdgeKind;
+using uarch::Instruction;
+using uarch::Opcode;
+
+namespace
+{
+
+/** Abstract value a register may hold during analysis. */
+struct ValueInfo
+{
+    enum class Kind : std::uint8_t
+    {
+        Unknown,
+        Constant,
+        Attacker, ///< attacker-influenced (possibly bounded)
+        Secret,   ///< derived from a potential secret access
+    };
+
+    Kind kind = Kind::Unknown;
+    Word constant = 0;
+    bool bounded = false;
+    Word maxValue = 0;                       ///< when bounded
+    NodeId producer = graph::kInvalidNode;   ///< defining node
+};
+
+using Kind = ValueInfo::Kind;
+
+/** Merge for two-operand ALU results. */
+Kind
+mergeKinds(Kind a, Kind b)
+{
+    if (a == Kind::Secret || b == Kind::Secret)
+        return Kind::Secret;
+    if (a == Kind::Attacker || b == Kind::Attacker)
+        return Kind::Attacker;
+    if (a == Kind::Constant && b == Kind::Constant)
+        return Kind::Constant;
+    return Kind::Unknown;
+}
+
+/** Builder state threaded through the instruction walk. */
+struct Builder
+{
+    AttackGraph g;
+    std::vector<std::optional<std::size_t>> nodePc;
+    std::vector<NodeId> fences;     ///< fence nodes seen so far
+    std::vector<NodeId> sends;
+    NodeId lastNode = graph::kInvalidNode;
+
+    NodeId
+    addNode(const std::string &label, NodeRole role, AttackStep step,
+            std::optional<std::size_t> pc)
+    {
+        const NodeId id = g.addOperation(label, role, step);
+        nodePc.resize(id + 1);
+        nodePc[id] = pc;
+        return id;
+    }
+
+    /** Order node after every fence seen so far (LFENCE semantics:
+     *  younger operations wait for the fence). */
+    void
+    orderAfterFences(NodeId node)
+    {
+        for (NodeId f : fences)
+            g.addDependency(f, node, EdgeKind::Fence);
+    }
+};
+
+/** One speculation region opened by a forward conditional branch. */
+struct SpecRegion
+{
+    NodeId branchNode;
+    NodeId resolveNode;
+    std::size_t endPc; ///< first pc no longer guarded
+};
+
+/** An earlier store whose address a later load may alias. */
+struct StoreRecord
+{
+    NodeId node;
+    std::size_t pc;
+    Kind addrKind;
+    Word constAddr; ///< valid when addrKind == Constant
+    RegId baseReg;
+    std::int64_t imm;
+};
+
+} // anonymous namespace
+
+Analyzer::Analyzer(Program program,
+                   std::vector<ProtectedRange> protected_ranges,
+                   ThreatModel model)
+    : program_(std::move(program)),
+      protected_(std::move(protected_ranges)), model_(model)
+{
+}
+
+void
+Analyzer::setAttackerControlled(RegId reg)
+{
+    attackerRegs_.push_back(reg);
+}
+
+void
+Analyzer::setKnownRegister(RegId reg, Word value)
+{
+    knownRegs_.emplace_back(reg, value);
+}
+
+AnalysisResult
+Analyzer::analyze() const
+{
+    Builder b;
+    std::array<ValueInfo, uarch::kNumIntRegs> regs{};
+    for (RegId r : attackerRegs_)
+        regs[r].kind = Kind::Attacker;
+    for (const auto &[r, v] : knownRegs_) {
+        regs[r].kind = Kind::Constant;
+        regs[r].constant = v;
+    }
+
+    std::vector<SpecRegion> regions;
+    std::vector<StoreRecord> stores;
+
+    const auto dataEdgeFrom = [&](const ValueInfo &v, NodeId to) {
+        if (v.producer != graph::kInvalidNode)
+            b.g.addDependency(v.producer, to, EdgeKind::Data);
+    };
+
+    // Control edges: every open speculation region's branch node
+    // speculatively fetches this instruction.
+    const auto controlEdges = [&](NodeId node, std::size_t pc) {
+        for (const SpecRegion &r : regions) {
+            if (pc < r.endPc)
+                b.g.addDependency(r.branchNode, node,
+                                  EdgeKind::Control);
+        }
+    };
+
+    // Address range of [base + imm, base + imm + span).
+    const auto addrRange =
+        [&](const ValueInfo &base,
+            std::int64_t imm) -> std::optional<std::pair<Addr, Addr>> {
+        if (base.kind == Kind::Constant) {
+            const Addr lo = base.constant + static_cast<Word>(imm);
+            return std::make_pair(lo, lo + 8);
+        }
+        return std::nullopt;
+    };
+
+    const auto touchesProtected = [&](const ValueInfo &addr_val,
+                                      std::int64_t imm) {
+        if (addr_val.kind == Kind::Secret)
+            return false; // classified as a send, not an access
+        if (addr_val.kind == Kind::Attacker) {
+            if (!addr_val.bounded)
+                return !protected_.empty();
+            // Bounded attacker value: base unknown, so treat the
+            // bound as relative; a bounded index cannot escape to a
+            // protected range when the range analysis says so.  The
+            // bounded case arises from masking `base + (idx & m)`,
+            // handled at the add below.
+            return false;
+        }
+        if (const auto range = addrRange(addr_val, imm)) {
+            for (const ProtectedRange &p : protected_) {
+                if (p.overlaps(range->first, range->second))
+                    return true;
+            }
+        }
+        return false;
+    };
+
+    for (std::size_t pc = 0; pc < program_.size(); ++pc) {
+        const Instruction &inst = program_.at(pc);
+        // Close expired speculation regions.
+        std::erase_if(regions, [pc](const SpecRegion &r) {
+            return pc >= r.endPc;
+        });
+
+        switch (inst.op) {
+          case Opcode::MovImm: {
+            const NodeId n =
+                b.addNode(std::to_string(pc) + ": " +
+                              uarch::disassemble(inst),
+                          NodeRole::Other, AttackStep::Unspecified,
+                          pc);
+            controlEdges(n, pc);
+            regs[inst.rd] = ValueInfo{Kind::Constant,
+                                      static_cast<Word>(inst.imm),
+                                      false, 0, n};
+            break;
+          }
+
+          case Opcode::Mov:
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+          case Opcode::Shl:
+          case Opcode::Shr:
+          case Opcode::AddImm:
+          case Opcode::AndImm:
+          case Opcode::ShlImm:
+          case Opcode::ShrImm:
+          case Opcode::MulImm: {
+            const bool two_reg =
+                inst.op == Opcode::Add || inst.op == Opcode::Sub ||
+                inst.op == Opcode::And || inst.op == Opcode::Or ||
+                inst.op == Opcode::Xor || inst.op == Opcode::Shl ||
+                inst.op == Opcode::Shr;
+            const ValueInfo &a = regs[inst.ra];
+            const ValueInfo bval =
+                two_reg ? regs[inst.rb] : ValueInfo{};
+            const NodeId n =
+                b.addNode(std::to_string(pc) + ": " +
+                              uarch::disassemble(inst),
+                          NodeRole::Other, AttackStep::Unspecified,
+                          pc);
+            controlEdges(n, pc);
+            b.orderAfterFences(n);
+            dataEdgeFrom(a, n);
+            if (two_reg)
+                dataEdgeFrom(bval, n);
+
+            ValueInfo out;
+            out.kind = two_reg ? mergeKinds(a.kind, bval.kind)
+                               : a.kind;
+            out.producer = n;
+            // Constant folding for known add/and (address bases).
+            if (a.kind == Kind::Constant && !two_reg) {
+                if (inst.op == Opcode::AddImm) {
+                    out.constant =
+                        a.constant + static_cast<Word>(inst.imm);
+                } else if (inst.op == Opcode::Mov) {
+                    out.constant = a.constant;
+                }
+            }
+            // Masking bounds an attacker value (address masking).
+            if (inst.op == Opcode::AndImm &&
+                a.kind == Kind::Attacker) {
+                out.bounded = true;
+                out.maxValue = static_cast<Word>(inst.imm);
+            }
+            // base(Constant) + bounded-attacker: a clamped address.
+            if (inst.op == Opcode::Add &&
+                ((a.kind == Kind::Constant && bval.kind == Kind::Attacker &&
+                  bval.bounded) ||
+                 (bval.kind == Kind::Constant && a.kind == Kind::Attacker &&
+                  a.bounded))) {
+                const ValueInfo &base =
+                    a.kind == Kind::Constant ? a : bval;
+                const ValueInfo &idx =
+                    a.kind == Kind::Constant ? bval : a;
+                bool hits_protected = false;
+                for (const ProtectedRange &p : protected_) {
+                    if (p.overlaps(base.constant,
+                                   base.constant + idx.maxValue + 8))
+                        hits_protected = true;
+                }
+                if (!hits_protected) {
+                    out.kind = Kind::Constant; // provably in-bounds
+                    out.constant = base.constant;
+                }
+            }
+            regs[inst.rd] = out;
+            break;
+          }
+
+          case Opcode::Branch: {
+            const ValueInfo &a = regs[inst.ra];
+            const ValueInfo &bv = regs[inst.rb];
+            const NodeId branch = b.addNode(
+                std::to_string(pc) + ": " + uarch::disassemble(inst),
+                NodeRole::Trigger, AttackStep::DelayedAuth, pc);
+            controlEdges(branch, pc);
+            b.orderAfterFences(branch);
+            dataEdgeFrom(a, branch);
+            dataEdgeFrom(bv, branch);
+            const bool guards_attacker =
+                a.kind == Kind::Attacker || bv.kind == Kind::Attacker;
+            const bool forward =
+                inst.imm > static_cast<std::int64_t>(pc);
+            if (model_.branchSpeculation && guards_attacker &&
+                forward) {
+                const NodeId resolve = b.addNode(
+                    std::to_string(pc) + ": branch resolution "
+                    "(bounds check authorization)",
+                    NodeRole::Authorization, AttackStep::DelayedAuth,
+                    pc);
+                b.g.addDependency(branch, resolve, EdgeKind::Data);
+                regions.push_back(
+                    {branch, resolve,
+                     static_cast<std::size_t>(inst.imm)});
+            }
+            break;
+          }
+
+          case Opcode::Load: {
+            const ValueInfo &base = regs[inst.ra];
+            const NodeId n = b.addNode(
+                std::to_string(pc) + ": " + uarch::disassemble(inst),
+                NodeRole::Other, AttackStep::Unspecified, pc);
+            controlEdges(n, pc);
+            b.orderAfterFences(n);
+            dataEdgeFrom(base, n);
+
+            ValueInfo out;
+            out.producer = n;
+            out.kind = Kind::Unknown;
+
+            if (base.kind == Kind::Secret) {
+                // Address derived from secret data: a covert send.
+                b.g.setRole(n, NodeRole::Send);
+                b.sends.push_back(n);
+            } else if (touchesProtected(base, inst.imm)) {
+                if (base.kind == Kind::Constant &&
+                    model_.faultingAccess) {
+                    // Direct access to a protected range: the
+                    // authorization is the in-instruction permission
+                    // check -- expand micro-ops (Meltdown-type).
+                    const NodeId check = b.addNode(
+                        std::to_string(pc) +
+                            ": load permission check",
+                        NodeRole::Authorization,
+                        AttackStep::DelayedAuth, pc);
+                    b.g.addDependency(n, check, EdgeKind::Data);
+                    const NodeId read = b.addNode(
+                        std::to_string(pc) + ": read S (memory/"
+                        "cache/buffers)",
+                        NodeRole::SecretAccess, AttackStep::Access,
+                        pc);
+                    b.g.addDependency(n, read, EdgeKind::Data);
+                    out.kind = Kind::Secret;
+                    out.producer = read;
+                } else {
+                    // Attacker-steered access guarded (or not) by a
+                    // bounds check: instruction-level Spectre-type.
+                    b.g.setRole(n, NodeRole::SecretAccess);
+                    out.kind = Kind::Secret;
+                }
+            }
+
+            // Memory disambiguation (Spectre v4): the load may alias
+            // an earlier store.
+            if (model_.storeBypass) {
+                for (const StoreRecord &st : stores) {
+                    const bool alias_const =
+                        st.addrKind == Kind::Constant &&
+                        base.kind == Kind::Constant &&
+                        st.constAddr ==
+                            base.constant + static_cast<Word>(inst.imm);
+                    const bool alias_syntactic =
+                        st.addrKind != Kind::Constant &&
+                        st.baseReg == inst.ra && st.imm == inst.imm;
+                    if (!alias_const && !alias_syntactic)
+                        continue;
+                    const NodeId disamb = b.addNode(
+                        std::to_string(pc) + ": store-load address "
+                        "disambiguation",
+                        NodeRole::Authorization,
+                        AttackStep::DelayedAuth, pc);
+                    b.g.addDependency(st.node, disamb,
+                                      EdgeKind::Address);
+                    b.g.addDependency(n, disamb, EdgeKind::Address);
+                    const NodeId stale = b.addNode(
+                        std::to_string(pc) + ": read stale data",
+                        NodeRole::SecretAccess, AttackStep::Access,
+                        pc);
+                    b.g.addDependency(n, stale, EdgeKind::Data);
+                    out.kind = Kind::Secret;
+                    out.producer = stale;
+                    break;
+                }
+            }
+            regs[inst.rd] = out;
+            break;
+          }
+
+          case Opcode::Store: {
+            const ValueInfo &base = regs[inst.ra];
+            const ValueInfo &data = regs[inst.rb];
+            const NodeId n = b.addNode(
+                std::to_string(pc) + ": " + uarch::disassemble(inst),
+                NodeRole::Other, AttackStep::Unspecified, pc);
+            controlEdges(n, pc);
+            b.orderAfterFences(n);
+            dataEdgeFrom(base, n);
+            dataEdgeFrom(data, n);
+            if (data.kind == Kind::Secret) {
+                b.g.setRole(n, NodeRole::Send); // store-based send
+                b.sends.push_back(n);
+            } else if (base.kind == Kind::Attacker && !base.bounded) {
+                // Speculative buffer overflow (v1.1-style write).
+                b.g.setRole(n, NodeRole::SecretAccess);
+            }
+            StoreRecord rec;
+            rec.node = n;
+            rec.pc = pc;
+            rec.addrKind = base.kind;
+            rec.constAddr =
+                base.constant + static_cast<Word>(inst.imm);
+            rec.baseReg = inst.ra;
+            rec.imm = inst.imm;
+            stores.push_back(rec);
+            break;
+          }
+
+          case Opcode::RdMsr:
+          case Opcode::FpRead: {
+            const NodeId n = b.addNode(
+                std::to_string(pc) + ": " + uarch::disassemble(inst),
+                NodeRole::Trigger, AttackStep::DelayedAuth, pc);
+            controlEdges(n, pc);
+            b.orderAfterFences(n);
+            ValueInfo out;
+            out.producer = n;
+            out.kind = Kind::Unknown;
+            if (model_.faultingAccess) {
+                const char *check_label =
+                    inst.op == Opcode::RdMsr
+                        ? ": RDMSR privilege check"
+                        : ": FPU ownership check";
+                const NodeId check = b.addNode(
+                    std::to_string(pc) + check_label,
+                    NodeRole::Authorization, AttackStep::DelayedAuth,
+                    pc);
+                b.g.addDependency(n, check, EdgeKind::Data);
+                const NodeId read = b.addNode(
+                    std::to_string(pc) + ": read special register",
+                    NodeRole::SecretAccess, AttackStep::Access, pc);
+                b.g.addDependency(n, read, EdgeKind::Data);
+                out.kind = Kind::Secret;
+                out.producer = read;
+            }
+            regs[inst.rd] = out;
+            break;
+          }
+
+          case Opcode::Lfence:
+          case Opcode::Mfence: {
+            const NodeId n = b.addNode(
+                std::to_string(pc) + ": " + uarch::disassemble(inst),
+                NodeRole::Other, AttackStep::Unspecified, pc);
+            // The fence waits for everything older...
+            for (NodeId u = 0; u < n; ++u)
+                b.g.addDependency(u, n, EdgeKind::Fence);
+            // ...and everything younger waits for it (handled via
+            // orderAfterFences on subsequent nodes).
+            b.fences.push_back(n);
+            break;
+          }
+
+          default: {
+            const NodeId n = b.addNode(
+                std::to_string(pc) + ": " + uarch::disassemble(inst),
+                NodeRole::Other, AttackStep::Unspecified, pc);
+            controlEdges(n, pc);
+            b.orderAfterFences(n);
+            break;
+          }
+        }
+    }
+
+    // Receiver node: the attacker's timing measurement observes
+    // every send.
+    if (!b.sends.empty()) {
+        const NodeId recv = b.addNode(
+            "receiver: reload probe array and measure time",
+            NodeRole::Receive, AttackStep::Receive, std::nullopt);
+        for (NodeId send : b.sends)
+            b.g.addDependency(send, recv, EdgeKind::Resource);
+    }
+
+    AnalysisResult result;
+    result.vulnerable = b.g.isVulnerable();
+    const auto races = b.g.missingSecurityDependencies();
+    for (const core::RaceFinding &race : races) {
+        Finding f;
+        f.authorization = race.authorization;
+        f.operation = race.operation;
+        f.operationRole = race.operationRole;
+        f.authPc = b.nodePc[race.authorization];
+        f.accessPc = b.nodePc[race.operation];
+        f.description =
+            "race between '" + b.g.tsg().label(race.authorization) +
+            "' and '" + b.g.tsg().label(race.operation) + "'";
+        switch (race.operationRole) {
+          case NodeRole::SecretAccess:
+            f.suggested = core::DefenseStrategy::PreventAccess;
+            break;
+          case NodeRole::Use:
+            f.suggested = core::DefenseStrategy::PreventUse;
+            break;
+          default:
+            f.suggested = core::DefenseStrategy::PreventSend;
+            break;
+        }
+        result.findings.push_back(std::move(f));
+    }
+    result.nodePc = std::move(b.nodePc);
+    result.graph = std::move(b.g);
+    return result;
+}
+
+} // namespace specsec::tool

@@ -1,0 +1,52 @@
+#include "patcher.hh"
+
+#include "defense/mitigations.hh"
+
+namespace specsec::tool
+{
+
+AnalysisResult
+analyzeSpec(const AnalysisSpec &spec)
+{
+    Analyzer a(spec.program, spec.ranges, spec.model);
+    for (RegId r : spec.attackerRegs)
+        a.setAttackerControlled(r);
+    for (const auto &[r, v] : spec.knownRegs)
+        a.setKnownRegister(r, v);
+    return a.analyze();
+}
+
+PatchResult
+autoPatch(const AnalysisSpec &spec, std::size_t max_iterations)
+{
+    PatchResult result;
+    AnalysisSpec current = spec;
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+        result.iterations = iter + 1;
+        const AnalysisResult analysis = analyzeSpec(current);
+        if (!analysis.vulnerable) {
+            result.verified = true;
+            result.residualRaces = analysis.findings.size();
+            break;
+        }
+        // Insert a fence right after the authorization point of the
+        // first finding (for intra-instruction authorizations this
+        // lands right after the faulting access, cutting the
+        // exfiltration chain: the relaxed strategy-3 placement).
+        const Finding &f = analysis.findings.front();
+        const std::size_t at =
+            (f.authPc ? *f.authPc
+                      : f.accessPc.value_or(0)) + 1;
+        defense::insertLfenceBefore(current.program, at);
+        ++result.fencesInserted;
+    }
+    result.patched = current.program;
+    if (!result.verified) {
+        const AnalysisResult final_check = analyzeSpec(current);
+        result.verified = !final_check.vulnerable;
+        result.residualRaces = final_check.findings.size();
+    }
+    return result;
+}
+
+} // namespace specsec::tool

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Automatic patching (the "add security dependency" box of Fig. 9):
+ * insert lightweight fences until the analyzer finds no missing
+ * security dependency, then report the verified-patched program.
+ */
+
+#ifndef SPECSEC_TOOL_PATCHER_HH
+#define SPECSEC_TOOL_PATCHER_HH
+
+#include "analyzer.hh"
+
+namespace specsec::tool
+{
+
+/** Everything needed to (re-)run an analysis. */
+struct AnalysisSpec
+{
+    Program program;
+    std::vector<ProtectedRange> ranges;
+    ThreatModel model;
+    std::vector<RegId> attackerRegs;
+    std::vector<std::pair<RegId, Word>> knownRegs;
+};
+
+/** Build and run an analyzer from a spec. */
+AnalysisResult analyzeSpec(const AnalysisSpec &spec);
+
+/** Result of automatic patching. */
+struct PatchResult
+{
+    Program patched;
+    std::size_t fencesInserted = 0;
+    /// Post-patch analysis finds no *exploitable* flow (the paper's
+    /// success criterion: the secret may still be accessed, but it
+    /// cannot be used or sent — the relaxed strategies 2/3).
+    bool verified = false;
+    /// Races remaining after patching.  Intra-instruction
+    /// authorization/access races (Meltdown-type) cannot be closed
+    /// by software fences; they persist here while the exfiltration
+    /// path is fenced off.  Eliminating them needs a hardware
+    /// defense or isolation (e.g. KPTI).
+    std::size_t residualRaces = 0;
+    std::size_t iterations = 0;
+};
+
+/**
+ * Repeatedly insert a fence after the first remaining finding's
+ * authorization point until the program is no longer exploitable
+ * (or @p max_iterations is reached).
+ */
+PatchResult autoPatch(const AnalysisSpec &spec,
+                      std::size_t max_iterations = 16);
+
+} // namespace specsec::tool
+
+#endif // SPECSEC_TOOL_PATCHER_HH

@@ -1,0 +1,53 @@
+#include "report.hh"
+
+#include <sstream>
+
+#include "core/security_dependency.hh"
+
+namespace specsec::tool
+{
+
+std::string
+renderReport(const AnalysisResult &result, const Program &program)
+{
+    std::ostringstream os;
+    os << "=== speculative execution vulnerability report ===\n";
+    os << "program (" << program.size() << " instructions):\n";
+    os << program.disassembleAll();
+    os << "\nattack graph: " << result.graph.tsg().nodeCount()
+       << " operations, " << result.graph.tsg().edgeCount()
+       << " dependencies\n";
+    os << "  authorization operations: "
+       << result.graph.authorizationNodes().size() << "\n";
+    os << "  potential secret accesses: "
+       << result.graph.secretAccessNodes().size() << "\n";
+    os << "  covert send operations: "
+       << result.graph.sendNodes().size() << "\n";
+    os << "\nverdict: "
+       << (result.vulnerable ? "VULNERABLE" : "no exploitable race")
+       << "\n";
+    if (result.findings.empty()) {
+        os << "no missing security dependencies found\n";
+        return os.str();
+    }
+    os << "missing security dependencies ("
+       << result.findings.size() << "):\n";
+    for (const Finding &f : result.findings) {
+        os << "  - " << f.description << "\n";
+        os << "    authorization pc: ";
+        if (f.authPc)
+            os << *f.authPc;
+        else
+            os << "(none)";
+        os << ", operation pc: ";
+        if (f.accessPc)
+            os << *f.accessPc;
+        else
+            os << "(none)";
+        os << "\n    suggested strategy: "
+           << core::defenseStrategyName(f.suggested) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace specsec::tool

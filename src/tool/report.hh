@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Human-readable vulnerability reports for analyzer results.
+ */
+
+#ifndef SPECSEC_TOOL_REPORT_HH
+#define SPECSEC_TOOL_REPORT_HH
+
+#include <string>
+
+#include "analyzer.hh"
+
+namespace specsec::tool
+{
+
+/** Render a report: program, graph summary, findings, suggestions. */
+std::string renderReport(const AnalysisResult &result,
+                         const Program &program);
+
+} // namespace specsec::tool
+
+#endif // SPECSEC_TOOL_REPORT_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A set-associative, metadata-only L1 data cache with LRU
+ * replacement, explicit flush, timing, per-line domain tags (for
+ * DAWG-style partitioning) and undo support (for CleanupSpec).
+ *
+ * The cache tracks *presence and timing*, not data: data always
+ * comes from physical memory or the store buffer.  This is
+ * sufficient for covert-channel modeling because the channel signal
+ * is the hit/miss latency difference, and it keeps squashed
+ * speculative state trivially consistent (the paper's point: caches
+ * are micro-architectural state that is *not* rolled back).
+ */
+
+#ifndef SPECSEC_UARCH_CACHE_HH
+#define SPECSEC_UARCH_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa.hh"
+
+namespace specsec::uarch
+{
+
+/** Cache geometry and timing. */
+struct CacheConfig
+{
+    std::size_t sets = 256;
+    std::size_t ways = 4;
+    std::size_t lineSize = 64;
+    std::uint32_t hitLatency = 4;
+    std::uint32_t missLatency = 200;
+};
+
+/** Result of a cache access. */
+struct CacheAccess
+{
+    bool hit = false;
+    std::uint32_t latency = 0;
+    bool evicted = false; ///< an existing line was displaced
+    Addr evictedLineAddr = 0;
+};
+
+/** Hit/miss statistics. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t flushes = 0;
+};
+
+/**
+ * The L1 data cache.
+ *
+ * Domain tags: when partitioned mode is on (DAWG model), a lookup
+ * from domain D only hits lines installed by domain D, reproducing
+ * the "sender's state change is invisible across domains" defense.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Enable DAWG-style domain partitioning. */
+    void setPartitioned(bool partitioned) { partitioned_ = partitioned; }
+    bool partitioned() const { return partitioned_; }
+
+    /**
+     * Access the line containing @p paddr from @p domain.
+     *
+     * @param allocate Insert the line on a miss (a normal fill).
+     *        Pass false for InvisiSpec-style invisible speculative
+     *        loads: the latency is real but no state changes.
+     */
+    CacheAccess access(Addr paddr, int domain = 0,
+                       bool allocate = true);
+
+    /** @return true if the line is present (no LRU/state change). */
+    bool contains(Addr paddr, int domain = 0) const;
+
+    /** Insert without timing (commit-time fill for InvisiSpec). */
+    void insert(Addr paddr, int domain = 0);
+
+    /** Remove the line if present (clflush, CleanupSpec undo). */
+    bool flushLine(Addr paddr);
+
+    /** Remove every line. */
+    void flushAll();
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+    /** @return set index for an address (for Prime+Probe harness). */
+    std::size_t setIndex(Addr paddr) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        int domain = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    Line *find(Addr paddr, int domain);
+    const Line *find(Addr paddr, int domain) const;
+
+    CacheConfig config_;
+    bool partitioned_ = false;
+    std::vector<Line> lines_; ///< sets * ways, row-major by set
+    std::uint64_t useCounter_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace specsec::uarch
+
+#endif // SPECSEC_UARCH_CACHE_HH

@@ -1,0 +1,159 @@
+#include "covert.hh"
+
+#include <algorithm>
+
+namespace specsec::uarch
+{
+
+FlushReloadChannel::FlushReloadChannel(Cpu &cpu, Addr probe_base,
+                                       std::size_t slots, Addr stride)
+    : cpu_(cpu), probeBase_(probe_base), slots_(slots), stride_(stride)
+{
+}
+
+std::uint32_t
+FlushReloadChannel::threshold() const
+{
+    const CacheConfig &c = cpu_.config().cache;
+    return (c.hitLatency + c.missLatency) / 2;
+}
+
+void
+FlushReloadChannel::setup()
+{
+    for (std::size_t i = 0; i < slots_; ++i)
+        cpu_.flushLineVirt(probeBase_ + i * stride_);
+}
+
+ChannelRecovery
+FlushReloadChannel::recover()
+{
+    ChannelRecovery r;
+    r.latencies.resize(slots_);
+    std::uint32_t best = UINT32_MAX;
+    for (std::size_t i = 0; i < slots_; ++i) {
+        const std::uint32_t lat =
+            cpu_.timedProbe(probeBase_ + i * stride_);
+        r.latencies[i] = lat;
+        if (lat < best) {
+            best = lat;
+            r.value = static_cast<int>(i);
+        }
+    }
+    if (best > threshold())
+        r.value = -1; // every slot missed: no signal
+    return r;
+}
+
+PrimeProbeChannel::PrimeProbeChannel(Cpu &cpu, Addr evict_base,
+                                     std::size_t slots)
+    : cpu_(cpu), evictBase_(evict_base), slots_(slots)
+{
+}
+
+void
+PrimeProbeChannel::prime()
+{
+    const CacheConfig &c = cpu_.config().cache;
+    const Addr way_stride = c.sets * c.lineSize;
+    for (std::size_t s = 0; s < slots_; ++s) {
+        for (std::size_t w = 0; w < c.ways; ++w) {
+            cpu_.timedAccess(evictBase_ + s * c.lineSize +
+                             w * way_stride);
+        }
+    }
+}
+
+ChannelRecovery
+PrimeProbeChannel::recover()
+{
+    const CacheConfig &c = cpu_.config().cache;
+    const Addr way_stride = c.sets * c.lineSize;
+    ChannelRecovery r;
+    r.latencies.resize(slots_);
+    std::uint32_t best = 0;
+    for (std::size_t s = 0; s < slots_; ++s) {
+        std::uint32_t total = 0;
+        for (std::size_t w = 0; w < c.ways; ++w) {
+            total += cpu_.timedAccess(evictBase_ + s * c.lineSize +
+                                      w * way_stride);
+        }
+        r.latencies[s] = total;
+        if (total > best) {
+            best = total;
+            r.value = static_cast<int>(s);
+        }
+    }
+    // A set the sender evicted shows at least one miss.
+    if (best < c.ways * c.hitLatency + c.missLatency - c.hitLatency)
+        r.value = -1;
+    return r;
+}
+
+EvictTimeChannel::EvictTimeChannel(Cpu &cpu, Addr evict_base,
+                                   std::size_t slots)
+    : cpu_(cpu), evictBase_(evict_base), slots_(slots)
+{
+}
+
+void
+EvictTimeChannel::evictSet(std::size_t set)
+{
+    const CacheConfig &c = cpu_.config().cache;
+    const Addr way_stride = c.sets * c.lineSize;
+    for (std::size_t w = 0; w < c.ways; ++w)
+        cpu_.timedAccess(evictBase_ + set * c.lineSize +
+                         w * way_stride);
+}
+
+ChannelRecovery
+EvictTimeChannel::recover(const std::function<void()> &prepare,
+                          const std::function<std::uint64_t()>
+                              &victim_op)
+{
+    ChannelRecovery r;
+    r.latencies.resize(slots_);
+    std::uint64_t best = 0;
+    std::uint64_t floor = UINT64_MAX;
+    for (std::size_t s = 0; s < slots_; ++s) {
+        prepare();
+        evictSet(s);
+        const std::uint64_t t = victim_op();
+        r.latencies[s] = static_cast<std::uint32_t>(t);
+        floor = std::min(floor, t);
+        if (t > best) {
+            best = t;
+            r.value = static_cast<int>(s);
+        }
+    }
+    // No slowdown above the common-case floor: no signal.
+    if (best < floor + cpu_.config().cache.missLatency / 2)
+        r.value = -1;
+    return r;
+}
+
+ChannelRecovery
+recoverByCollision(std::size_t slots,
+                   const std::function<void()> &prepare,
+                   const std::function<std::uint64_t(int)> &victim_op)
+{
+    ChannelRecovery r;
+    r.latencies.resize(slots);
+    std::uint64_t best = UINT64_MAX;
+    std::uint64_t ceiling = 0;
+    for (std::size_t g = 0; g < slots; ++g) {
+        prepare();
+        const std::uint64_t t = victim_op(static_cast<int>(g));
+        r.latencies[g] = static_cast<std::uint32_t>(t);
+        ceiling = std::max(ceiling, t);
+        if (t < best) {
+            best = t;
+            r.value = static_cast<int>(g);
+        }
+    }
+    if (ceiling == best)
+        r.value = -1; // no collision speedup observed
+    return r;
+}
+
+} // namespace specsec::uarch

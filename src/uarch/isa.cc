@@ -1,0 +1,485 @@
+#include "isa.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace specsec::uarch
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      case Opcode::MovImm: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::AddImm: return "addi";
+      case Opcode::AndImm: return "andi";
+      case Opcode::ShlImm: return "shli";
+      case Opcode::ShrImm: return "shri";
+      case Opcode::MulImm: return "muli";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Branch: return "br";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::JmpInd: return "jmpi";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Clflush: return "clflush";
+      case Opcode::Lfence: return "lfence";
+      case Opcode::Mfence: return "mfence";
+      case Opcode::RdMsr: return "rdmsr";
+      case Opcode::FpMov: return "fpmov";
+      case Opcode::FpRead: return "fpread";
+      case Opcode::RdTsc: return "rdtsc";
+      case Opcode::XBegin: return "xbegin";
+      case Opcode::XEnd: return "xend";
+    }
+    return "???";
+}
+
+namespace
+{
+
+const char *
+condName(Cond cond)
+{
+    switch (cond) {
+      case Cond::Eq: return "eq";
+      case Cond::Ne: return "ne";
+      case Cond::Lt: return "lt";
+      case Cond::Ge: return "ge";
+      case Cond::Ltu: return "ltu";
+      case Cond::Geu: return "geu";
+    }
+    return "??";
+}
+
+} // anonymous namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Lfence:
+      case Opcode::Mfence:
+      case Opcode::XEnd:
+      case Opcode::Ret:
+        break;
+      case Opcode::MovImm:
+        os << " r" << int(inst.rd) << ", " << inst.imm;
+        break;
+      case Opcode::Mov:
+        os << " r" << int(inst.rd) << ", r" << int(inst.ra);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+        os << " r" << int(inst.rd) << ", r" << int(inst.ra) << ", r"
+           << int(inst.rb);
+        break;
+      case Opcode::AddImm:
+      case Opcode::AndImm:
+      case Opcode::ShlImm:
+      case Opcode::ShrImm:
+      case Opcode::MulImm:
+        os << " r" << int(inst.rd) << ", r" << int(inst.ra) << ", "
+           << inst.imm;
+        break;
+      case Opcode::Load:
+        os << (inst.size == 1 ? "8" : "64") << " r" << int(inst.rd)
+           << ", [r" << int(inst.ra) << " + " << inst.imm << "]";
+        break;
+      case Opcode::Store:
+        os << (inst.size == 1 ? "8" : "64") << " [r" << int(inst.ra)
+           << " + " << inst.imm << "], r" << int(inst.rb);
+        break;
+      case Opcode::Branch:
+        os << "." << condName(inst.cond) << " r" << int(inst.ra)
+           << ", r" << int(inst.rb) << ", @" << inst.imm;
+        break;
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::XBegin:
+        os << " @" << inst.imm;
+        break;
+      case Opcode::JmpInd:
+        os << " r" << int(inst.ra);
+        break;
+      case Opcode::Clflush:
+        os << " [r" << int(inst.ra) << " + " << inst.imm << "]";
+        break;
+      case Opcode::RdMsr:
+        os << " r" << int(inst.rd) << ", msr" << inst.imm;
+        break;
+      case Opcode::FpMov:
+        os << " f" << int(inst.rd) << ", r" << int(inst.ra);
+        break;
+      case Opcode::FpRead:
+        os << " r" << int(inst.rd) << ", f" << int(inst.ra);
+        break;
+      case Opcode::RdTsc:
+        os << " r" << int(inst.rd);
+        break;
+    }
+    return os.str();
+}
+
+namespace
+{
+
+Instruction
+make(Opcode op, RegId rd = 0, RegId ra = 0, RegId rb = 0,
+     std::int64_t imm = 0, Cond cond = Cond::Eq, std::uint8_t size = 8)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.ra = ra;
+    i.rb = rb;
+    i.imm = imm;
+    i.cond = cond;
+    i.size = size;
+    return i;
+}
+
+} // anonymous namespace
+
+Instruction nop() { return make(Opcode::Nop); }
+Instruction halt() { return make(Opcode::Halt); }
+
+Instruction
+movImm(RegId rd, std::int64_t imm)
+{
+    return make(Opcode::MovImm, rd, 0, 0, imm);
+}
+
+Instruction mov(RegId rd, RegId ra) { return make(Opcode::Mov, rd, ra); }
+
+Instruction
+add(RegId rd, RegId ra, RegId rb)
+{
+    return make(Opcode::Add, rd, ra, rb);
+}
+
+Instruction
+sub(RegId rd, RegId ra, RegId rb)
+{
+    return make(Opcode::Sub, rd, ra, rb);
+}
+
+Instruction
+andr(RegId rd, RegId ra, RegId rb)
+{
+    return make(Opcode::And, rd, ra, rb);
+}
+
+Instruction
+orr(RegId rd, RegId ra, RegId rb)
+{
+    return make(Opcode::Or, rd, ra, rb);
+}
+
+Instruction
+xorr(RegId rd, RegId ra, RegId rb)
+{
+    return make(Opcode::Xor, rd, ra, rb);
+}
+
+Instruction
+shl(RegId rd, RegId ra, RegId rb)
+{
+    return make(Opcode::Shl, rd, ra, rb);
+}
+
+Instruction
+shr(RegId rd, RegId ra, RegId rb)
+{
+    return make(Opcode::Shr, rd, ra, rb);
+}
+
+Instruction
+addImm(RegId rd, RegId ra, std::int64_t imm)
+{
+    return make(Opcode::AddImm, rd, ra, 0, imm);
+}
+
+Instruction
+andImm(RegId rd, RegId ra, std::int64_t imm)
+{
+    return make(Opcode::AndImm, rd, ra, 0, imm);
+}
+
+Instruction
+shlImm(RegId rd, RegId ra, std::int64_t imm)
+{
+    return make(Opcode::ShlImm, rd, ra, 0, imm);
+}
+
+Instruction
+shrImm(RegId rd, RegId ra, std::int64_t imm)
+{
+    return make(Opcode::ShrImm, rd, ra, 0, imm);
+}
+
+Instruction
+mulImm(RegId rd, RegId ra, std::int64_t imm)
+{
+    return make(Opcode::MulImm, rd, ra, 0, imm);
+}
+
+Instruction
+load8(RegId rd, RegId ra, std::int64_t offset)
+{
+    return make(Opcode::Load, rd, ra, 0, offset, Cond::Eq, 1);
+}
+
+Instruction
+load64(RegId rd, RegId ra, std::int64_t offset)
+{
+    return make(Opcode::Load, rd, ra, 0, offset, Cond::Eq, 8);
+}
+
+Instruction
+store8(RegId ra, std::int64_t offset, RegId rb)
+{
+    return make(Opcode::Store, 0, ra, rb, offset, Cond::Eq, 1);
+}
+
+Instruction
+store64(RegId ra, std::int64_t offset, RegId rb)
+{
+    return make(Opcode::Store, 0, ra, rb, offset, Cond::Eq, 8);
+}
+
+Instruction
+branch(Cond cond, RegId ra, RegId rb, std::int64_t target)
+{
+    return make(Opcode::Branch, 0, ra, rb, target, cond);
+}
+
+Instruction jmp(std::int64_t target)
+{
+    return make(Opcode::Jmp, 0, 0, 0, target);
+}
+
+Instruction jmpInd(RegId ra) { return make(Opcode::JmpInd, 0, ra); }
+
+Instruction
+call(std::int64_t target)
+{
+    return make(Opcode::Call, 0, 0, 0, target);
+}
+
+Instruction ret() { return make(Opcode::Ret); }
+
+Instruction
+clflush(RegId ra, std::int64_t offset)
+{
+    return make(Opcode::Clflush, 0, ra, 0, offset);
+}
+
+Instruction lfence() { return make(Opcode::Lfence); }
+Instruction mfence() { return make(Opcode::Mfence); }
+
+Instruction
+rdmsr(RegId rd, std::int64_t msr)
+{
+    return make(Opcode::RdMsr, rd, 0, 0, msr);
+}
+
+Instruction
+fpMov(RegId fd, RegId ra)
+{
+    return make(Opcode::FpMov, fd, ra);
+}
+
+Instruction
+fpRead(RegId rd, RegId fa)
+{
+    return make(Opcode::FpRead, rd, fa);
+}
+
+Instruction rdtsc(RegId rd) { return make(Opcode::RdTsc, rd); }
+
+Instruction
+xbegin(std::int64_t abort_target)
+{
+    return make(Opcode::XBegin, 0, 0, 0, abort_target);
+}
+
+Instruction xend() { return make(Opcode::XEnd); }
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Load;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::Store;
+}
+
+bool
+isControl(Opcode op)
+{
+    return op == Opcode::Branch || op == Opcode::Jmp ||
+           op == Opcode::JmpInd || op == Opcode::Call ||
+           op == Opcode::Ret || op == Opcode::XBegin;
+}
+
+bool
+writesIntReg(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::MovImm:
+      case Opcode::Mov:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::AddImm:
+      case Opcode::AndImm:
+      case Opcode::ShlImm:
+      case Opcode::ShrImm:
+      case Opcode::MulImm:
+      case Opcode::Load:
+      case Opcode::RdMsr:
+      case Opcode::FpRead:
+      case Opcode::RdTsc:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::size_t
+Program::emit(const Instruction &inst)
+{
+    code_.push_back(inst);
+    return code_.size() - 1;
+}
+
+Program::Label
+Program::newLabel()
+{
+    labelTargets_.push_back(-1);
+    return Label{labelTargets_.size() - 1};
+}
+
+void
+Program::bind(Label label)
+{
+    labelTargets_.at(label.id) =
+        static_cast<std::int64_t>(code_.size());
+    // Patch pending fixups for this label.
+    for (const Fixup &f : fixups_) {
+        if (f.labelId == label.id)
+            code_[f.pc].imm = labelTargets_[label.id];
+    }
+}
+
+std::size_t
+Program::emitBranch(Cond cond, RegId ra, RegId rb, Label target)
+{
+    const std::size_t pc = emit(branch(cond, ra, rb, 0));
+    if (labelTargets_.at(target.id) >= 0)
+        code_[pc].imm = labelTargets_[target.id];
+    else
+        fixups_.push_back({pc, target.id});
+    return pc;
+}
+
+std::size_t
+Program::emitJmp(Label target)
+{
+    const std::size_t pc = emit(jmp(0));
+    if (labelTargets_.at(target.id) >= 0)
+        code_[pc].imm = labelTargets_[target.id];
+    else
+        fixups_.push_back({pc, target.id});
+    return pc;
+}
+
+std::size_t
+Program::emitCall(Label target)
+{
+    const std::size_t pc = emit(call(0));
+    if (labelTargets_.at(target.id) >= 0)
+        code_[pc].imm = labelTargets_[target.id];
+    else
+        fixups_.push_back({pc, target.id});
+    return pc;
+}
+
+std::size_t
+Program::emitXBegin(Label abort_target)
+{
+    const std::size_t pc = emit(xbegin(0));
+    if (labelTargets_.at(abort_target.id) >= 0)
+        code_[pc].imm = labelTargets_[abort_target.id];
+    else
+        fixups_.push_back({pc, abort_target.id});
+    return pc;
+}
+
+void
+Program::insertAt(std::size_t pc, const Instruction &inst)
+{
+    if (pc > code_.size())
+        throw std::out_of_range("Program::insertAt: pc out of range");
+    code_.insert(code_.begin() + static_cast<std::ptrdiff_t>(pc),
+                 inst);
+    // Every absolute target at or beyond the insertion point shifts.
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+        Instruction &ins = code_[i];
+        const bool has_target =
+            ins.op == Opcode::Branch || ins.op == Opcode::Jmp ||
+            ins.op == Opcode::Call || ins.op == Opcode::XBegin;
+        if (has_target && ins.imm >= static_cast<std::int64_t>(pc) &&
+            i != pc) {
+            ins.imm += 1;
+        }
+    }
+}
+
+void
+Program::finalize() const
+{
+    for (std::size_t i = 0; i < labelTargets_.size(); ++i) {
+        if (labelTargets_[i] < 0)
+            throw std::logic_error("Program: unbound label");
+    }
+}
+
+std::string
+Program::disassembleAll() const
+{
+    std::ostringstream os;
+    for (std::size_t pc = 0; pc < code_.size(); ++pc)
+        os << pc << ": " << disassemble(code_[pc]) << "\n";
+    return os.str();
+}
+
+} // namespace specsec::uarch

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The simulator's instruction set.
+ *
+ * A small RISC-style ISA that covers every operation class the
+ * paper's attack listings use: loads/stores (byte and word),
+ * conditional and indirect branches, call/return, cache flush,
+ * fences, privileged system-register reads, floating-point register
+ * moves, a cycle counter and TSX-style transaction brackets.
+ * Branch targets are absolute instruction indices.
+ */
+
+#ifndef SPECSEC_UARCH_ISA_HH
+#define SPECSEC_UARCH_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specsec::uarch
+{
+
+using Addr = std::uint64_t;
+using Word = std::uint64_t;
+using RegId = std::uint8_t;
+
+/** Number of general-purpose integer registers (r0..r15). */
+constexpr std::size_t kNumIntRegs = 16;
+
+/** Number of floating-point registers (f0..f7). */
+constexpr std::size_t kNumFpRegs = 8;
+
+/** Number of model-specific (system) registers. */
+constexpr std::size_t kNumMsrs = 16;
+
+/** Operation codes. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    Halt,
+    MovImm, ///< rd <- imm
+    Mov,    ///< rd <- ra
+    Add,    ///< rd <- ra + rb
+    Sub,    ///< rd <- ra - rb
+    And,    ///< rd <- ra & rb
+    Or,     ///< rd <- ra | rb
+    Xor,    ///< rd <- ra ^ rb
+    Shl,    ///< rd <- ra << rb
+    Shr,    ///< rd <- ra >> rb
+    AddImm, ///< rd <- ra + imm
+    AndImm, ///< rd <- ra & imm
+    ShlImm, ///< rd <- ra << imm
+    ShrImm, ///< rd <- ra >> imm
+    MulImm, ///< rd <- ra * imm
+    Load,   ///< rd <- mem[ra + imm]  (size bytes, zero-extended)
+    Store,  ///< mem[ra + imm] <- rb  (size bytes)
+    Branch, ///< if cond(ra, rb): pc <- imm else fall through
+    Jmp,    ///< pc <- imm
+    JmpInd, ///< pc <- ra  (predicted via BTB)
+    Call,   ///< push pc+1; pc <- imm  (predicted push to RSB)
+    Ret,    ///< pc <- pop()  (predicted via RSB)
+    Clflush,///< flush cache line at mem[ra + imm]
+    Lfence, ///< younger instructions wait for all older to complete
+    Mfence, ///< lfence + store buffer drained
+    RdMsr,  ///< rd <- msr[imm]  (requires kernel privilege)
+    FpMov,  ///< f[rd] <- ra
+    FpRead, ///< rd <- f[ra]
+    RdTsc,  ///< rd <- current cycle
+    XBegin, ///< start transaction; abort redirects to imm
+    XEnd,   ///< end transaction
+};
+
+/** Branch conditions (comparing ra with rb). */
+enum class Cond : std::uint8_t
+{
+    Eq,
+    Ne,
+    Lt,  ///< signed less-than
+    Ge,  ///< signed greater-or-equal
+    Ltu, ///< unsigned less-than
+    Geu, ///< unsigned greater-or-equal
+};
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegId rd = 0;
+    RegId ra = 0;
+    RegId rb = 0;
+    std::int64_t imm = 0;
+    Cond cond = Cond::Eq;
+    std::uint8_t size = 8; ///< memory access size in bytes (1 or 8)
+};
+
+/** @return stable mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** @return a disassembly string such as "load r3, [r1 + 0x40]". */
+std::string disassemble(const Instruction &inst);
+
+/** @name Instruction factories
+ *  @{ */
+Instruction nop();
+Instruction halt();
+Instruction movImm(RegId rd, std::int64_t imm);
+Instruction mov(RegId rd, RegId ra);
+Instruction add(RegId rd, RegId ra, RegId rb);
+Instruction sub(RegId rd, RegId ra, RegId rb);
+Instruction andr(RegId rd, RegId ra, RegId rb);
+Instruction orr(RegId rd, RegId ra, RegId rb);
+Instruction xorr(RegId rd, RegId ra, RegId rb);
+Instruction shl(RegId rd, RegId ra, RegId rb);
+Instruction shr(RegId rd, RegId ra, RegId rb);
+Instruction addImm(RegId rd, RegId ra, std::int64_t imm);
+Instruction andImm(RegId rd, RegId ra, std::int64_t imm);
+Instruction shlImm(RegId rd, RegId ra, std::int64_t imm);
+Instruction shrImm(RegId rd, RegId ra, std::int64_t imm);
+Instruction mulImm(RegId rd, RegId ra, std::int64_t imm);
+Instruction load8(RegId rd, RegId ra, std::int64_t offset);
+Instruction load64(RegId rd, RegId ra, std::int64_t offset);
+Instruction store8(RegId ra, std::int64_t offset, RegId rb);
+Instruction store64(RegId ra, std::int64_t offset, RegId rb);
+Instruction branch(Cond cond, RegId ra, RegId rb, std::int64_t target);
+Instruction jmp(std::int64_t target);
+Instruction jmpInd(RegId ra);
+Instruction call(std::int64_t target);
+Instruction ret();
+Instruction clflush(RegId ra, std::int64_t offset);
+Instruction lfence();
+Instruction mfence();
+Instruction rdmsr(RegId rd, std::int64_t msr);
+Instruction fpMov(RegId fd, RegId ra);
+Instruction fpRead(RegId rd, RegId fa);
+Instruction rdtsc(RegId rd);
+Instruction xbegin(std::int64_t abort_target);
+Instruction xend();
+/** @} */
+
+/** @return true if the opcode reads memory. */
+bool isLoad(Opcode op);
+/** @return true if the opcode writes memory. */
+bool isStore(Opcode op);
+/** @return true if the opcode changes control flow. */
+bool isControl(Opcode op);
+/** @return true if the instruction writes an integer register. */
+bool writesIntReg(const Instruction &inst);
+
+/**
+ * An assembled program: a vector of instructions plus forward-label
+ * support.  Instruction addresses are indices into the program.
+ */
+class Program
+{
+  public:
+    /** A patchable jump/branch target. */
+    struct Label
+    {
+        std::size_t id = 0;
+    };
+
+    /** Append an instruction; @return its address. */
+    std::size_t emit(const Instruction &inst);
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the current end of the program. */
+    void bind(Label label);
+
+    /** Emit a conditional branch to a (possibly unbound) label. */
+    std::size_t emitBranch(Cond cond, RegId ra, RegId rb, Label target);
+
+    /** Emit an unconditional jump to a label. */
+    std::size_t emitJmp(Label target);
+
+    /** Emit a call to a label. */
+    std::size_t emitCall(Label target);
+
+    /** Emit an xbegin whose abort handler is a label. */
+    std::size_t emitXBegin(Label abort_target);
+
+    /** @return the instruction at @p pc. */
+    const Instruction &at(std::size_t pc) const { return code_.at(pc); }
+
+    /** Mutable access, for patching by defense transforms. */
+    Instruction &at(std::size_t pc) { return code_.at(pc); }
+
+    /** Insert an instruction at @p pc, fixing up absolute targets. */
+    void insertAt(std::size_t pc, const Instruction &inst);
+
+    std::size_t size() const { return code_.size(); }
+    bool empty() const { return code_.empty(); }
+
+    /** @throws std::logic_error if any label is still unbound. */
+    void finalize() const;
+
+    /** @return full program disassembly, one instruction per line. */
+    std::string disassembleAll() const;
+
+  private:
+    std::vector<Instruction> code_;
+    std::vector<std::int64_t> labelTargets_; ///< -1 while unbound
+    struct Fixup
+    {
+        std::size_t pc;
+        std::size_t labelId;
+    };
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace specsec::uarch
+
+#endif // SPECSEC_UARCH_ISA_HH

@@ -1,0 +1,209 @@
+#include "memory.hh"
+
+#include <stdexcept>
+
+namespace specsec::uarch
+{
+
+const char *
+faultKindName(FaultKind fault)
+{
+    switch (fault) {
+      case FaultKind::None: return "none";
+      case FaultKind::NotMapped: return "not-mapped";
+      case FaultKind::NotPresent: return "not-present";
+      case FaultKind::ReservedBit: return "reserved-bit";
+      case FaultKind::Privilege: return "privilege";
+      case FaultKind::WriteProtect: return "write-protect";
+      case FaultKind::MsrPrivilege: return "msr-privilege";
+      case FaultKind::FpuNotOwned: return "fpu-not-owned";
+      case FaultKind::TsxAbort: return "tsx-abort";
+    }
+    return "unknown";
+}
+
+void
+PageTable::map(Addr vaddr, Pte pte)
+{
+    pages_[vaddr / kPageSize] = pte;
+}
+
+void
+PageTable::mapRange(Addr base, Addr length, PageOwner owner,
+                    bool user_accessible, bool writable)
+{
+    const Addr first = base / kPageSize;
+    const Addr last = (base + length + kPageSize - 1) / kPageSize;
+    for (Addr vpn = first; vpn < last; ++vpn) {
+        Pte pte;
+        pte.physPage = vpn; // identity mapping
+        pte.owner = owner;
+        pte.userAccessible = user_accessible;
+        pte.writable = writable;
+        pages_[vpn] = pte;
+    }
+}
+
+void
+PageTable::unmap(Addr vaddr)
+{
+    pages_.erase(vaddr / kPageSize);
+}
+
+const Pte *
+PageTable::lookup(Addr vaddr) const
+{
+    const auto it = pages_.find(vaddr / kPageSize);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+Pte *
+PageTable::lookup(Addr vaddr)
+{
+    const auto it = pages_.find(vaddr / kPageSize);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+void
+PageTable::setPresent(Addr vaddr, bool present)
+{
+    Pte *pte = lookup(vaddr);
+    if (!pte)
+        throw std::invalid_argument("setPresent: page not mapped");
+    pte->present = present;
+}
+
+void
+PageTable::setReservedBit(Addr vaddr, bool reserved)
+{
+    Pte *pte = lookup(vaddr);
+    if (!pte)
+        throw std::invalid_argument("setReservedBit: page not mapped");
+    pte->reservedBit = reserved;
+}
+
+Translation
+PageTable::translate(Addr vaddr, AccessType type, Privilege privilege,
+                     bool enclave_mode) const
+{
+    Translation t;
+    const Pte *pte = lookup(vaddr);
+    if (!pte) {
+        t.fault = FaultKind::NotMapped;
+        return t;
+    }
+    t.paddr = pte->physPage * kPageSize + (vaddr % kPageSize);
+    t.paddrValid = true;
+
+    // Terminal conditions first: the page walk aborts before the
+    // privilege checks, which is the L1TF trigger.
+    if (!pte->present) {
+        t.fault = FaultKind::NotPresent;
+        return t;
+    }
+    if (pte->reservedBit) {
+        t.fault = FaultKind::ReservedBit;
+        return t;
+    }
+
+    // Domain / privilege checks.
+    switch (pte->owner) {
+      case PageOwner::User:
+        break;
+      case PageOwner::Kernel:
+        if (privilege == Privilege::User) {
+            t.fault = FaultKind::Privilege;
+            return t;
+        }
+        break;
+      case PageOwner::Enclave:
+        if (!enclave_mode) {
+            t.fault = FaultKind::Privilege;
+            return t;
+        }
+        break;
+      case PageOwner::Vmm:
+        if (privilege != Privilege::Vmm) {
+            t.fault = FaultKind::Privilege;
+            return t;
+        }
+        break;
+    }
+    // Enclaves execute at user privilege; the owner check above
+    // already admitted this access, so the user-accessible bit does
+    // not apply to enclave pages in enclave mode.
+    const bool enclave_access =
+        pte->owner == PageOwner::Enclave && enclave_mode;
+    if (!pte->userAccessible && privilege == Privilege::User &&
+        !enclave_access) {
+        t.fault = FaultKind::Privilege;
+        return t;
+    }
+    if (type == AccessType::Write && !pte->writable) {
+        t.fault = FaultKind::WriteProtect;
+        return t;
+    }
+    return t;
+}
+
+Memory::Memory(std::size_t size) : bytes_(size, 0)
+{
+}
+
+void
+Memory::check(Addr paddr, std::size_t len) const
+{
+    if (paddr + len > bytes_.size())
+        throw std::out_of_range("Memory: physical address out of range");
+}
+
+std::uint8_t
+Memory::read8(Addr paddr) const
+{
+    check(paddr, 1);
+    return bytes_[paddr];
+}
+
+void
+Memory::write8(Addr paddr, std::uint8_t value)
+{
+    check(paddr, 1);
+    bytes_[paddr] = value;
+}
+
+Word
+Memory::read64(Addr paddr) const
+{
+    check(paddr, 8);
+    Word value = 0;
+    for (int i = 7; i >= 0; --i)
+        value = (value << 8) | bytes_[paddr + static_cast<Addr>(i)];
+    return value;
+}
+
+void
+Memory::write64(Addr paddr, Word value)
+{
+    check(paddr, 8);
+    for (int i = 0; i < 8; ++i) {
+        bytes_[paddr + static_cast<Addr>(i)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+Word
+Memory::read(Addr paddr, std::uint8_t size) const
+{
+    return size == 1 ? read8(paddr) : read64(paddr);
+}
+
+void
+Memory::write(Addr paddr, Word value, std::uint8_t size)
+{
+    if (size == 1)
+        write8(paddr, static_cast<std::uint8_t>(value));
+    else
+        write64(paddr, value);
+}
+
+} // namespace specsec::uarch

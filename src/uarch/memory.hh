@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Physical memory, page table and permission model.
+ *
+ * The page table supports the permission bits every modeled attack
+ * depends on: present (Foreshadow terminal fault), user-accessible
+ * (Meltdown), writable (Spectre v1.2), reserved bits
+ * (Foreshadow-NG), and a page-owner domain tag (User / Kernel /
+ * Enclave / Vmm) that reproduces the three isolation domains the
+ * Foreshadow variants breach.
+ *
+ * Crucially for the Meltdown/Foreshadow model, a translation that
+ * *faults* still reports the physical address when the PTE exists:
+ * the address bits are architecturally available to the pipeline
+ * before the permission check completes, which is exactly the race
+ * the paper describes.
+ */
+
+#ifndef SPECSEC_UARCH_MEMORY_HH
+#define SPECSEC_UARCH_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa.hh"
+
+namespace specsec::uarch
+{
+
+/** Page size in bytes. */
+constexpr Addr kPageSize = 4096;
+
+/** CPU privilege levels. */
+enum class Privilege : std::uint8_t
+{
+    User,
+    Kernel,
+    Vmm,
+};
+
+/** Protection domain owning a page. */
+enum class PageOwner : std::uint8_t
+{
+    User,
+    Kernel,
+    Enclave,
+    Vmm,
+};
+
+/** Faults an access can raise. */
+enum class FaultKind : std::uint8_t
+{
+    None,
+    NotMapped,    ///< no PTE at all (KPTI-unmapped, wild pointer)
+    NotPresent,   ///< PTE exists, present bit clear (L1TF trigger)
+    ReservedBit,  ///< PTE reserved bit set (Foreshadow-NG trigger)
+    Privilege,    ///< user access to kernel/enclave/VMM page
+    WriteProtect, ///< store to a read-only page
+    MsrPrivilege, ///< user RDMSR
+    FpuNotOwned,  ///< lazy-FPU ownership fault
+    TsxAbort,     ///< transaction asynchronous abort
+};
+
+/** @return stable human-readable fault name. */
+const char *faultKindName(FaultKind fault);
+
+/** A page table entry. */
+struct Pte
+{
+    Addr physPage = 0;  ///< physical page number
+    bool present = true;
+    bool writable = true;
+    bool userAccessible = true;
+    bool reservedBit = false;
+    PageOwner owner = PageOwner::User;
+};
+
+/** Memory access type for permission checking. */
+enum class AccessType : std::uint8_t
+{
+    Read,
+    Write,
+    Execute,
+};
+
+/** Result of a translation: physical address plus any fault. */
+struct Translation
+{
+    Addr paddr = 0;
+    bool paddrValid = false; ///< PTE existed, address bits known
+    FaultKind fault = FaultKind::None;
+};
+
+/**
+ * A single-level page table mapping virtual page numbers to PTEs.
+ */
+class PageTable
+{
+  public:
+    /** Map the page containing @p vaddr with the given PTE. */
+    void map(Addr vaddr, Pte pte);
+
+    /** Identity-map [base, base+length) with the given attributes. */
+    void mapRange(Addr base, Addr length, PageOwner owner,
+                  bool user_accessible, bool writable);
+
+    /** Remove the mapping for the page containing @p vaddr (KPTI). */
+    void unmap(Addr vaddr);
+
+    /** @return the PTE for the page of @p vaddr, or nullptr. */
+    const Pte *lookup(Addr vaddr) const;
+    Pte *lookup(Addr vaddr);
+
+    /** Clear / set the present bit (Foreshadow setup). */
+    void setPresent(Addr vaddr, bool present);
+
+    /** Set the reserved bit (Foreshadow-NG setup). */
+    void setReservedBit(Addr vaddr, bool reserved);
+
+    /**
+     * Translate a virtual address.
+     *
+     * The permission check order mirrors hardware: page walk (not
+     * mapped?), present/reserved bits (terminal fault), then
+     * privilege and write permission.
+     *
+     * @param enclave_mode true when executing inside the enclave
+     *        (may access PageOwner::Enclave pages).
+     */
+    Translation translate(Addr vaddr, AccessType type,
+                          Privilege privilege,
+                          bool enclave_mode = false) const;
+
+  private:
+    std::unordered_map<Addr, Pte> pages_;
+};
+
+/**
+ * Flat physical memory, little-endian.
+ */
+class Memory
+{
+  public:
+    explicit Memory(std::size_t size);
+
+    std::size_t size() const { return bytes_.size(); }
+
+    std::uint8_t read8(Addr paddr) const;
+    void write8(Addr paddr, std::uint8_t value);
+
+    Word read64(Addr paddr) const;
+    void write64(Addr paddr, Word value);
+
+    /** Sized read: 1 or 8 bytes, zero-extended. */
+    Word read(Addr paddr, std::uint8_t size) const;
+
+    /** Sized write: 1 or 8 bytes. */
+    void write(Addr paddr, Word value, std::uint8_t size);
+
+  private:
+    void check(Addr paddr, std::size_t len) const;
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace specsec::uarch
+
+#endif // SPECSEC_UARCH_MEMORY_HH

@@ -1,0 +1,92 @@
+#include "predictor.hh"
+
+namespace specsec::uarch
+{
+
+bool
+BranchPredictor::predictTaken(Addr pc) const
+{
+    // Untrained branches default to weakly taken: an attacker must
+    // actively mistrain a bounds-check branch toward not-taken, and
+    // flushing the predictor (strategy 4) restores the safe default.
+    const auto it = counters_.find(pc);
+    const std::uint8_t counter = it == counters_.end() ? 2 : it->second;
+    return counter >= 2;
+}
+
+void
+BranchPredictor::update(Addr pc, bool taken)
+{
+    auto [it, inserted] = counters_.try_emplace(pc, 2);
+    std::uint8_t &counter = it->second;
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+void
+BranchPredictor::flush()
+{
+    counters_.clear();
+}
+
+std::optional<Addr>
+Btb::predict(Addr pc) const
+{
+    const auto it = targets_.find(pc);
+    if (it == targets_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    targets_[pc] = target;
+}
+
+void
+Btb::flush()
+{
+    targets_.clear();
+}
+
+void
+Rsb::push(Addr return_addr)
+{
+    if (stack_.size() == depth_)
+        stack_.erase(stack_.begin()); // overflow drops the oldest
+    stack_.push_back({return_addr, false});
+}
+
+Rsb::Pop
+Rsb::pop()
+{
+    Pop result;
+    if (stack_.empty())
+        return result; // underflow
+    result.valid = true;
+    result.stuffed = stack_.back().stuffed;
+    result.target = stack_.back().target;
+    stack_.pop_back();
+    return result;
+}
+
+void
+Rsb::stuff(Addr benign_target)
+{
+    while (stack_.size() < depth_)
+        stack_.insert(stack_.begin(), {benign_target, true});
+}
+
+void
+Rsb::flush()
+{
+    stack_.clear();
+}
+
+} // namespace specsec::uarch

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Hardware predictors: a bimodal conditional branch predictor, a
+ * branch target buffer (BTB) and a return stack buffer (RSB).
+ *
+ * These are the mistrainable structures of Spectre v1/v2/RSB.  All
+ * state persists across context switches unless explicitly flushed
+ * (the IBPB / predictor-invalidate defenses, strategy 4).
+ */
+
+#ifndef SPECSEC_UARCH_PREDICTOR_HH
+#define SPECSEC_UARCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "isa.hh"
+
+namespace specsec::uarch
+{
+
+/**
+ * Bimodal predictor: one 2-bit saturating counter per branch PC.
+ * Counters start weakly not-taken.
+ */
+class BranchPredictor
+{
+  public:
+    /** @return predicted taken? */
+    bool predictTaken(Addr pc) const;
+
+    /** Train with the actual outcome (commit time). */
+    void update(Addr pc, bool taken);
+
+    /** IBPB-style flush. */
+    void flush();
+
+    std::size_t trainedEntries() const { return counters_.size(); }
+
+  private:
+    std::unordered_map<Addr, std::uint8_t> counters_;
+};
+
+/**
+ * Branch target buffer for indirect branches; also the fallback
+ * predictor for RSB underflow (the Spectre-RSB path).
+ */
+class Btb
+{
+  public:
+    /** @return predicted target for the indirect branch at @p pc. */
+    std::optional<Addr> predict(Addr pc) const;
+
+    /** Train with the actual target (commit time). */
+    void update(Addr pc, Addr target);
+
+    /** IBPB-style flush. */
+    void flush();
+
+    std::size_t entries() const { return targets_.size(); }
+
+  private:
+    std::unordered_map<Addr, Addr> targets_;
+};
+
+/**
+ * Return stack buffer: a fixed-depth prediction stack pushed/popped
+ * at fetch time.  Popping an empty RSB reports underflow; the CPU
+ * then falls back to the BTB (exploitable by Spectre-RSB) unless the
+ * RSB was stuffed with a benign target.
+ */
+class Rsb
+{
+  public:
+    explicit Rsb(std::size_t depth) : depth_(depth) {}
+
+    /** Push a return address (on call fetch). */
+    void push(Addr return_addr);
+
+    /** Result of a pop. */
+    struct Pop
+    {
+        bool valid = false;    ///< a real or stuffed entry was present
+        bool stuffed = false;  ///< entry came from RSB stuffing
+        Addr target = 0;
+    };
+
+    /** Pop a prediction (on return fetch). */
+    Pop pop();
+
+    /**
+     * Intel-style RSB stuffing: fill all remaining slots with a
+     * benign target so underflow never reaches the BTB.
+     */
+    void stuff(Addr benign_target);
+
+    /** Flush all entries (context-switch defense). */
+    void flush();
+
+    std::size_t size() const { return stack_.size(); }
+    std::size_t depth() const { return depth_; }
+
+  private:
+    struct Entry
+    {
+        Addr target;
+        bool stuffed;
+    };
+    std::size_t depth_;
+    std::vector<Entry> stack_;
+};
+
+} // namespace specsec::uarch
+
+#endif // SPECSEC_UARCH_PREDICTOR_HH

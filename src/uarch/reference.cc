@@ -1,0 +1,200 @@
+#include "reference.hh"
+
+namespace specsec::uarch
+{
+
+ReferenceCpu::ReferenceCpu(Memory &memory, PageTable &pt)
+    : mem_(memory), pt_(pt)
+{
+}
+
+void
+ReferenceCpu::loadProgram(const Program &program)
+{
+    program.finalize();
+    program_ = program;
+}
+
+ReferenceResult
+ReferenceCpu::run(Addr start_pc, std::uint64_t max_steps)
+{
+    ReferenceResult result;
+    Addr pc = start_pc;
+    callStack_.clear();
+
+    const auto fault = [&](FaultKind kind, Addr at) -> bool {
+        result.fault = kind;
+        result.faultPc = at;
+        if (faultHandler_) {
+            pc = *faultHandler_;
+            return true; // continue at the handler
+        }
+        result.faulted = true;
+        return false;
+    };
+
+    while (result.executed < max_steps) {
+        if (pc >= program_.size()) {
+            result.halted = true;
+            return result;
+        }
+        const Instruction &i = program_.at(pc);
+        ++result.executed;
+        Addr next = pc + 1;
+
+        const auto signedv = [](Word w) {
+            return static_cast<std::int64_t>(w);
+        };
+
+        switch (i.op) {
+          case Opcode::Nop:
+            break;
+          case Opcode::Halt:
+            result.halted = true;
+            return result;
+          case Opcode::MovImm:
+            regs_[i.rd] = static_cast<Word>(i.imm);
+            break;
+          case Opcode::Mov:
+            regs_[i.rd] = regs_[i.ra];
+            break;
+          case Opcode::Add:
+            regs_[i.rd] = regs_[i.ra] + regs_[i.rb];
+            break;
+          case Opcode::Sub:
+            regs_[i.rd] = regs_[i.ra] - regs_[i.rb];
+            break;
+          case Opcode::And:
+            regs_[i.rd] = regs_[i.ra] & regs_[i.rb];
+            break;
+          case Opcode::Or:
+            regs_[i.rd] = regs_[i.ra] | regs_[i.rb];
+            break;
+          case Opcode::Xor:
+            regs_[i.rd] = regs_[i.ra] ^ regs_[i.rb];
+            break;
+          case Opcode::Shl:
+            regs_[i.rd] = regs_[i.ra] << (regs_[i.rb] & 63);
+            break;
+          case Opcode::Shr:
+            regs_[i.rd] = regs_[i.ra] >> (regs_[i.rb] & 63);
+            break;
+          case Opcode::AddImm:
+            regs_[i.rd] = regs_[i.ra] + static_cast<Word>(i.imm);
+            break;
+          case Opcode::AndImm:
+            regs_[i.rd] = regs_[i.ra] & static_cast<Word>(i.imm);
+            break;
+          case Opcode::ShlImm:
+            regs_[i.rd] = regs_[i.ra] << (i.imm & 63);
+            break;
+          case Opcode::ShrImm:
+            regs_[i.rd] = regs_[i.ra] >> (i.imm & 63);
+            break;
+          case Opcode::MulImm:
+            regs_[i.rd] = regs_[i.ra] * static_cast<Word>(i.imm);
+            break;
+          case Opcode::Load: {
+            const Addr vaddr =
+                regs_[i.ra] + static_cast<Word>(i.imm);
+            const Translation t = pt_.translate(
+                vaddr, AccessType::Read, privilege_, enclaveMode_);
+            if (t.fault != FaultKind::None) {
+                if (fault(t.fault, pc))
+                    continue;
+                return result;
+            }
+            regs_[i.rd] = mem_.read(t.paddr, i.size);
+            break;
+          }
+          case Opcode::Store: {
+            const Addr vaddr =
+                regs_[i.ra] + static_cast<Word>(i.imm);
+            const Translation t = pt_.translate(
+                vaddr, AccessType::Write, privilege_, enclaveMode_);
+            if (t.fault != FaultKind::None) {
+                if (fault(t.fault, pc))
+                    continue;
+                return result;
+            }
+            const Word data =
+                i.size == 1 ? (regs_[i.rb] & 0xff) : regs_[i.rb];
+            mem_.write(t.paddr, data, i.size);
+            break;
+          }
+          case Opcode::Branch: {
+            const Word a = regs_[i.ra];
+            const Word b = regs_[i.rb];
+            bool taken = false;
+            switch (i.cond) {
+              case Cond::Eq: taken = a == b; break;
+              case Cond::Ne: taken = a != b; break;
+              case Cond::Lt: taken = signedv(a) < signedv(b); break;
+              case Cond::Ge: taken = signedv(a) >= signedv(b); break;
+              case Cond::Ltu: taken = a < b; break;
+              case Cond::Geu: taken = a >= b; break;
+            }
+            if (taken)
+                next = static_cast<Addr>(i.imm);
+            break;
+          }
+          case Opcode::Jmp:
+            next = static_cast<Addr>(i.imm);
+            break;
+          case Opcode::JmpInd:
+            next = regs_[i.ra];
+            break;
+          case Opcode::Call:
+            callStack_.push_back(pc + 1);
+            next = static_cast<Addr>(i.imm);
+            break;
+          case Opcode::Ret:
+            if (callStack_.empty()) {
+                next = pc + 1;
+            } else {
+                next = callStack_.back();
+                callStack_.pop_back();
+            }
+            break;
+          case Opcode::Clflush:
+          case Opcode::Lfence:
+          case Opcode::Mfence:
+            break; // no architectural effect
+          case Opcode::RdMsr:
+            if (privilege_ == Privilege::User) {
+                if (fault(FaultKind::MsrPrivilege, pc))
+                    continue;
+                return result;
+            }
+            regs_[i.rd] =
+                msrs_[static_cast<std::size_t>(i.imm) % kNumMsrs];
+            break;
+          case Opcode::FpMov:
+            if (fpu_.owner() != 0) {
+                if (fault(FaultKind::FpuNotOwned, pc))
+                    continue;
+                return result;
+            }
+            fpu_.write(i.rd, regs_[i.ra]);
+            break;
+          case Opcode::FpRead:
+            if (fpu_.owner() != 0) {
+                if (fault(FaultKind::FpuNotOwned, pc))
+                    continue;
+                return result;
+            }
+            regs_[i.rd] = fpu_.read(i.ra);
+            break;
+          case Opcode::RdTsc:
+            regs_[i.rd] = result.executed; // deterministic counter
+            break;
+          case Opcode::XBegin:
+          case Opcode::XEnd:
+            break; // transactions commit when nothing faults
+        }
+        pc = next;
+    }
+    return result;
+}
+
+} // namespace specsec::uarch

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sequential reference model: an in-order ISA interpreter with the
+ * same architectural semantics as the out-of-order core but no
+ * speculation, no caches and no timing.
+ *
+ * Used as the correctness oracle for differential testing: whatever
+ * races, squashes and transient forwards happen inside the OoO
+ * pipeline — with or without defenses — the *committed* state must
+ * equal this model's output.
+ */
+
+#ifndef SPECSEC_UARCH_REFERENCE_HH
+#define SPECSEC_UARCH_REFERENCE_HH
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "buffers.hh"
+#include "isa.hh"
+#include "memory.hh"
+
+namespace specsec::uarch
+{
+
+/** Outcome of a reference run. */
+struct ReferenceResult
+{
+    bool halted = false;
+    bool faulted = false; ///< unhandled fault ended the run
+    FaultKind fault = FaultKind::None;
+    Addr faultPc = 0;
+    std::uint64_t executed = 0;
+};
+
+/**
+ * The sequential interpreter.
+ */
+class ReferenceCpu
+{
+  public:
+    ReferenceCpu(Memory &memory, PageTable &pt);
+
+    void loadProgram(const Program &program);
+
+    Word reg(RegId r) const { return regs_.at(r); }
+    void setReg(RegId r, Word value) { regs_.at(r) = value; }
+    void setPrivilege(Privilege p) { privilege_ = p; }
+    void setEnclaveMode(bool on) { enclaveMode_ = on; }
+    void setMsr(std::size_t index, Word value)
+    {
+        msrs_.at(index) = value;
+    }
+    void setFaultHandler(std::optional<Addr> handler)
+    {
+        faultHandler_ = handler;
+    }
+    FpuState &fpu() { return fpu_; }
+
+    /** Execute sequentially until halt, fault or step budget. */
+    ReferenceResult run(Addr start_pc,
+                        std::uint64_t max_steps = 1000000);
+
+  private:
+    Memory &mem_;
+    PageTable &pt_;
+    Program program_;
+    std::array<Word, kNumIntRegs> regs_{};
+    std::array<Word, kNumMsrs> msrs_{};
+    FpuState fpu_;
+    Privilege privilege_ = Privilege::User;
+    bool enclaveMode_ = false;
+    std::optional<Addr> faultHandler_;
+    std::vector<Addr> callStack_;
+};
+
+} // namespace specsec::uarch
+
+#endif // SPECSEC_UARCH_REFERENCE_HH

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the AttackGraph model: roles, missing security
+ * dependencies, speculative window, secret flows and the OR-join
+ * multi-source escape semantics (paper Figs. 1 and 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/attack_graph.hh"
+#include "core/node_role.hh"
+
+namespace
+{
+
+using namespace specsec::core;
+using specsec::graph::EdgeKind;
+using specsec::graph::NodeId;
+
+/** Minimal Spectre-shaped graph (Fig. 1 skeleton). */
+struct SpectreShape
+{
+    AttackGraph g;
+    NodeId mistrain, trigger, resolve, access, use, send, receive;
+
+    SpectreShape()
+    {
+        mistrain = g.addOperation("mistrain",
+                                  NodeRole::MistrainPredictor,
+                                  AttackStep::Setup);
+        trigger = g.addOperation("branch", NodeRole::Trigger,
+                                 AttackStep::DelayedAuth);
+        resolve = g.addOperation("branch resolution",
+                                 NodeRole::Authorization,
+                                 AttackStep::DelayedAuth);
+        access = g.addOperation("load S", NodeRole::SecretAccess,
+                                AttackStep::Access);
+        use = g.addOperation("compute R", NodeRole::Use,
+                             AttackStep::UseSend);
+        send = g.addOperation("load R", NodeRole::Send,
+                              AttackStep::UseSend);
+        receive = g.addOperation("reload", NodeRole::Receive,
+                                 AttackStep::Receive);
+        g.addDependency(mistrain, trigger, EdgeKind::Resource);
+        g.addDependency(trigger, resolve, EdgeKind::Data);
+        g.addDependency(trigger, access, EdgeKind::Control);
+        g.addDependency(access, use, EdgeKind::Data);
+        g.addDependency(use, send, EdgeKind::Address);
+        g.addDependency(send, receive, EdgeKind::Resource);
+    }
+};
+
+TEST(AttackGraph, RolesAndSteps)
+{
+    SpectreShape s;
+    EXPECT_EQ(s.g.role(s.resolve), NodeRole::Authorization);
+    EXPECT_EQ(s.g.step(s.access), AttackStep::Access);
+    EXPECT_EQ(s.g.authorizationNodes(),
+              std::vector<NodeId>{s.resolve});
+    EXPECT_EQ(s.g.secretAccessNodes(), std::vector<NodeId>{s.access});
+    EXPECT_EQ(s.g.sendNodes(), std::vector<NodeId>{s.send});
+    EXPECT_EQ(s.g.receiveNodes(), std::vector<NodeId>{s.receive});
+}
+
+TEST(AttackGraph, MissingDependenciesMatchFig1Races)
+{
+    SpectreShape s;
+    const auto findings = s.g.missingSecurityDependencies();
+    // Load S, compute R and load R all race with branch resolution.
+    ASSERT_EQ(findings.size(), 3u);
+    for (const RaceFinding &f : findings)
+        EXPECT_EQ(f.authorization, s.resolve);
+}
+
+TEST(AttackGraph, SpeculativeWindowContainsTransientChain)
+{
+    SpectreShape s;
+    const auto window = s.g.speculativeWindow();
+    const auto in_window = [&](NodeId n) {
+        return std::find(window.begin(), window.end(), n) !=
+               window.end();
+    };
+    EXPECT_TRUE(in_window(s.access));
+    EXPECT_TRUE(in_window(s.use));
+    EXPECT_TRUE(in_window(s.send));
+    EXPECT_FALSE(in_window(s.trigger)); // ordered before resolution
+}
+
+TEST(AttackGraph, SecretFlowEnumerated)
+{
+    SpectreShape s;
+    const auto flows = s.g.secretFlows();
+    ASSERT_EQ(flows.size(), 1u);
+    EXPECT_EQ(flows[0],
+              (SecretFlow{s.access, s.use, s.send}));
+}
+
+TEST(AttackGraph, VulnerableBeforeDefense)
+{
+    SpectreShape s;
+    EXPECT_TRUE(s.g.isVulnerable());
+}
+
+TEST(AttackGraph, SecurityDependencyOnAccessBlocks)
+{
+    SpectreShape s;
+    s.g.addSecurityDependency(s.resolve, s.access);
+    EXPECT_FALSE(s.g.isVulnerable());
+}
+
+TEST(AttackGraph, SecurityDependencyOnUseBlocks)
+{
+    SpectreShape s;
+    s.g.addSecurityDependency(s.resolve, s.use);
+    EXPECT_FALSE(s.g.isVulnerable());
+}
+
+TEST(AttackGraph, SecurityDependencyOnSendBlocks)
+{
+    SpectreShape s;
+    s.g.addSecurityDependency(s.resolve, s.send);
+    EXPECT_FALSE(s.g.isVulnerable());
+}
+
+TEST(AttackGraph, MistrainInfluenceIntactByDefault)
+{
+    SpectreShape s;
+    EXPECT_TRUE(s.g.mistrainInfluenceIntact());
+}
+
+TEST(AttackGraph, PredictorFlushCutsInfluence)
+{
+    SpectreShape s;
+    // Splice a flush node between mistrain and trigger.
+    s.g.tsg().removeEdge(s.mistrain, s.trigger);
+    const NodeId flush = s.g.addOperation(
+        "flush predictor", NodeRole::PredictorFlush,
+        AttackStep::Setup);
+    s.g.addDependency(s.mistrain, flush, EdgeKind::Resource);
+    s.g.addDependency(flush, s.trigger, EdgeKind::Security);
+    EXPECT_FALSE(s.g.mistrainInfluenceIntact());
+    EXPECT_FALSE(s.g.isVulnerable());
+}
+
+TEST(AttackGraph, NoMistrainNodeMeansIntact)
+{
+    AttackGraph g;
+    const NodeId auth = g.addOperation(
+        "check", NodeRole::Authorization, AttackStep::DelayedAuth);
+    const NodeId access = g.addOperation(
+        "read", NodeRole::SecretAccess, AttackStep::Access);
+    const NodeId send = g.addOperation("send", NodeRole::Send,
+                                       AttackStep::UseSend);
+    g.addDependency(access, send, EdgeKind::Data);
+    (void)auth;
+    EXPECT_TRUE(g.mistrainInfluenceIntact());
+    EXPECT_TRUE(g.isVulnerable());
+}
+
+/** Two-source OR-join graph modeling Fig. 4's insufficiency. */
+struct TwoSourceShape
+{
+    AttackGraph g;
+    NodeId trigger, check, mem, cache, use, send;
+
+    TwoSourceShape()
+    {
+        trigger = g.addOperation("load instr", NodeRole::Trigger,
+                                 AttackStep::DelayedAuth);
+        check = g.addOperation("permission check",
+                               NodeRole::Authorization,
+                               AttackStep::DelayedAuth);
+        mem = g.addOperation("read S from memory",
+                             NodeRole::SecretAccess,
+                             AttackStep::Access);
+        cache = g.addOperation("read S from cache",
+                               NodeRole::SecretAccess,
+                               AttackStep::Access);
+        use = g.addOperation("compute R", NodeRole::Use,
+                             AttackStep::UseSend);
+        send = g.addOperation("load R", NodeRole::Send,
+                              AttackStep::UseSend);
+        g.addDependency(trigger, check, EdgeKind::Data);
+        g.addDependency(trigger, mem, EdgeKind::Data);
+        g.addDependency(trigger, cache, EdgeKind::Data);
+        g.addDependency(mem, use, EdgeKind::Data);
+        g.addDependency(cache, use, EdgeKind::Data);
+        g.addDependency(use, send, EdgeKind::Address);
+    }
+};
+
+TEST(AttackGraph, MultiSourceHasTwoFlows)
+{
+    TwoSourceShape s;
+    EXPECT_EQ(s.g.secretFlows().size(), 2u);
+}
+
+TEST(AttackGraph, PartialDependencyIsInsufficient)
+{
+    // Section V-B: dependency (1) on the memory read alone does not
+    // stop the cache-hit variant.
+    TwoSourceShape s;
+    s.g.addSecurityDependency(s.check, s.mem);
+    EXPECT_TRUE(s.g.isVulnerable());
+}
+
+TEST(AttackGraph, AllSourcesCoveredIsSufficient)
+{
+    TwoSourceShape s;
+    s.g.addSecurityDependency(s.check, s.mem);
+    s.g.addSecurityDependency(s.check, s.cache);
+    EXPECT_FALSE(s.g.isVulnerable());
+}
+
+TEST(AttackGraph, UseDependencyCoversAllSources)
+{
+    // The paper's observation: protecting the single use node is
+    // both cheaper and safer than per-source dependencies.
+    TwoSourceShape s;
+    s.g.addSecurityDependency(s.check, s.use);
+    EXPECT_FALSE(s.g.isVulnerable());
+}
+
+TEST(AttackGraph, FlowEscapeIsPerFlow)
+{
+    TwoSourceShape s;
+    s.g.addSecurityDependency(s.check, s.mem);
+    const auto flows = s.g.secretFlows();
+    ASSERT_EQ(flows.size(), 2u);
+    int escaping = 0;
+    for (const auto &flow : flows) {
+        if (s.g.flowEscapesAuthorization(flow, s.check))
+            ++escaping;
+    }
+    EXPECT_EQ(escaping, 1); // only the cache flow still escapes
+}
+
+TEST(AttackGraph, RoleNames)
+{
+    EXPECT_STREQ(nodeRoleName(NodeRole::Authorization),
+                 "authorization");
+    EXPECT_STREQ(nodeRoleName(NodeRole::SecretAccess),
+                 "secret-access");
+    EXPECT_STREQ(attackStepName(AttackStep::DelayedAuth),
+                 "step2-delayed-auth");
+}
+
+TEST(AttackGraph, PartAPartBSplit)
+{
+    EXPECT_TRUE(isPartA(AttackStep::Access, NodeRole::SecretAccess));
+    EXPECT_TRUE(isPartA(AttackStep::Setup,
+                        NodeRole::MistrainPredictor));
+    EXPECT_TRUE(isPartB(AttackStep::Setup, NodeRole::Setup));
+    EXPECT_TRUE(isPartB(AttackStep::Receive, NodeRole::Receive));
+    EXPECT_FALSE(isPartB(AttackStep::Access,
+                         NodeRole::SecretAccess));
+    EXPECT_TRUE(isPartB(AttackStep::UseSend, NodeRole::Send));
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the Section V-A attack composer: every recipe in the
+ * trigger x source x channel space yields a well-formed attack
+ * graph with the authorization/access race; published variants are
+ * correctly located in the space; the executable composed attack
+ * (v2 trigger x FPU source) leaks and is blocked by either
+ * dimension's defense.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/composed.hh"
+#include "core/composer.hh"
+#include "core/security_dependency.hh"
+#include "graph/race.hh"
+
+namespace
+{
+
+using namespace specsec;
+using namespace specsec::core;
+
+TEST(Composer, TriggerCatalog)
+{
+    EXPECT_EQ(allTriggerKinds().size(), 8u);
+    EXPECT_STREQ(triggerKindName(TriggerKind::FaultingLoad),
+                 "faulting-load");
+    EXPECT_EQ(composableSources().size(), 8u);
+}
+
+TEST(Composer, KnownVariantsLocated)
+{
+    using enum TriggerKind;
+    using enum SecretSource;
+    const auto fr = CovertChannelKind::FlushReload;
+    EXPECT_EQ(knownVariantFor({ConditionalBranch, Memory, fr}),
+              AttackVariant::SpectreV1);
+    EXPECT_EQ(knownVariantFor({FaultingLoad, Memory, fr}),
+              AttackVariant::Meltdown);
+    EXPECT_EQ(knownVariantFor({FaultingLoad, Cache, fr}),
+              AttackVariant::Foreshadow);
+    EXPECT_EQ(knownVariantFor({FaultingLoad, StoreBuffer, fr}),
+              AttackVariant::Fallout);
+    EXPECT_EQ(knownVariantFor({MsrRead, SystemRegister, fr}),
+              AttackVariant::MeltdownV3a);
+    EXPECT_EQ(knownVariantFor({TsxAbort, LineFillBuffer, fr}),
+              AttackVariant::Cacheout);
+}
+
+TEST(Composer, NovelCombinationsAreUnclaimed)
+{
+    using enum TriggerKind;
+    using enum SecretSource;
+    const auto fr = CovertChannelKind::FlushReload;
+    // The composed v2-x-FPU attack is not a published variant.
+    EXPECT_FALSE(knownVariantFor({IndirectBranch, FpuRegister, fr})
+                     .has_value());
+    EXPECT_FALSE(knownVariantFor({ConditionalBranch, SystemRegister,
+                                  fr})
+                     .has_value());
+    EXPECT_FALSE(
+        knownVariantFor({ReturnAddress, StoreBuffer, fr})
+            .has_value());
+}
+
+struct RecipeCase
+{
+    TriggerKind trigger;
+    SecretSource source;
+};
+
+class ComposerSpace : public ::testing::TestWithParam<RecipeCase>
+{
+};
+
+TEST_P(ComposerSpace, ComposedGraphHasTheRace)
+{
+    const AttackRecipe recipe{GetParam().trigger, GetParam().source,
+                              CovertChannelKind::FlushReload};
+    const AttackGraph g = composeAttack(recipe);
+    ASSERT_EQ(g.authorizationNodes().size(), 1u);
+    ASSERT_EQ(g.secretAccessNodes().size(), 1u);
+    const auto auth = g.authorizationNodes().front();
+    const auto access = g.secretAccessNodes().front();
+    EXPECT_TRUE(graph::hasRace(g.tsg(), auth, access));
+    EXPECT_TRUE(g.isVulnerable());
+}
+
+TEST_P(ComposerSpace, EveryStrategyBlocksComposedAttack)
+{
+    const AttackRecipe recipe{GetParam().trigger, GetParam().source,
+                              CovertChannelKind::FlushReload};
+    const AttackGraph g = composeAttack(recipe);
+    EXPECT_TRUE(defenseBlocks(g, DefenseStrategy::PreventAccess));
+    EXPECT_TRUE(defenseBlocks(g, DefenseStrategy::PreventUse));
+    EXPECT_TRUE(defenseBlocks(g, DefenseStrategy::PreventSend));
+}
+
+std::vector<RecipeCase>
+allRecipeCases()
+{
+    std::vector<RecipeCase> cases;
+    for (TriggerKind t : allTriggerKinds()) {
+        for (SecretSource s : composableSources())
+            cases.push_back({t, s});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullSpace, ComposerSpace, ::testing::ValuesIn(allRecipeCases()),
+    [](const ::testing::TestParamInfo<RecipeCase> &info) {
+        std::string name =
+            std::string(triggerKindName(info.param.trigger)) + "_" +
+            secretSourceName(info.param.source);
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(ComposedAttack, V2FpuGadgetLeaks)
+{
+    const auto r =
+        attacks::runComposedV2FpuGadget(uarch::CpuConfig{});
+    EXPECT_TRUE(r.leaked) << "accuracy " << r.accuracy;
+    EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+}
+
+TEST(ComposedAttack, BlockedByEagerFpu)
+{
+    uarch::CpuConfig cfg;
+    cfg.defense.eagerFpuSwitch = true;
+    EXPECT_FALSE(attacks::runComposedV2FpuGadget(cfg).leaked);
+}
+
+TEST(ComposedAttack, BlockedByPredictorFlush)
+{
+    uarch::CpuConfig cfg;
+    cfg.defense.flushPredictorOnContextSwitch = true;
+    EXPECT_FALSE(attacks::runComposedV2FpuGadget(cfg).leaked);
+}
+
+TEST(ComposedAttack, BlockedByLazyFpSiliconFix)
+{
+    uarch::CpuConfig cfg;
+    cfg.vuln.lazyFp = false;
+    EXPECT_FALSE(attacks::runComposedV2FpuGadget(cfg).leaked);
+}
+
+TEST(ComposedAttack, BlockedByForwardingBlock)
+{
+    uarch::CpuConfig cfg;
+    cfg.defense.blockSpeculativeForwarding = true;
+    EXPECT_FALSE(attacks::runComposedV2FpuGadget(cfg).leaked);
+}
+
+} // namespace

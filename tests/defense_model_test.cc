@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the defense-strategy model (Section V-B): strategies
+ * 1-4 as graph transformations, the defense catalog's strategy
+ * classification, and the Fig. 4 partial-defense insufficiency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/defense_catalog.hh"
+#include "core/security_dependency.hh"
+#include "core/variants.hh"
+
+namespace
+{
+
+using namespace specsec::core;
+using specsec::graph::NodeId;
+
+TEST(DefenseStrategyModel, NamesStable)
+{
+    EXPECT_STREQ(defenseStrategyName(DefenseStrategy::PreventAccess),
+                 "1-prevent-access-before-authorization");
+    EXPECT_STREQ(
+        defenseStrategyName(DefenseStrategy::ClearPredictions),
+        "4-clear-predictions");
+    EXPECT_EQ(allDefenseStrategies().size(), 4u);
+}
+
+TEST(DefenseStrategyModel, ApplyAccessInsertsEdges)
+{
+    AttackGraph g = buildAttackGraph(AttackVariant::SpectreV1);
+    const auto added =
+        applyDefense(g, DefenseStrategy::PreventAccess);
+    ASSERT_EQ(added.size(), g.secretAccessNodes().size());
+    for (const auto &e : added)
+        EXPECT_EQ(e.kind, specsec::graph::EdgeKind::Security);
+    EXPECT_FALSE(g.isVulnerable());
+}
+
+TEST(DefenseStrategyModel, ClearPredictionsSplicesFlushNode)
+{
+    AttackGraph g = buildAttackGraph(AttackVariant::SpectreV2);
+    const std::size_t before = g.tsg().nodeCount();
+    const auto added =
+        applyDefense(g, DefenseStrategy::ClearPredictions);
+    EXPECT_FALSE(added.empty());
+    EXPECT_EQ(g.tsg().nodeCount(), before + 1);
+    EXPECT_FALSE(g.mistrainInfluenceIntact());
+    EXPECT_FALSE(g.isVulnerable());
+}
+
+TEST(DefenseStrategyModel, ClearPredictionsNoOpOnMeltdown)
+{
+    AttackGraph g = buildAttackGraph(AttackVariant::Meltdown);
+    const auto added =
+        applyDefense(g, DefenseStrategy::ClearPredictions);
+    EXPECT_TRUE(added.empty());
+    EXPECT_FALSE(defenseBlocks(g, DefenseStrategy::ClearPredictions));
+}
+
+TEST(DefenseStrategyModel, TargetedDependencyInsertion)
+{
+    AttackGraph g = buildFigure4Graph();
+    const NodeId auth = g.authorizationNodes().front();
+    const auto accesses = g.secretAccessNodes();
+    EXPECT_TRUE(applyTargetedDependency(g, auth, accesses[0]));
+    EXPECT_TRUE(g.tsg().hasEdge(auth, accesses[0]));
+}
+
+TEST(DefenseStrategyModel, Figure4PartialDefenseInsufficient)
+{
+    // Section V-B: adding dependency (1) only on "read from memory"
+    // leaves the cache-hit Meltdown variant alive.
+    AttackGraph g = buildFigure4Graph();
+    const NodeId auth = g.authorizationNodes().front();
+    const auto memory_read =
+        g.tsg().findByLabel("Read S from memory");
+    ASSERT_TRUE(memory_read.has_value());
+    applyTargetedDependency(g, auth, *memory_read);
+    EXPECT_TRUE(g.isVulnerable());
+}
+
+TEST(DefenseStrategyModel, Figure4JointDependencySufficient)
+{
+    AttackGraph g = buildFigure4Graph();
+    const NodeId auth = g.authorizationNodes().front();
+    // Cover every source, as the paper requires.
+    for (NodeId access : g.secretAccessNodes())
+        applyTargetedDependency(g, auth, access);
+    EXPECT_FALSE(g.isVulnerable());
+}
+
+TEST(DefenseStrategyModel, Figure4PreventUseIsSufficientAndCheaper)
+{
+    // "Prevent Data Usage before Authorization may be a solution
+    // that is not only more efficient but also more secure."
+    AttackGraph g = buildFigure4Graph();
+    const auto added = applyDefense(g, DefenseStrategy::PreventUse);
+    EXPECT_EQ(added.size(), 1u); // one edge instead of five
+    EXPECT_FALSE(g.isVulnerable());
+}
+
+/** Every strategy-1/2/3 defense blocks every Table III variant at
+ *  the model level; strategy 4 blocks exactly the mistraining
+ *  variants. */
+class StrategyPerVariant
+    : public ::testing::TestWithParam<AttackVariant>
+{
+};
+
+TEST_P(StrategyPerVariant, PreventAccessBlocks)
+{
+    const AttackGraph g = buildAttackGraph(GetParam());
+    EXPECT_TRUE(defenseBlocks(g, DefenseStrategy::PreventAccess));
+}
+
+TEST_P(StrategyPerVariant, PreventUseBlocks)
+{
+    const AttackGraph g = buildAttackGraph(GetParam());
+    EXPECT_TRUE(defenseBlocks(g, DefenseStrategy::PreventUse));
+}
+
+TEST_P(StrategyPerVariant, PreventSendBlocks)
+{
+    const AttackGraph g = buildAttackGraph(GetParam());
+    EXPECT_TRUE(defenseBlocks(g, DefenseStrategy::PreventSend));
+}
+
+TEST_P(StrategyPerVariant, ClearPredictionsBlocksIffMistrained)
+{
+    const AttackGraph g = buildAttackGraph(GetParam());
+    EXPECT_EQ(defenseBlocks(g, DefenseStrategy::ClearPredictions),
+              variantInfo(GetParam()).requiresMistraining);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIII, StrategyPerVariant,
+    ::testing::ValuesIn(tableIIIVariants()),
+    [](const ::testing::TestParamInfo<AttackVariant> &info) {
+        std::string name = variantInfo(info.param).name;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(DefenseCatalog, EveryMechanismHasAStrategy)
+{
+    // The paper's claim: all proposed defenses fall under one of
+    // the four strategies.
+    EXPECT_EQ(allDefenseMechanisms().size(), 29u);
+    for (DefenseMechanism m : allDefenseMechanisms()) {
+        const DefenseInfo &info = defenseInfo(m);
+        const auto strategies = allDefenseStrategies();
+        EXPECT_NE(std::find(strategies.begin(), strategies.end(),
+                            info.strategy),
+                  strategies.end())
+            << info.name;
+        EXPECT_FALSE(info.designedAgainst.empty()) << info.name;
+    }
+}
+
+TEST(DefenseCatalog, TableIIStrategyAssignments)
+{
+    EXPECT_EQ(defenseInfo(DefenseMechanism::LFence).strategy,
+              DefenseStrategy::PreventAccess);
+    EXPECT_EQ(defenseInfo(DefenseMechanism::Kpti).strategy,
+              DefenseStrategy::PreventAccess);
+    EXPECT_EQ(defenseInfo(DefenseMechanism::Ibpb).strategy,
+              DefenseStrategy::ClearPredictions);
+    EXPECT_EQ(defenseInfo(DefenseMechanism::Retpoline).strategy,
+              DefenseStrategy::ClearPredictions);
+    EXPECT_EQ(defenseInfo(DefenseMechanism::Nda).strategy,
+              DefenseStrategy::PreventUse);
+    EXPECT_EQ(defenseInfo(DefenseMechanism::Stt).strategy,
+              DefenseStrategy::PreventSend);
+    EXPECT_EQ(defenseInfo(DefenseMechanism::InvisiSpec).strategy,
+              DefenseStrategy::PreventSend);
+    EXPECT_EQ(defenseInfo(DefenseMechanism::CleanupSpec).strategy,
+              DefenseStrategy::PreventSend);
+}
+
+TEST(DefenseCatalog, OriginSplit)
+{
+    EXPECT_EQ(defenseInfo(DefenseMechanism::LFence).origin,
+              DefenseOrigin::Industry);
+    EXPECT_EQ(defenseInfo(DefenseMechanism::Nda).origin,
+              DefenseOrigin::Academia);
+    std::size_t industry = 0;
+    for (DefenseMechanism m : allDefenseMechanisms()) {
+        if (defenseInfo(m).origin == DefenseOrigin::Industry)
+            ++industry;
+    }
+    EXPECT_EQ(industry, 15u);
+}
+
+TEST(DefenseCatalog, DefenseAppliesLookup)
+{
+    EXPECT_TRUE(defenseApplies(DefenseMechanism::Kpti,
+                               AttackVariant::Meltdown));
+    EXPECT_FALSE(defenseApplies(DefenseMechanism::Kpti,
+                                AttackVariant::SpectreV1));
+    EXPECT_TRUE(defenseApplies(DefenseMechanism::RsbStuffing,
+                               AttackVariant::SpectreRsb));
+    EXPECT_TRUE(defenseApplies(DefenseMechanism::Stt,
+                               AttackVariant::ZombieLoad));
+}
+
+TEST(DefenseCatalog, ModelDefenseBlocksDesignedAttacks)
+{
+    // For each mechanism, applying its strategy to the graphs of
+    // the attacks it was designed against must block them (with
+    // strategy 4 applying only to mistraining variants).
+    for (DefenseMechanism m : allDefenseMechanisms()) {
+        const DefenseInfo &info = defenseInfo(m);
+        for (AttackVariant v : info.designedAgainst) {
+            if (!variantInfo(v).inTableIII)
+                continue;
+            AttackGraph g = buildAttackGraph(v);
+            if (info.strategy == DefenseStrategy::ClearPredictions &&
+                !variantInfo(v).requiresMistraining) {
+                continue;
+            }
+            modelDefense(g, m);
+            EXPECT_FALSE(g.isVulnerable())
+                << info.name << " vs " << variantInfo(v).name;
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the TSG core: construction, edge kinds, acyclicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/tsg.hh"
+
+namespace
+{
+
+using namespace specsec::graph;
+
+TEST(Tsg, StartsEmpty)
+{
+    Tsg g;
+    EXPECT_EQ(g.nodeCount(), 0u);
+    EXPECT_EQ(g.edgeCount(), 0u);
+    EXPECT_TRUE(g.nodes().empty());
+    EXPECT_TRUE(g.edges().empty());
+}
+
+TEST(Tsg, AddNodeAssignsDenseIds)
+{
+    Tsg g;
+    EXPECT_EQ(g.addNode("a"), 0u);
+    EXPECT_EQ(g.addNode("b"), 1u);
+    EXPECT_EQ(g.addNode("c"), 2u);
+    EXPECT_EQ(g.nodeCount(), 3u);
+}
+
+TEST(Tsg, LabelsAreStored)
+{
+    Tsg g;
+    const NodeId a = g.addNode("authorization");
+    EXPECT_EQ(g.label(a), "authorization");
+    g.setLabel(a, "branch resolution");
+    EXPECT_EQ(g.label(a), "branch resolution");
+}
+
+TEST(Tsg, FindByLabel)
+{
+    Tsg g;
+    g.addNode("a");
+    const NodeId b = g.addNode("b");
+    EXPECT_EQ(g.findByLabel("b"), b);
+    EXPECT_FALSE(g.findByLabel("missing").has_value());
+}
+
+TEST(Tsg, AddEdgeBasics)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    EXPECT_TRUE(g.addEdge(a, b));
+    EXPECT_TRUE(g.hasEdge(a, b));
+    EXPECT_FALSE(g.hasEdge(b, a));
+    EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(Tsg, EdgeKindsPreserved)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    const NodeId c = g.addNode("c");
+    g.addEdge(a, b, EdgeKind::Control);
+    g.addEdge(b, c, EdgeKind::Security);
+    EXPECT_EQ(g.edgeKind(a, b), EdgeKind::Control);
+    EXPECT_EQ(g.edgeKind(b, c), EdgeKind::Security);
+    EXPECT_FALSE(g.edgeKind(a, c).has_value());
+}
+
+TEST(Tsg, DuplicateEdgeIsIdempotent)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    EXPECT_TRUE(g.addEdge(a, b, EdgeKind::Data));
+    EXPECT_TRUE(g.addEdge(a, b, EdgeKind::Security));
+    EXPECT_EQ(g.edgeCount(), 1u);
+    // Original kind wins.
+    EXPECT_EQ(g.edgeKind(a, b), EdgeKind::Data);
+}
+
+TEST(Tsg, SelfLoopRejected)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    EXPECT_FALSE(g.addEdge(a, a));
+    EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(Tsg, CycleRejected)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    const NodeId c = g.addNode("c");
+    EXPECT_TRUE(g.addEdge(a, b));
+    EXPECT_TRUE(g.addEdge(b, c));
+    EXPECT_FALSE(g.addEdge(c, a)); // would create a -> b -> c -> a
+    EXPECT_EQ(g.edgeCount(), 2u);
+}
+
+TEST(Tsg, WouldCreateCycleQuery)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    g.addEdge(a, b);
+    EXPECT_TRUE(g.wouldCreateCycle(b, a));
+    EXPECT_FALSE(g.wouldCreateCycle(a, b));
+    EXPECT_TRUE(g.wouldCreateCycle(a, a));
+}
+
+TEST(Tsg, SuccessorsAndPredecessors)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    const NodeId c = g.addNode("c");
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, c);
+    EXPECT_EQ(g.successors(a).size(), 2u);
+    EXPECT_EQ(g.predecessors(c).size(), 2u);
+    EXPECT_TRUE(g.successors(c).empty());
+    EXPECT_TRUE(g.predecessors(a).empty());
+}
+
+TEST(Tsg, RemoveEdge)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    g.addEdge(a, b);
+    EXPECT_TRUE(g.removeEdge(a, b));
+    EXPECT_FALSE(g.hasEdge(a, b));
+    EXPECT_EQ(g.edgeCount(), 0u);
+    EXPECT_FALSE(g.removeEdge(a, b));
+}
+
+TEST(Tsg, RemoveEdgeAllowsReversedInsert)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    g.addEdge(a, b);
+    g.removeEdge(a, b);
+    EXPECT_TRUE(g.addEdge(b, a)); // no longer cyclic
+}
+
+TEST(Tsg, SuccessorCacheInvalidatedOnRemove)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    const NodeId c = g.addNode("c");
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    EXPECT_EQ(g.successors(a).size(), 2u); // populate cache
+    g.removeEdge(a, b);
+    EXPECT_EQ(g.successors(a).size(), 1u);
+    EXPECT_EQ(g.successors(a)[0], c);
+}
+
+TEST(Tsg, OutOfRangeThrows)
+{
+    Tsg g;
+    g.addNode("a");
+    EXPECT_THROW((void)g.label(5), std::out_of_range);
+    EXPECT_THROW((void)g.addEdge(0, 5), std::out_of_range);
+    EXPECT_THROW((void)g.hasEdge(7, 0), std::out_of_range);
+}
+
+TEST(Tsg, EdgesSnapshotInInsertionOrder)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    const NodeId c = g.addNode("c");
+    g.addEdge(b, c, EdgeKind::Control);
+    g.addEdge(a, b, EdgeKind::Data);
+    const auto edges = g.edges();
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[0].from, b);
+    EXPECT_EQ(edges[1].from, a);
+}
+
+TEST(Tsg, EdgeKindNames)
+{
+    EXPECT_STREQ(edgeKindName(EdgeKind::Data), "data");
+    EXPECT_STREQ(edgeKindName(EdgeKind::Control), "control");
+    EXPECT_STREQ(edgeKindName(EdgeKind::Address), "address");
+    EXPECT_STREQ(edgeKindName(EdgeKind::Fence), "fence");
+    EXPECT_STREQ(edgeKindName(EdgeKind::Resource), "resource");
+    EXPECT_STREQ(edgeKindName(EdgeKind::Security), "security");
+}
+
+TEST(Tsg, CopyIsIndependent)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    g.addEdge(a, b);
+    Tsg copy = g;
+    copy.addEdge(b, copy.addNode("c"));
+    EXPECT_EQ(g.nodeCount(), 2u);
+    EXPECT_EQ(copy.nodeCount(), 3u);
+    EXPECT_EQ(g.edgeCount(), 1u);
+    EXPECT_EQ(copy.edgeCount(), 2u);
+}
+
+} // namespace

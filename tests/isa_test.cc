@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the ISA: factories, disassembly, program labels and
+ * target fixups under instruction insertion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/isa.hh"
+
+namespace
+{
+
+using namespace specsec::uarch;
+
+TEST(Isa, FactoryFieldsPopulated)
+{
+    const Instruction l = load8(6, 3, 0x40);
+    EXPECT_EQ(l.op, Opcode::Load);
+    EXPECT_EQ(l.rd, 6);
+    EXPECT_EQ(l.ra, 3);
+    EXPECT_EQ(l.imm, 0x40);
+    EXPECT_EQ(l.size, 1);
+
+    const Instruction s = store64(2, -8, 5);
+    EXPECT_EQ(s.op, Opcode::Store);
+    EXPECT_EQ(s.ra, 2);
+    EXPECT_EQ(s.rb, 5);
+    EXPECT_EQ(s.imm, -8);
+    EXPECT_EQ(s.size, 8);
+
+    const Instruction b = branch(Cond::Geu, 1, 5, 12);
+    EXPECT_EQ(b.op, Opcode::Branch);
+    EXPECT_EQ(b.cond, Cond::Geu);
+    EXPECT_EQ(b.imm, 12);
+}
+
+TEST(Isa, Disassembly)
+{
+    EXPECT_EQ(disassemble(load8(6, 7, 0)), "load8 r6, [r7 + 0]");
+    EXPECT_EQ(disassemble(movImm(1, 42)), "movi r1, 42");
+    EXPECT_EQ(disassemble(branch(Cond::Geu, 1, 5, 9)),
+              "br.geu r1, r5, @9");
+    EXPECT_EQ(disassemble(lfence()), "lfence");
+    EXPECT_EQ(disassemble(rdmsr(6, 5)), "rdmsr r6, msr5");
+    EXPECT_EQ(disassemble(fpRead(6, 2)), "fpread r6, f2");
+    EXPECT_EQ(disassemble(xbegin(8)), "xbegin @8");
+}
+
+TEST(Isa, Classification)
+{
+    EXPECT_TRUE(isLoad(Opcode::Load));
+    EXPECT_FALSE(isLoad(Opcode::Store));
+    EXPECT_TRUE(isStore(Opcode::Store));
+    EXPECT_TRUE(isControl(Opcode::Branch));
+    EXPECT_TRUE(isControl(Opcode::Ret));
+    EXPECT_FALSE(isControl(Opcode::Add));
+    EXPECT_TRUE(writesIntReg(load64(1, 2, 0)));
+    EXPECT_TRUE(writesIntReg(rdtsc(3)));
+    EXPECT_FALSE(writesIntReg(store8(1, 0, 2)));
+    EXPECT_FALSE(writesIntReg(fpMov(2, 1)));
+    EXPECT_TRUE(writesIntReg(fpRead(1, 2)));
+}
+
+TEST(Isa, ProgramEmitReturnsPc)
+{
+    Program p;
+    EXPECT_EQ(p.emit(nop()), 0u);
+    EXPECT_EQ(p.emit(halt()), 1u);
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Isa, ForwardLabelPatched)
+{
+    Program p;
+    auto l = p.newLabel();
+    const std::size_t br = p.emitBranch(Cond::Eq, 1, 2, l);
+    p.emit(nop());
+    p.bind(l);
+    p.emit(halt());
+    EXPECT_EQ(p.at(br).imm, 2);
+    p.finalize();
+}
+
+TEST(Isa, BackwardLabelImmediate)
+{
+    Program p;
+    auto l = p.newLabel();
+    p.bind(l);
+    p.emit(nop());
+    const std::size_t j = p.emitJmp(l);
+    EXPECT_EQ(p.at(j).imm, 0);
+}
+
+TEST(Isa, UnboundLabelThrowsOnFinalize)
+{
+    Program p;
+    auto l = p.newLabel();
+    p.emitJmp(l);
+    EXPECT_THROW(p.finalize(), std::logic_error);
+}
+
+TEST(Isa, MultipleFixupsForOneLabel)
+{
+    Program p;
+    auto l = p.newLabel();
+    const std::size_t a = p.emitBranch(Cond::Eq, 0, 0, l);
+    const std::size_t b = p.emitJmp(l);
+    p.bind(l);
+    p.emit(halt());
+    EXPECT_EQ(p.at(a).imm, 2);
+    EXPECT_EQ(p.at(b).imm, 2);
+}
+
+TEST(Isa, InsertAtShiftsTargets)
+{
+    Program p;
+    auto l = p.newLabel();
+    p.emitBranch(Cond::Eq, 1, 2, l); // 0: branch -> 3
+    p.emit(nop());                   // 1
+    p.emit(nop());                   // 2
+    p.bind(l);
+    p.emit(halt());                  // 3
+    p.insertAt(1, lfence());
+    EXPECT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.at(1).op, Opcode::Lfence);
+    EXPECT_EQ(p.at(0).imm, 4); // branch target shifted
+    EXPECT_EQ(p.at(4).op, Opcode::Halt);
+}
+
+TEST(Isa, InsertAtDoesNotShiftEarlierTargets)
+{
+    Program p;
+    p.emit(jmp(0)); // self-loop target before insertion point
+    p.emit(nop());
+    p.insertAt(2, halt());
+    EXPECT_EQ(p.at(0).imm, 0);
+}
+
+TEST(Isa, InsertAtOutOfRangeThrows)
+{
+    Program p;
+    p.emit(nop());
+    EXPECT_THROW(p.insertAt(5, nop()), std::out_of_range);
+}
+
+TEST(Isa, CallAndXBeginLabels)
+{
+    Program p;
+    auto f = p.newLabel();
+    auto a = p.newLabel();
+    p.emitCall(f);   // 0
+    p.emitXBegin(a); // 1
+    p.emit(halt());  // 2
+    p.bind(f);
+    p.emit(ret());   // 3
+    p.bind(a);
+    p.emit(halt());  // 4
+    EXPECT_EQ(p.at(0).imm, 3);
+    EXPECT_EQ(p.at(1).imm, 4);
+}
+
+TEST(Isa, DisassembleAllContainsEveryPc)
+{
+    Program p;
+    p.emit(movImm(1, 5));
+    p.emit(halt());
+    const std::string text = p.disassembleAll();
+    EXPECT_NE(text.find("0: movi r1, 5"), std::string::npos);
+    EXPECT_NE(text.find("1: halt"), std::string::npos);
+}
+
+TEST(Isa, OpcodeNamesUnique)
+{
+    EXPECT_STREQ(opcodeName(Opcode::Load), "load");
+    EXPECT_STREQ(opcodeName(Opcode::Clflush), "clflush");
+    EXPECT_STREQ(opcodeName(Opcode::XBegin), "xbegin");
+}
+
+} // namespace

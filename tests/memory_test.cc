@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for physical memory and the paging / permission model,
+ * including the fault-ordering property Foreshadow depends on
+ * (terminal faults before privilege checks) and the fact that a
+ * faulting translation still exposes the physical address bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/memory.hh"
+
+namespace
+{
+
+using namespace specsec::uarch;
+
+TEST(Memory, ByteReadWrite)
+{
+    Memory m(4096);
+    m.write8(10, 0xab);
+    EXPECT_EQ(m.read8(10), 0xab);
+    EXPECT_EQ(m.read8(11), 0);
+}
+
+TEST(Memory, Word64LittleEndian)
+{
+    Memory m(4096);
+    m.write64(0, 0x1122334455667788ull);
+    EXPECT_EQ(m.read8(0), 0x88);
+    EXPECT_EQ(m.read8(7), 0x11);
+    EXPECT_EQ(m.read64(0), 0x1122334455667788ull);
+}
+
+TEST(Memory, SizedAccessors)
+{
+    Memory m(4096);
+    m.write(100, 0xdeadbeefcafef00dull, 8);
+    EXPECT_EQ(m.read(100, 8), 0xdeadbeefcafef00dull);
+    m.write(200, 0x1ff, 1); // truncated to a byte
+    EXPECT_EQ(m.read(200, 1), 0xffu);
+}
+
+TEST(Memory, OutOfRangeThrows)
+{
+    Memory m(64);
+    EXPECT_THROW(m.read8(64), std::out_of_range);
+    EXPECT_THROW(m.write64(60, 1), std::out_of_range);
+}
+
+TEST(PageTable, IdentityMapRange)
+{
+    PageTable pt;
+    pt.mapRange(0x10000, 0x3000, PageOwner::User, true, true);
+    const Translation t =
+        pt.translate(0x11234, AccessType::Read, Privilege::User);
+    EXPECT_EQ(t.fault, FaultKind::None);
+    EXPECT_TRUE(t.paddrValid);
+    EXPECT_EQ(t.paddr, 0x11234u);
+}
+
+TEST(PageTable, UnmappedFaults)
+{
+    PageTable pt;
+    const Translation t =
+        pt.translate(0x5000, AccessType::Read, Privilege::User);
+    EXPECT_EQ(t.fault, FaultKind::NotMapped);
+    EXPECT_FALSE(t.paddrValid);
+}
+
+TEST(PageTable, UnmapRemovesMapping)
+{
+    PageTable pt;
+    pt.mapRange(0x10000, 0x1000, PageOwner::Kernel, false, true);
+    pt.unmap(0x10000);
+    EXPECT_EQ(pt.translate(0x10000, AccessType::Read,
+                           Privilege::Kernel)
+                  .fault,
+              FaultKind::NotMapped);
+}
+
+TEST(PageTable, KernelPageBlocksUser)
+{
+    PageTable pt;
+    pt.mapRange(0x20000, 0x1000, PageOwner::Kernel, false, true);
+    EXPECT_EQ(pt.translate(0x20000, AccessType::Read,
+                           Privilege::User)
+                  .fault,
+              FaultKind::Privilege);
+    EXPECT_EQ(pt.translate(0x20000, AccessType::Read,
+                           Privilege::Kernel)
+                  .fault,
+              FaultKind::None);
+}
+
+TEST(PageTable, FaultingTranslationExposesPaddr)
+{
+    // Critical for the Meltdown/Foreshadow model: the physical
+    // address bits are available even when the access faults.
+    PageTable pt;
+    pt.mapRange(0x20000, 0x1000, PageOwner::Kernel, false, true);
+    const Translation t =
+        pt.translate(0x20040, AccessType::Read, Privilege::User);
+    EXPECT_EQ(t.fault, FaultKind::Privilege);
+    EXPECT_TRUE(t.paddrValid);
+    EXPECT_EQ(t.paddr, 0x20040u);
+}
+
+TEST(PageTable, NotPresentBeforePrivilege)
+{
+    // The terminal fault (not-present) aborts the walk before the
+    // privilege check: this ordering is what Foreshadow exploits.
+    PageTable pt;
+    pt.mapRange(0x30000, 0x1000, PageOwner::Kernel, false, true);
+    pt.setPresent(0x30000, false);
+    const Translation t =
+        pt.translate(0x30000, AccessType::Read, Privilege::User);
+    EXPECT_EQ(t.fault, FaultKind::NotPresent);
+    EXPECT_TRUE(t.paddrValid);
+}
+
+TEST(PageTable, ReservedBitFaults)
+{
+    PageTable pt;
+    pt.mapRange(0x30000, 0x1000, PageOwner::User, true, true);
+    pt.setReservedBit(0x30000, true);
+    EXPECT_EQ(pt.translate(0x30000, AccessType::Read,
+                           Privilege::Kernel)
+                  .fault,
+              FaultKind::ReservedBit);
+}
+
+TEST(PageTable, WriteProtect)
+{
+    PageTable pt;
+    pt.mapRange(0x40000, 0x1000, PageOwner::User, true,
+                /*writable=*/false);
+    EXPECT_EQ(pt.translate(0x40000, AccessType::Read,
+                           Privilege::User)
+                  .fault,
+              FaultKind::None);
+    EXPECT_EQ(pt.translate(0x40000, AccessType::Write,
+                           Privilege::User)
+                  .fault,
+              FaultKind::WriteProtect);
+}
+
+TEST(PageTable, EnclavePagesRequireEnclaveMode)
+{
+    PageTable pt;
+    pt.mapRange(0x50000, 0x1000, PageOwner::Enclave, false, true);
+    EXPECT_EQ(pt.translate(0x50000, AccessType::Read,
+                           Privilege::Kernel, false)
+                  .fault,
+              FaultKind::Privilege);
+    EXPECT_EQ(pt.translate(0x50000, AccessType::Read,
+                           Privilege::User, true)
+                  .fault,
+              FaultKind::None);
+}
+
+TEST(PageTable, VmmPagesRequireVmmPrivilege)
+{
+    PageTable pt;
+    pt.mapRange(0x60000, 0x1000, PageOwner::Vmm, false, true);
+    EXPECT_EQ(pt.translate(0x60000, AccessType::Read,
+                           Privilege::Kernel)
+                  .fault,
+              FaultKind::Privilege);
+    EXPECT_EQ(pt.translate(0x60000, AccessType::Read,
+                           Privilege::Vmm)
+                  .fault,
+              FaultKind::None);
+}
+
+TEST(PageTable, SetPresentOnUnmappedThrows)
+{
+    PageTable pt;
+    EXPECT_THROW(pt.setPresent(0x1000, false),
+                 std::invalid_argument);
+}
+
+TEST(PageTable, FaultKindNames)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::None), "none");
+    EXPECT_STREQ(faultKindName(FaultKind::NotPresent),
+                 "not-present");
+    EXPECT_STREQ(faultKindName(FaultKind::Privilege), "privilege");
+    EXPECT_STREQ(faultKindName(FaultKind::FpuNotOwned),
+                 "fpu-not-owned");
+}
+
+TEST(PageTable, LookupReturnsPte)
+{
+    PageTable pt;
+    pt.mapRange(0x70000, 0x1000, PageOwner::User, true, true);
+    const Pte *pte = pt.lookup(0x70abc);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_EQ(pte->physPage, 0x70000u / kPageSize);
+    EXPECT_EQ(pt.lookup(0x90000), nullptr);
+}
+
+} // namespace

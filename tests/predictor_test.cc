@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the predictors: bimodal training and mistraining, BTB
+ * injection, RSB push/pop/underflow/stuffing — the structures the
+ * Spectre family steers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/predictor.hh"
+
+namespace
+{
+
+using namespace specsec::uarch;
+
+TEST(BranchPredictorTest, DefaultsWeaklyTaken)
+{
+    BranchPredictor bp;
+    EXPECT_TRUE(bp.predictTaken(0x10));
+}
+
+TEST(BranchPredictorTest, MistrainTowardNotTaken)
+{
+    BranchPredictor bp;
+    bp.update(0x10, false);
+    bp.update(0x10, false);
+    EXPECT_FALSE(bp.predictTaken(0x10));
+}
+
+TEST(BranchPredictorTest, SaturatingCounters)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 10; ++i)
+        bp.update(0x10, false);
+    // One taken outcome must not flip a saturated counter.
+    bp.update(0x10, true);
+    EXPECT_FALSE(bp.predictTaken(0x10));
+    bp.update(0x10, true);
+    EXPECT_TRUE(bp.predictTaken(0x10));
+}
+
+TEST(BranchPredictorTest, PerPcState)
+{
+    BranchPredictor bp;
+    bp.update(0x10, false);
+    bp.update(0x10, false);
+    EXPECT_FALSE(bp.predictTaken(0x10));
+    EXPECT_TRUE(bp.predictTaken(0x20)); // untouched pc keeps default
+}
+
+TEST(BranchPredictorTest, FlushRestoresDefault)
+{
+    BranchPredictor bp;
+    bp.update(0x10, false);
+    bp.update(0x10, false);
+    bp.flush();
+    EXPECT_TRUE(bp.predictTaken(0x10));
+    EXPECT_EQ(bp.trainedEntries(), 0u);
+}
+
+TEST(BtbTest, MissThenTrain)
+{
+    Btb btb;
+    EXPECT_FALSE(btb.predict(0x30).has_value());
+    btb.update(0x30, 0x80);
+    EXPECT_EQ(btb.predict(0x30), 0x80u);
+}
+
+TEST(BtbTest, InjectionOverwrites)
+{
+    Btb btb;
+    btb.update(0x30, 0x80);
+    btb.update(0x30, 0x90); // attacker injection
+    EXPECT_EQ(btb.predict(0x30), 0x90u);
+}
+
+TEST(BtbTest, Flush)
+{
+    Btb btb;
+    btb.update(0x30, 0x80);
+    btb.flush();
+    EXPECT_FALSE(btb.predict(0x30).has_value());
+    EXPECT_EQ(btb.entries(), 0u);
+}
+
+TEST(RsbTest, PushPopLifo)
+{
+    Rsb rsb(4);
+    rsb.push(10);
+    rsb.push(20);
+    EXPECT_EQ(rsb.pop().target, 20u);
+    EXPECT_EQ(rsb.pop().target, 10u);
+}
+
+TEST(RsbTest, UnderflowReportsInvalid)
+{
+    Rsb rsb(4);
+    const Rsb::Pop pop = rsb.pop();
+    EXPECT_FALSE(pop.valid); // the Spectre-RSB entry point
+}
+
+TEST(RsbTest, OverflowDropsOldest)
+{
+    Rsb rsb(2);
+    rsb.push(1);
+    rsb.push(2);
+    rsb.push(3);
+    EXPECT_EQ(rsb.size(), 2u);
+    EXPECT_EQ(rsb.pop().target, 3u);
+    EXPECT_EQ(rsb.pop().target, 2u);
+    EXPECT_FALSE(rsb.pop().valid); // 1 was dropped
+}
+
+TEST(RsbTest, StuffingFillsWithBenignTarget)
+{
+    Rsb rsb(4);
+    rsb.push(99);
+    rsb.stuff(7);
+    EXPECT_EQ(rsb.size(), 4u);
+    // Real entry pops first, then stuffed entries.
+    EXPECT_EQ(rsb.pop().target, 99u);
+    const Rsb::Pop stuffed = rsb.pop();
+    EXPECT_TRUE(stuffed.valid);
+    EXPECT_TRUE(stuffed.stuffed);
+    EXPECT_EQ(stuffed.target, 7u);
+}
+
+TEST(RsbTest, FlushEmpties)
+{
+    Rsb rsb(4);
+    rsb.push(1);
+    rsb.flush();
+    EXPECT_EQ(rsb.size(), 0u);
+    EXPECT_FALSE(rsb.pop().valid);
+}
+
+} // namespace

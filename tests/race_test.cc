@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for race detection and Theorem 1: u and v race iff no
+ * directed path connects them — validated structurally, against
+ * brute-force ordering enumeration, and on random DAGs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/race.hh"
+#include "graph/race_avoid.hh"
+#include "graph/topo.hh"
+
+namespace
+{
+
+using namespace specsec::graph;
+
+Tsg
+figure2()
+{
+    Tsg g;
+    for (const char *name : {"A", "B", "C", "D", "E", "F", "G"})
+        g.addNode(name);
+    g.addEdge(0, 1); // A->B
+    g.addEdge(0, 2); // A->C
+    g.addEdge(1, 3); // B->D
+    g.addEdge(2, 3); // C->D
+    g.addEdge(2, 4); // C->E
+    g.addEdge(3, 5); // D->F
+    g.addEdge(4, 5); // E->F
+    g.addEdge(5, 6); // F->G
+    return g;
+}
+
+TEST(Race, PathExistsDirect)
+{
+    const Tsg g = figure2();
+    EXPECT_TRUE(pathExists(g, 0, 1));
+    EXPECT_TRUE(pathExists(g, 0, 6));
+    EXPECT_FALSE(pathExists(g, 6, 0));
+    EXPECT_TRUE(pathExists(g, 2, 5));
+}
+
+TEST(Race, PathExistsReflexive)
+{
+    const Tsg g = figure2();
+    EXPECT_TRUE(pathExists(g, 3, 3));
+}
+
+TEST(Race, PaperDERace)
+{
+    // The paper's example: D and E race in Fig. 2.
+    const Tsg g = figure2();
+    EXPECT_TRUE(hasRace(g, 3, 4));
+    EXPECT_TRUE(hasRace(g, 4, 3));
+}
+
+TEST(Race, ConnectedPairsDoNotRace)
+{
+    const Tsg g = figure2();
+    EXPECT_FALSE(hasRace(g, 0, 6));
+    EXPECT_FALSE(hasRace(g, 2, 3));
+    EXPECT_FALSE(hasRace(g, 1, 5));
+}
+
+TEST(Race, NodeDoesNotRaceWithItself)
+{
+    const Tsg g = figure2();
+    EXPECT_FALSE(hasRace(g, 3, 3));
+}
+
+TEST(Race, Figure2AllRacePairs)
+{
+    const Tsg g = figure2();
+    const auto races = racePairs(g);
+    // B-C, B-E, D-E are the only unordered pairs.
+    const std::vector<std::pair<NodeId, NodeId>> expected = {
+        {1, 2}, {1, 4}, {3, 4}};
+    EXPECT_EQ(races, expected);
+}
+
+TEST(Race, ReachabilityMatrixMatchesDfs)
+{
+    const Tsg g = figure2();
+    const ReachabilityMatrix m(g);
+    for (NodeId u = 0; u < g.nodeCount(); ++u) {
+        for (NodeId v = 0; v < g.nodeCount(); ++v)
+            EXPECT_EQ(m.reachable(u, v), pathExists(g, u, v))
+                << "u=" << u << " v=" << v;
+    }
+}
+
+TEST(Race, MatrixRaceAgreesWithDfsRace)
+{
+    const Tsg g = figure2();
+    const ReachabilityMatrix m(g);
+    for (NodeId u = 0; u < g.nodeCount(); ++u) {
+        for (NodeId v = 0; v < g.nodeCount(); ++v)
+            EXPECT_EQ(hasRace(m, u, v), hasRace(g, u, v));
+    }
+}
+
+TEST(Race, EnumerationAgreesOnFigure2)
+{
+    const Tsg g = figure2();
+    for (NodeId u = 0; u < g.nodeCount(); ++u) {
+        for (NodeId v = u + 1; v < g.nodeCount(); ++v)
+            EXPECT_EQ(raceByEnumeration(g, u, v), hasRace(g, u, v))
+                << "u=" << u << " v=" << v;
+    }
+}
+
+TEST(Race, WitnessOrderingsDisagreeOnOrder)
+{
+    const Tsg g = figure2();
+    const auto witness = raceWitness(g, 3, 4); // D vs E
+    ASSERT_TRUE(witness.has_value());
+    EXPECT_TRUE(isValidOrdering(g, witness->uFirst));
+    EXPECT_TRUE(isValidOrdering(g, witness->vFirst));
+    const auto pos = [](const std::vector<NodeId> &order, NodeId x) {
+        return std::find(order.begin(), order.end(), x) -
+               order.begin();
+    };
+    EXPECT_LT(pos(witness->uFirst, 3), pos(witness->uFirst, 4));
+    EXPECT_LT(pos(witness->vFirst, 4), pos(witness->vFirst, 3));
+}
+
+TEST(Race, NoWitnessForOrderedPair)
+{
+    const Tsg g = figure2();
+    EXPECT_FALSE(raceWitness(g, 0, 6).has_value());
+}
+
+TEST(Race, AddingEdgeRemovesRace)
+{
+    Tsg g = figure2();
+    ASSERT_TRUE(hasRace(g, 3, 4));
+    g.addEdge(4, 3, EdgeKind::Security); // the security dependency
+    EXPECT_FALSE(hasRace(g, 3, 4));
+}
+
+TEST(Race, PathAvoidingExcludedNode)
+{
+    // a -> b -> c and a -> c: excluding b keeps a->c reachable;
+    // removing the direct edge leaves only the b route.
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    const NodeId c = g.addNode("c");
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    g.addEdge(a, c);
+    std::vector<bool> excl(3, false);
+    excl[b] = true;
+    EXPECT_TRUE(pathExistsAvoiding(g, a, c, excl));
+    g.removeEdge(a, c);
+    EXPECT_FALSE(pathExistsAvoiding(g, a, c, excl));
+    excl[b] = false;
+    EXPECT_TRUE(pathExistsAvoiding(g, a, c, excl));
+}
+
+TEST(Race, PathAvoidingEndpointsNeverExcluded)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    g.addEdge(a, b);
+    std::vector<bool> excl(2, true); // endpoints flagged
+    EXPECT_TRUE(pathExistsAvoiding(g, a, b, excl));
+}
+
+TEST(Race, PathAvoidingMaskSizeChecked)
+{
+    Tsg g;
+    g.addNode("a");
+    g.addNode("b");
+    std::vector<bool> excl(1, false);
+    EXPECT_THROW((void)pathExistsAvoiding(g, 0, 1, excl),
+                 std::invalid_argument);
+}
+
+/**
+ * Theorem 1 property test: on random DAGs, path-based race
+ * detection must agree with the definition (two valid orderings
+ * disagreeing on relative order) for every pair of vertices.
+ */
+class Theorem1RandomDag : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Theorem1RandomDag, RaceIffNoPath)
+{
+    std::mt19937 rng(GetParam() * 977 + 3);
+    Tsg g;
+    std::uniform_int_distribution<std::size_t> size_dist(2, 7);
+    const std::size_t n = size_dist(rng);
+    for (std::size_t i = 0; i < n; ++i)
+        g.addNode("n" + std::to_string(i));
+    std::uniform_int_distribution<int> coin(0, 99);
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+            if (coin(rng) < 30)
+                g.addEdge(u, v);
+        }
+    }
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+            const bool def_race = raceByEnumeration(g, u, v);
+            const bool thm_race = hasRace(g, u, v);
+            EXPECT_EQ(def_race, thm_race)
+                << "seed=" << GetParam() << " u=" << u << " v=" << v;
+            // And the witness exists exactly when racing.
+            EXPECT_EQ(raceWitness(g, u, v).has_value(), thm_race);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1RandomDag,
+                         ::testing::Range(0u, 25u));
+
+} // namespace

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the sequential reference model (the differential
+ * oracle must itself be correct).
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/reference.hh"
+
+namespace
+{
+
+using namespace specsec::uarch;
+
+struct RefFixture : ::testing::Test
+{
+    RefFixture() : mem(1 << 20)
+    {
+        pt.mapRange(0, 1 << 20, PageOwner::User, true, true);
+    }
+
+    ReferenceCpu
+    makeRef()
+    {
+        return ReferenceCpu(mem, pt);
+    }
+
+    Memory mem;
+    PageTable pt;
+};
+
+TEST_F(RefFixture, AluSemantics)
+{
+    Program p;
+    p.emit(movImm(1, 10));
+    p.emit(movImm(2, 3));
+    p.emit(sub(3, 1, 2));
+    p.emit(mulImm(4, 3, 6));
+    p.emit(shlImm(5, 4, 2));
+    p.emit(halt());
+    ReferenceCpu ref = makeRef();
+    ref.loadProgram(p);
+    const ReferenceResult r = ref.run(0);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(ref.reg(3), 7u);
+    EXPECT_EQ(ref.reg(4), 42u);
+    EXPECT_EQ(ref.reg(5), 168u);
+    EXPECT_EQ(r.executed, 6u);
+}
+
+TEST_F(RefFixture, MemoryAndBranches)
+{
+    Program p;
+    p.emit(movImm(1, 0x8000));
+    p.emit(movImm(2, 0x1234));
+    p.emit(store64(1, 0, 2));
+    p.emit(load64(3, 1, 0));
+    auto skip = p.newLabel();
+    p.emitBranch(Cond::Eq, 3, 2, skip);
+    p.emit(movImm(4, 99)); // skipped
+    p.bind(skip);
+    p.emit(halt());
+    ReferenceCpu ref = makeRef();
+    ref.loadProgram(p);
+    ref.run(0);
+    EXPECT_EQ(ref.reg(3), 0x1234u);
+    EXPECT_EQ(ref.reg(4), 0u);
+    EXPECT_EQ(mem.read64(0x8000), 0x1234u);
+}
+
+TEST_F(RefFixture, CallsAndReturns)
+{
+    Program p;
+    auto fn = p.newLabel();
+    p.emitCall(fn);
+    p.emit(addImm(1, 1, 1));
+    p.emit(halt());
+    p.bind(fn);
+    p.emit(movImm(1, 10));
+    p.emit(ret());
+    ReferenceCpu ref = makeRef();
+    ref.loadProgram(p);
+    const ReferenceResult r = ref.run(0);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(ref.reg(1), 11u);
+}
+
+TEST_F(RefFixture, FaultWithoutHandlerStops)
+{
+    pt.mapRange(0x80000, kPageSize, PageOwner::Kernel, false, true);
+    Program p;
+    p.emit(movImm(1, 0x80000));
+    p.emit(load8(2, 1, 0));
+    p.emit(movImm(3, 5));
+    p.emit(halt());
+    ReferenceCpu ref = makeRef();
+    ref.loadProgram(p);
+    const ReferenceResult r = ref.run(0);
+    EXPECT_TRUE(r.faulted);
+    EXPECT_EQ(r.fault, FaultKind::Privilege);
+    EXPECT_EQ(r.faultPc, 1u);
+    EXPECT_EQ(ref.reg(3), 0u); // never reached
+}
+
+TEST_F(RefFixture, FaultHandlerRedirects)
+{
+    pt.mapRange(0x80000, kPageSize, PageOwner::Kernel, false, true);
+    Program p;
+    p.emit(movImm(1, 0x80000));
+    p.emit(load8(2, 1, 0)); // faults
+    p.emit(halt());         // skipped
+    p.emit(movImm(4, 7));   // 3: handler
+    p.emit(halt());
+    ReferenceCpu ref = makeRef();
+    ref.loadProgram(p);
+    ref.setFaultHandler(3);
+    const ReferenceResult r = ref.run(0);
+    EXPECT_TRUE(r.halted);
+    EXPECT_FALSE(r.faulted);
+    EXPECT_EQ(ref.reg(4), 7u);
+}
+
+TEST_F(RefFixture, NoTransientEffects)
+{
+    // The reference model is the paper's "correct" machine: a
+    // faulting load has NO side effects at all.
+    pt.mapRange(0x80000, kPageSize, PageOwner::Kernel, false, true);
+    mem.write8(0x80000, 0x5a);
+    Program p;
+    p.emit(movImm(1, 0x80000));
+    p.emit(load8(2, 1, 0));
+    p.emit(halt());
+    ReferenceCpu ref = makeRef();
+    ref.loadProgram(p);
+    ref.run(0);
+    EXPECT_EQ(ref.reg(2), 0u); // nothing forwarded, ever
+}
+
+TEST_F(RefFixture, FencesAndClflushAreArchNoOps)
+{
+    Program p;
+    p.emit(movImm(1, 1));
+    p.emit(lfence());
+    p.emit(mfence());
+    p.emit(clflush(1, 0));
+    p.emit(addImm(1, 1, 1));
+    p.emit(halt());
+    ReferenceCpu ref = makeRef();
+    ref.loadProgram(p);
+    const ReferenceResult r = ref.run(0);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(ref.reg(1), 2u);
+}
+
+TEST_F(RefFixture, StepBudgetRespected)
+{
+    Program p;
+    p.emit(jmp(0));
+    ReferenceCpu ref = makeRef();
+    ref.loadProgram(p);
+    const ReferenceResult r = ref.run(0, 100);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.executed, 100u);
+}
+
+TEST_F(RefFixture, MsrPrivilegeEnforced)
+{
+    Program p;
+    p.emit(rdmsr(1, 5));
+    p.emit(halt());
+    ReferenceCpu ref = makeRef();
+    ref.loadProgram(p);
+    ref.setMsr(5, 0x77);
+    ref.setPrivilege(Privilege::Kernel);
+    EXPECT_TRUE(ref.run(0).halted);
+    EXPECT_EQ(ref.reg(1), 0x77u);
+    ref.setPrivilege(Privilege::User);
+    ref.setReg(1, 0);
+    EXPECT_TRUE(ref.run(0).faulted);
+    EXPECT_EQ(ref.reg(1), 0u);
+}
+
+TEST_F(RefFixture, RunningOffTheEndHalts)
+{
+    Program p;
+    p.emit(movImm(1, 1));
+    ReferenceCpu ref = makeRef();
+    ref.loadProgram(p);
+    EXPECT_TRUE(ref.run(0).halted);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for topological orderings, including the paper's Fig. 2
+ * example graph and its S / S' / S'' orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "graph/topo.hh"
+
+namespace
+{
+
+using namespace specsec::graph;
+
+/** The paper's Fig. 2 TSG: A->B, A->C, B->D, C->D, C->E, D->F,
+ *  E->F, F->G.  Node ids: A=0 B=1 C=2 D=3 E=4 F=5 G=6. */
+Tsg
+figure2()
+{
+    Tsg g;
+    const NodeId a = g.addNode("A");
+    const NodeId b = g.addNode("B");
+    const NodeId c = g.addNode("C");
+    const NodeId d = g.addNode("D");
+    const NodeId e = g.addNode("E");
+    const NodeId f = g.addNode("F");
+    const NodeId gg = g.addNode("G");
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, d);
+    g.addEdge(c, d);
+    g.addEdge(c, e);
+    g.addEdge(d, f);
+    g.addEdge(e, f);
+    g.addEdge(f, gg);
+    return g;
+}
+
+TEST(Topo, SortOfEmptyGraph)
+{
+    Tsg g;
+    EXPECT_TRUE(topologicalSort(g).empty());
+}
+
+TEST(Topo, SortRespectsEdges)
+{
+    const Tsg g = figure2();
+    const auto order = topologicalSort(g);
+    ASSERT_EQ(order.size(), g.nodeCount());
+    EXPECT_TRUE(isValidOrdering(g, order));
+}
+
+TEST(Topo, SortIsDeterministic)
+{
+    const Tsg g = figure2();
+    EXPECT_EQ(topologicalSort(g), topologicalSort(g));
+}
+
+TEST(Topo, PaperOrderingSIsValid)
+{
+    // S = [A, B, C, D, E, F, G]
+    const Tsg g = figure2();
+    EXPECT_TRUE(isValidOrdering(g, {0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Topo, PaperOrderingSPrimeIsValid)
+{
+    // S' = [A, C, E, B, D, F, G]
+    const Tsg g = figure2();
+    EXPECT_TRUE(isValidOrdering(g, {0, 2, 4, 1, 3, 5, 6}));
+}
+
+TEST(Topo, PaperOrderingSDoublePrimeIsInvalid)
+{
+    // S'' = [A, B, D, E, C, F, G]: D before C violates C -> D.
+    const Tsg g = figure2();
+    EXPECT_FALSE(isValidOrdering(g, {0, 1, 3, 4, 2, 5, 6}));
+}
+
+TEST(Topo, OrderingMustContainEveryNodeOnce)
+{
+    const Tsg g = figure2();
+    EXPECT_FALSE(isValidOrdering(g, {0, 1, 2, 3, 4, 5}));
+    EXPECT_FALSE(isValidOrdering(g, {0, 0, 2, 3, 4, 5, 6}));
+    EXPECT_FALSE(isValidOrdering(g, {0, 1, 2, 3, 4, 5, 9}));
+}
+
+TEST(Topo, AllOrderingsOfChainIsOne)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    const NodeId c = g.addNode("c");
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    const auto all = allValidOrderings(g);
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0], (std::vector<NodeId>{a, b, c}));
+}
+
+TEST(Topo, AllOrderingsOfAntichainIsFactorial)
+{
+    Tsg g;
+    g.addNode("a");
+    g.addNode("b");
+    g.addNode("c");
+    g.addNode("d");
+    EXPECT_EQ(allValidOrderings(g).size(), 24u);
+    EXPECT_EQ(countValidOrderings(g), 24u);
+}
+
+TEST(Topo, AllOrderingsAreValidAndUnique)
+{
+    const Tsg g = figure2();
+    const auto all = allValidOrderings(g);
+    for (const auto &order : all)
+        EXPECT_TRUE(isValidOrdering(g, order));
+    auto sorted = all;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Topo, CountMatchesEnumeration)
+{
+    const Tsg g = figure2();
+    EXPECT_EQ(countValidOrderings(g), allValidOrderings(g).size());
+}
+
+TEST(Topo, EnumerationLimitRespected)
+{
+    Tsg g;
+    for (int i = 0; i < 6; ++i)
+        g.addNode("n");
+    EXPECT_EQ(allValidOrderings(g, 10).size(), 10u);
+}
+
+TEST(Topo, CountCapSaturates)
+{
+    Tsg g;
+    for (int i = 0; i < 8; ++i)
+        g.addNode("n");
+    EXPECT_EQ(countValidOrderings(g, 100), 100u);
+}
+
+TEST(Topo, RandomOrderingsAreValid)
+{
+    const Tsg g = figure2();
+    std::mt19937 rng(42);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(isValidOrdering(g, randomValidOrdering(g, rng)));
+}
+
+TEST(Topo, RandomOrderingReachesDistinctOrders)
+{
+    const Tsg g = figure2();
+    std::mt19937 rng(7);
+    std::vector<std::vector<NodeId>> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.push_back(randomValidOrdering(g, rng));
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(Topo, DiamondHasTwoOrderings)
+{
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    const NodeId b = g.addNode("b");
+    const NodeId c = g.addNode("c");
+    const NodeId d = g.addNode("d");
+    g.addEdge(a, b);
+    g.addEdge(a, c);
+    g.addEdge(b, d);
+    g.addEdge(c, d);
+    EXPECT_EQ(countValidOrderings(g), 2u);
+}
+
+/** Property sweep: on random DAGs every enumerated ordering is
+ *  valid and the count matches. */
+class TopoRandomDag : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TopoRandomDag, EnumerationConsistent)
+{
+    std::mt19937 rng(GetParam());
+    Tsg g;
+    const std::size_t n = 6;
+    for (std::size_t i = 0; i < n; ++i)
+        g.addNode("n" + std::to_string(i));
+    std::uniform_int_distribution<int> coin(0, 99);
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+            if (coin(rng) < 35)
+                g.addEdge(u, v);
+        }
+    }
+    const auto all = allValidOrderings(g);
+    EXPECT_EQ(all.size(), countValidOrderings(g));
+    for (const auto &order : all)
+        EXPECT_TRUE(isValidOrdering(g, order));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopoRandomDag,
+                         ::testing::Range(0u, 12u));
+
+} // namespace

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the variant catalog: Table I/III metadata, attack graph
+ * builders for every variant, and the structural properties the
+ * paper claims (every variant has an authorization/access race;
+ * Spectre-type vs Meltdown-type split).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/security_dependency.hh"
+#include "core/variants.hh"
+#include "graph/race.hh"
+
+namespace
+{
+
+using namespace specsec::core;
+using specsec::graph::NodeId;
+
+TEST(Variants, CatalogSizes)
+{
+    EXPECT_EQ(allVariants().size(), 19u);
+    EXPECT_EQ(tableIIIVariants().size(), 18u);
+    EXPECT_EQ(tableIVariants().size(), 13u);
+}
+
+TEST(Variants, SpoilerOnlyInTableI)
+{
+    const VariantInfo &info = variantInfo(AttackVariant::Spoiler);
+    EXPECT_TRUE(info.inTableI);
+    EXPECT_FALSE(info.inTableIII);
+}
+
+TEST(Variants, TableIIIStringsMatchPaper)
+{
+    EXPECT_STREQ(variantInfo(AttackVariant::SpectreV1).authorization,
+                 "Boundary-check branch resolution");
+    EXPECT_STREQ(variantInfo(AttackVariant::SpectreV1).illegalAccess,
+                 "Read out-of-bounds memory");
+    EXPECT_STREQ(variantInfo(AttackVariant::Meltdown).authorization,
+                 "Kernel privilege check");
+    EXPECT_STREQ(variantInfo(AttackVariant::SpectreV4).authorization,
+                 "Store-load address dependency resolution");
+    EXPECT_STREQ(variantInfo(AttackVariant::Fallout).illegalAccess,
+                 "Forward data from store buffer");
+    EXPECT_STREQ(variantInfo(AttackVariant::Taa).authorization,
+                 "TSX Asynchronous Abort Completion");
+}
+
+TEST(Variants, CveStringsMatchTableI)
+{
+    EXPECT_STREQ(variantInfo(AttackVariant::SpectreV1).cve,
+                 "CVE-2017-5753");
+    EXPECT_STREQ(variantInfo(AttackVariant::Meltdown).cve,
+                 "CVE-2017-5754");
+    EXPECT_STREQ(variantInfo(AttackVariant::SpectreV1_2).cve, "N/A");
+    EXPECT_STREQ(variantInfo(AttackVariant::LazyFp).cve,
+                 "CVE-2018-3665");
+}
+
+TEST(Variants, MistrainingFlagMatchesTableII)
+{
+    // Table II groups v1, v1.1, v1.2, v2 under "prevent
+    // mis-training"; RSB also relies on predictor steering.
+    EXPECT_TRUE(variantInfo(AttackVariant::SpectreV1)
+                    .requiresMistraining);
+    EXPECT_TRUE(variantInfo(AttackVariant::SpectreV2)
+                    .requiresMistraining);
+    EXPECT_TRUE(variantInfo(AttackVariant::SpectreRsb)
+                    .requiresMistraining);
+    EXPECT_FALSE(variantInfo(AttackVariant::Meltdown)
+                     .requiresMistraining);
+    EXPECT_FALSE(variantInfo(AttackVariant::SpectreV4)
+                     .requiresMistraining);
+}
+
+TEST(Variants, ClassSplitMatchesInsight6)
+{
+    EXPECT_EQ(variantInfo(AttackVariant::SpectreV1).klass,
+              AttackClass::SpectreType);
+    EXPECT_EQ(variantInfo(AttackVariant::Meltdown).klass,
+              AttackClass::MeltdownType);
+    EXPECT_EQ(variantInfo(AttackVariant::Ridl).klass,
+              AttackClass::MeltdownType);
+    // Meltdown-type attacks require intra-instruction modeling.
+    for (AttackVariant v : tableIIIVariants()) {
+        const VariantInfo &info = variantInfo(v);
+        if (info.klass == AttackClass::MeltdownType) {
+            EXPECT_TRUE(info.intraInstruction) << info.name;
+        }
+    }
+}
+
+TEST(Variants, MultiSourceVariants)
+{
+    EXPECT_EQ(variantInfo(AttackVariant::Ridl).sources.size(), 2u);
+    EXPECT_EQ(variantInfo(AttackVariant::Lvi).sources.size(), 4u);
+    EXPECT_EQ(variantInfo(AttackVariant::Taa).sources.size(), 3u);
+    EXPECT_EQ(variantInfo(AttackVariant::ZombieLoad).sources.size(),
+              1u);
+}
+
+TEST(Variants, Figure4GraphHasFiveSources)
+{
+    const AttackGraph g = buildFigure4Graph();
+    EXPECT_EQ(g.secretAccessNodes().size(), 5u);
+    EXPECT_EQ(g.secretFlows().size(), 5u);
+    EXPECT_TRUE(g.isVulnerable());
+}
+
+TEST(Variants, ChannelChoiceChangesSetupLabels)
+{
+    const AttackGraph fr = buildAttackGraph(
+        AttackVariant::SpectreV1, CovertChannelKind::FlushReload);
+    const AttackGraph pp = buildAttackGraph(
+        AttackVariant::SpectreV1, CovertChannelKind::PrimeProbe);
+    EXPECT_TRUE(fr.tsg()
+                    .findByLabel("Flush Array_A (clflush)")
+                    .has_value());
+    EXPECT_TRUE(pp.tsg()
+                    .findByLabel("Prime cache sets with attacker data")
+                    .has_value());
+}
+
+TEST(Variants, UnknownVariantThrows)
+{
+    EXPECT_THROW(variantInfo(static_cast<AttackVariant>(200)),
+                 std::invalid_argument);
+}
+
+/** Parameterized sweep over every cataloged variant. */
+class VariantGraph
+    : public ::testing::TestWithParam<AttackVariant>
+{
+};
+
+TEST_P(VariantGraph, BuildsNonTrivialGraph)
+{
+    const AttackGraph g = buildAttackGraph(GetParam());
+    EXPECT_GE(g.tsg().nodeCount(), 5u);
+    EXPECT_GE(g.tsg().edgeCount(), 4u);
+}
+
+TEST_P(VariantGraph, HasExactlyOneAuthorization)
+{
+    const AttackGraph g = buildAttackGraph(GetParam());
+    EXPECT_EQ(g.authorizationNodes().size(), 1u);
+}
+
+TEST_P(VariantGraph, AuthorizationLabelMatchesTableIII)
+{
+    const VariantInfo &info = variantInfo(GetParam());
+    if (!info.inTableIII)
+        GTEST_SKIP() << "not a Table III variant";
+    const AttackGraph g = buildAttackGraph(GetParam());
+    const NodeId auth = g.authorizationNodes().front();
+    EXPECT_EQ(g.tsg().label(auth), info.authorization);
+}
+
+TEST_P(VariantGraph, ModelIsVulnerable)
+{
+    const AttackGraph g = buildAttackGraph(GetParam());
+    EXPECT_TRUE(g.isVulnerable());
+}
+
+TEST_P(VariantGraph, AuthorizationRacesWithSomeAccess)
+{
+    const AttackGraph g = buildAttackGraph(GetParam());
+    const NodeId auth = g.authorizationNodes().front();
+    bool races = false;
+    for (NodeId access : g.secretAccessNodes()) {
+        if (specsec::graph::hasRace(g.tsg(), auth, access))
+            races = true;
+    }
+    EXPECT_TRUE(races);
+}
+
+TEST_P(VariantGraph, MissingDependenciesNonEmpty)
+{
+    const AttackGraph g = buildAttackGraph(GetParam());
+    EXPECT_FALSE(g.missingSecurityDependencies().empty());
+}
+
+TEST_P(VariantGraph, GraphIsNamed)
+{
+    const AttackGraph g = buildAttackGraph(GetParam());
+    EXPECT_EQ(g.name(), variantInfo(GetParam()).name);
+}
+
+TEST_P(VariantGraph, MistrainNodePresentIffRequired)
+{
+    const AttackGraph g = buildAttackGraph(GetParam());
+    const bool has_mistrain =
+        !g.nodesWithRole(specsec::core::NodeRole::MistrainPredictor)
+             .empty();
+    EXPECT_EQ(has_mistrain,
+              variantInfo(GetParam()).requiresMistraining);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, VariantGraph,
+    ::testing::ValuesIn(allVariants()),
+    [](const ::testing::TestParamInfo<AttackVariant> &info) {
+        std::string name = variantInfo(info.param).name;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
