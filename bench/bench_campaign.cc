@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Campaign engine throughput: the full variant x defense matrix
+ * (the paper's Table II-style sweep) executed serially and across
+ * the worker pool, reporting scenarios/sec and the speedup, and
+ * verifying the success matrices are identical.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "bench_util.hh"
+#include "campaign/campaign.hh"
+
+using namespace specsec;
+using namespace specsec::campaign;
+
+int
+main(int argc, char **argv)
+{
+    unsigned parallel_workers =
+        std::max(4u, std::thread::hardware_concurrency());
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+            char *end = nullptr;
+            const unsigned long n =
+                std::strtoul(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || n == 0) {
+                std::fprintf(stderr,
+                             "--workers: '%s' is not a positive "
+                             "integer\n", argv[i]);
+                return 2;
+            }
+            parallel_workers = static_cast<unsigned>(n);
+        }
+    }
+
+    bench::header("campaign engine: serial vs. parallel sweep");
+    const ScenarioSpec spec = ScenarioSpec::defenseMatrix();
+    std::printf("grid: %zu variants x %zu defenses = %zu scenarios\n",
+                spec.variants.size(), spec.defenses.size(),
+                spec.gridSize());
+
+    // Warm-up: touch every lazily initialized catalog before timing.
+    {
+        ScenarioSpec warm;
+        warm.variants = {core::AttackVariant::SpectreV1};
+        CampaignEngine(CampaignEngine::Options{1}).run(warm);
+    }
+
+    const CampaignReport serial =
+        CampaignEngine(CampaignEngine::Options{1}).run(spec);
+    const CampaignReport parallel =
+        CampaignEngine(CampaignEngine::Options{parallel_workers})
+            .run(spec);
+
+    bench::rule();
+    std::printf("%-10s %8s %8s %12s %14s\n", "mode", "workers",
+                "unique", "wall (ms)", "scenarios/sec");
+    std::printf("%-10s %8u %8zu %12.1f %14.1f\n", "serial",
+                serial.workers, serial.uniqueCount,
+                serial.wallMillis, serial.scenariosPerSecond);
+    std::printf("%-10s %8u %8zu %12.1f %14.1f\n", "parallel",
+                parallel.workers, parallel.uniqueCount,
+                parallel.wallMillis, parallel.scenariosPerSecond);
+    const double speedup = parallel.wallMillis > 0.0
+                               ? serial.wallMillis / parallel.wallMillis
+                               : 0.0;
+    std::printf("speedup: %.2fx (%u hardware threads)\n", speedup,
+                std::thread::hardware_concurrency());
+
+    const bool agree =
+        serial.successMatrixText() == parallel.successMatrixText();
+    std::printf("success matrices identical: %s\n",
+                agree ? "yes" : "NO — BUG");
+    if (!agree)
+        return 1;
+    std::printf("\n%s", parallel.successMatrixText().c_str());
+    return 0;
+}

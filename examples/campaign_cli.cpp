@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Campaign driver: run a declarative attack x defense sweep from the
+ * command line, print the success matrix, and optionally export the
+ * full report as JSON and/or CSV.
+ *
+ * Examples:
+ *   campaign_cli                             # full defense matrix
+ *   campaign_cli --workers 8 --json out.json --csv out.csv
+ *   campaign_cli --variants spectre-v1,meltdown --rob 32,48,64
+ *   campaign_cli --perm-lat 10,30,50 --channels fr,pp
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "tool/report.hh"
+
+using namespace specsec;
+using namespace specsec::campaign;
+
+namespace
+{
+
+/** Strict decimal parse; rejects empty strings and trailing junk. */
+bool
+parseUnsigned(const std::string &s, unsigned long &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtoul(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0';
+}
+
+std::vector<std::string>
+splitCommas(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        const std::size_t comma = arg.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(arg.substr(start));
+            break;
+        }
+        out.push_back(arg.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+int
+usage(const char *prog)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --workers N        worker threads (default: all cores)\n"
+        "  --serial           shorthand for --workers 1\n"
+        "  --variants a,b,c   variants by catalog name "
+        "(default: all but Spoiler)\n"
+        "  --rob n1,n2,...    sweep ROB sizes\n"
+        "  --perm-lat l1,...  sweep permission-check latencies\n"
+        "  --channels fr,pp   sweep covert channels\n"
+        "  --json FILE        export full report as JSON\n"
+        "  --csv FILE         export full report as CSV\n"
+        "  --timing           include wall-clock fields in exports\n",
+        prog);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ScenarioSpec spec = ScenarioSpec::defenseMatrix();
+    CampaignEngine::Options engine_opts;
+    std::string json_path;
+    std::string csv_path;
+    bool timing = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workers") {
+            unsigned long n = 0;
+            if (!parseUnsigned(value(), n)) {
+                std::fprintf(stderr, "--workers: not a number\n");
+                return 2;
+            }
+            engine_opts.workers = static_cast<unsigned>(n);
+        } else if (arg == "--serial") {
+            engine_opts.workers = 1;
+        } else if (arg == "--variants") {
+            spec.variants.clear();
+            for (const std::string &name : splitCommas(value())) {
+                const auto v = core::findVariantByName(name);
+                if (!v) {
+                    std::fprintf(stderr, "unknown variant: %s\n",
+                                 name.c_str());
+                    return 2;
+                }
+                spec.variants.push_back(*v);
+            }
+        } else if (arg == "--rob") {
+            spec.robSizes.clear();
+            for (const std::string &n : splitCommas(value())) {
+                unsigned long rob = 0;
+                if (!parseUnsigned(n, rob) || rob == 0) {
+                    std::fprintf(stderr,
+                                 "--rob: '%s' is not a positive "
+                                 "integer\n", n.c_str());
+                    return 2;
+                }
+                spec.robSizes.push_back(rob);
+            }
+        } else if (arg == "--perm-lat") {
+            spec.permCheckLatencies.clear();
+            for (const std::string &n : splitCommas(value())) {
+                unsigned long lat = 0;
+                if (!parseUnsigned(n, lat)) {
+                    std::fprintf(stderr,
+                                 "--perm-lat: '%s' is not a "
+                                 "number\n", n.c_str());
+                    return 2;
+                }
+                spec.permCheckLatencies.push_back(
+                    static_cast<unsigned>(lat));
+            }
+        } else if (arg == "--channels") {
+            spec.channels.clear();
+            for (const std::string &n : splitCommas(value())) {
+                if (n == "fr" || n == "flush-reload")
+                    spec.channels.push_back(
+                        core::CovertChannelKind::FlushReload);
+                else if (n == "pp" || n == "prime-probe")
+                    spec.channels.push_back(
+                        core::CovertChannelKind::PrimeProbe);
+                else {
+                    std::fprintf(stderr, "unknown channel: %s\n",
+                                 n.c_str());
+                    return 2;
+                }
+            }
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--csv") {
+            csv_path = value();
+        } else if (arg == "--timing") {
+            timing = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    const CampaignEngine engine(engine_opts);
+    std::printf("campaign %s: %zu grid points, %u workers\n",
+                spec.name.c_str(), spec.gridSize(),
+                engine.workers());
+    const CampaignReport report = engine.run(spec);
+
+    std::printf("\n%s", report.successMatrixText().c_str());
+    std::printf("\n(L = every run in the cell leaks, . = blocked, "
+                "p = leaks under some knob values)\n");
+    std::printf("executed %zu unique of %zu expanded scenarios "
+                "in %.1f ms (%.1f scenarios/sec, %u workers)\n",
+                report.uniqueCount, report.expandedCount,
+                report.wallMillis, report.scenariosPerSecond,
+                report.workers);
+
+    if (!json_path.empty()) {
+        if (!tool::writeTextFile(json_path,
+                                 tool::campaignJson(report, timing))) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    if (!csv_path.empty()) {
+        if (!tool::writeTextFile(csv_path,
+                                 tool::campaignCsv(report, timing))) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         csv_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", csv_path.c_str());
+    }
+    return 0;
+}

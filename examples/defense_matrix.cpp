@@ -1,76 +1,48 @@
 /**
  * @file
- * Defense explorer: sweep every attack variant against every
- * hardware defense strategy realization and print the outcome
- * matrix — the repository's answer to the paper's question "is this
- * defense effective against that attack, and why?".
+ * Defense explorer: the attack x defense outcome matrix — the
+ * repository's answer to the paper's question "is this defense
+ * effective against that attack, and why?".
+ *
+ * This used to be a hand-written serial double loop.  It is now a
+ * campaign spec (ScenarioSpec::defenseMatrix()) executed by the
+ * parallel CampaignEngine; a compact serial loop over the same cells
+ * is kept here only to demonstrate that the engine and the direct
+ * runner agree cell for cell.
  */
 
 #include <cstdio>
-#include <vector>
 
 #include "attacks/runner.hh"
-#include "core/variants.hh"
+#include "campaign/campaign.hh"
 
 using namespace specsec;
-using namespace specsec::attacks;
-using core::AttackVariant;
-
-namespace
-{
-
-struct Column
-{
-    const char *label;
-    void (*configure)(CpuConfig &);
-};
-
-const Column kColumns[] = {
-    {"fence(1)",
-     [](CpuConfig &c) { c.defense.fenceSpeculativeLoads = true; }},
-    {"nda(2)",
-     [](CpuConfig &c) {
-         c.defense.blockSpeculativeForwarding = true;
-     }},
-    {"stt(3)",
-     [](CpuConfig &c) { c.defense.blockTaintedTransmit = true; }},
-    {"invisi(3)",
-     [](CpuConfig &c) { c.defense.invisibleSpeculation = true; }},
-    {"cleanup(3)",
-     [](CpuConfig &c) { c.defense.cleanupSpec = true; }},
-    {"cond(3)",
-     [](CpuConfig &c) { c.defense.conditionalSpeculation = true; }},
-    {"flush(4)",
-     [](CpuConfig &c) {
-         c.defense.flushPredictorOnContextSwitch = true;
-     }},
-};
-
-} // namespace
+using namespace specsec::campaign;
 
 int
 main()
 {
+    // The whole experiment is one declarative spec + one engine run.
+    const ScenarioSpec spec = ScenarioSpec::defenseMatrix();
+    const CampaignReport report = CampaignEngine().run(spec);
+
     std::printf("attack x defense outcome matrix "
                 "(L = still leaks, . = blocked)\n\n");
-    std::printf("%-26s %8s", "variant", "baseline");
-    for (const Column &col : kColumns)
-        std::printf(" %10s", col.label);
-    std::printf("\n");
-    for (AttackVariant v : core::allVariants()) {
-        if (v == AttackVariant::Spoiler)
-            continue; // timing attack; see bench_table1
-        std::printf("%-26.26s", core::variantInfo(v).name);
-        const AttackResult base = runVariant(v, CpuConfig{});
-        std::printf(" %8s", base.leaked ? "L" : ".");
-        for (const Column &col : kColumns) {
-            CpuConfig cfg;
-            col.configure(cfg);
-            const AttackResult r = runVariant(v, cfg);
-            std::printf(" %10s", r.leaked ? "L" : ".");
-        }
-        std::printf("\n");
+    std::printf("%s", report.successMatrixText().c_str());
+
+    // Cross-check: the old-style serial loop over the same grid.
+    bool agree = true;
+    const auto grid = expandGrid(spec);
+    for (const Scenario &s : grid) {
+        const attacks::AttackResult r =
+            attacks::runVariant(s.variant, s.config, s.options);
+        if (r.leaked != report.outcomes[s.gridIndex].result.leaked)
+            agree = false;
     }
+    std::printf("\nserial hand loop agrees with parallel engine "
+                "on all %zu cells: %s\n", grid.size(),
+                agree ? "yes" : "NO — BUG");
+
     std::printf("\nnotes:\n");
     std::printf("  - flush(4) only stops predictor-mistraining "
                 "attacks, exactly as the model predicts;\n");
@@ -79,5 +51,7 @@ main()
     std::printf("    flush keyed to attacker/victim separation "
                 "only when the attacker is cross-context (v2, "
                 "RSB).\n");
-    return 0;
+    std::printf("  - Spoiler is excluded: it is a timing attack "
+                "with no leak/blocked verdict (see bench_table1).\n");
+    return agree ? 0 : 1;
 }

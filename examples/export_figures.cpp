@@ -6,6 +6,7 @@
  */
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -62,8 +63,8 @@ int
 main(int argc, char **argv)
 {
     const std::string dir = argc > 1 ? argv[1] : "figures";
-    // Portable mkdir via the standard library is C++17 filesystem;
-    // keep it simple and assume the directory exists or use cwd.
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
     std::size_t written = 0;
     const auto emit = [&](const AttackGraph &g,
                           const std::string &name) {

@@ -5,6 +5,32 @@
 namespace specsec::attacks
 {
 
+namespace
+{
+
+thread_local uarch::CpuStats tlsLastStats;
+thread_local std::uint64_t tlsScenarioDeaths = 0;
+
+} // namespace
+
+const uarch::CpuStats &
+lastScenarioStats()
+{
+    return tlsLastStats;
+}
+
+std::uint64_t
+scenarioDeathCount()
+{
+    return tlsScenarioDeaths;
+}
+
+Scenario::~Scenario()
+{
+    tlsLastStats = cpu_->stats();
+    ++tlsScenarioDeaths;
+}
+
 Scenario::Scenario(const CpuConfig &config)
     : mem_(Layout::kMemorySize)
 {

@@ -62,6 +62,7 @@ class Scenario
 {
   public:
     explicit Scenario(const CpuConfig &config);
+    ~Scenario();
 
     Cpu &cpu() { return *cpu_; }
     uarch::Memory &mem() { return mem_; }
@@ -175,6 +176,23 @@ AttackResult scoreResult(std::string name,
 
 /** The default secret used by the attack runners. */
 std::vector<std::uint8_t> defaultSecret(std::size_t len);
+
+/**
+ * Final CpuStats of the most recently destroyed Scenario on this
+ * thread.  Every attack runner owns exactly one Scenario that dies
+ * when the runner returns, so a caller reading this right after a
+ * runner call observes that run's pipeline counters.  Thread-local,
+ * so parallel sweep engines can collect stats without sharing.
+ *
+ * Callers relying on the one-Scenario-per-run invariant should
+ * check scenarioDeathCount() advanced by exactly one across the
+ * call (runner.cc does); a runner that constructs several Scenarios
+ * must be taught to report stats explicitly instead.
+ */
+const uarch::CpuStats &lastScenarioStats();
+
+/** Scenarios destroyed on this thread so far (invariant checking). */
+std::uint64_t scenarioDeathCount();
 
 } // namespace specsec::attacks
 

@@ -53,4 +53,22 @@ runVariant(core::AttackVariant variant, const CpuConfig &config,
     throw std::invalid_argument("runVariant: unknown variant");
 }
 
+AttackResult
+runVariant(core::AttackVariant variant, const CpuConfig &config,
+           const AttackOptions &options, uarch::CpuStats &stats_out)
+{
+    const std::uint64_t deaths_before = scenarioDeathCount();
+    AttackResult result = runVariant(variant, config, options);
+    // lastScenarioStats() is only this run's counters if the runner
+    // owned exactly one Scenario; fail loudly instead of exporting
+    // another scenario's stats.
+    if (scenarioDeathCount() != deaths_before + 1) {
+        throw std::logic_error(
+            "runVariant: attack runner did not construct exactly "
+            "one Scenario; teach it to report CpuStats explicitly");
+    }
+    stats_out = lastScenarioStats();
+    return result;
+}
+
 } // namespace specsec::attacks

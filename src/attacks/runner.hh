@@ -19,6 +19,16 @@ AttackResult runVariant(core::AttackVariant variant,
                         const CpuConfig &config,
                         const AttackOptions &options = {});
 
+/**
+ * Run the executable attack for @p variant and also report the final
+ * pipeline counters of the scenario CPU in @p stats_out.  This is
+ * the execution backend of the campaign engine (src/campaign).
+ */
+AttackResult runVariant(core::AttackVariant variant,
+                        const CpuConfig &config,
+                        const AttackOptions &options,
+                        uarch::CpuStats &stats_out);
+
 } // namespace specsec::attacks
 
 #endif // SPECSEC_ATTACKS_RUNNER_HH

@@ -1,0 +1,387 @@
+#include "campaign.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <unordered_map>
+
+#include "attacks/runner.hh"
+
+namespace specsec::campaign
+{
+
+namespace
+{
+
+std::vector<core::AttackVariant>
+resolveVariants(const ScenarioSpec &spec)
+{
+    if (!spec.variants.empty())
+        return spec.variants;
+    return core::allVariants();
+}
+
+std::vector<DefenseAxis>
+resolveDefenses(const ScenarioSpec &spec)
+{
+    if (!spec.defenses.empty())
+        return spec.defenses;
+    return {DefenseAxis{"baseline", nullptr}};
+}
+
+template <typename T>
+std::vector<T>
+resolveKnob(const std::vector<T> &sweep, T baseline)
+{
+    if (!sweep.empty())
+        return sweep;
+    return {baseline};
+}
+
+void
+appendField(std::string &out, std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu;",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+double
+millisSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+std::size_t
+ScenarioSpec::gridSize() const
+{
+    // Same resolution rules as expandGrid, so the two always agree.
+    return resolveVariants(*this).size() *
+           resolveDefenses(*this).size() *
+           resolveKnob(robSizes, baseConfig.robSize).size() *
+           resolveKnob(permCheckLatencies,
+                       baseConfig.permCheckLatency)
+               .size() *
+           resolveKnob(channels, baseOptions.channel).size();
+}
+
+ScenarioSpec
+ScenarioSpec::defenseMatrix()
+{
+    ScenarioSpec spec;
+    spec.name = "defense-matrix";
+    for (core::AttackVariant v : core::allVariants()) {
+        if (v == core::AttackVariant::Spoiler)
+            continue; // timing attack; no leak/blocked verdict
+        spec.variants.push_back(v);
+    }
+    const auto hw = [](void (*set)(uarch::HwDefenseConfig &)) {
+        return [set](CpuConfig &c, AttackOptions &) {
+            set(c.defense);
+        };
+    };
+    spec.defenses = {
+        {"baseline", nullptr},
+        {"fence(1)", hw([](uarch::HwDefenseConfig &d) {
+             d.fenceSpeculativeLoads = true;
+         })},
+        {"nda(2)", hw([](uarch::HwDefenseConfig &d) {
+             d.blockSpeculativeForwarding = true;
+         })},
+        {"stt(3)", hw([](uarch::HwDefenseConfig &d) {
+             d.blockTaintedTransmit = true;
+         })},
+        {"invisi(3)", hw([](uarch::HwDefenseConfig &d) {
+             d.invisibleSpeculation = true;
+         })},
+        {"cleanup(3)", hw([](uarch::HwDefenseConfig &d) {
+             d.cleanupSpec = true;
+         })},
+        {"cond(3)", hw([](uarch::HwDefenseConfig &d) {
+             d.conditionalSpeculation = true;
+         })},
+        {"flush(4)", hw([](uarch::HwDefenseConfig &d) {
+             d.flushPredictorOnContextSwitch = true;
+         })},
+    };
+    return spec;
+}
+
+std::string
+scenarioKey(core::AttackVariant variant, const CpuConfig &c,
+            const AttackOptions &o)
+{
+    // Tripwire: scenarioKey must cover every field that determines a
+    // run's outcome, or dedup silently folds distinct scenarios.
+    // When either struct grows, extend the serialization below, then
+    // update the expected size.
+#if defined(__x86_64__) && defined(__linux__)
+    static_assert(sizeof(CpuConfig) == 120,
+                  "CpuConfig changed: extend scenarioKey()");
+    static_assert(sizeof(AttackOptions) == 32,
+                  "AttackOptions changed: extend scenarioKey()");
+#endif
+    std::string key;
+    key.reserve(160);
+    appendField(key, static_cast<std::uint64_t>(variant));
+    // CpuConfig scalars.
+    appendField(key, c.robSize);
+    appendField(key, c.fetchWidth);
+    appendField(key, c.commitWidth);
+    appendField(key, c.permCheckLatency);
+    appendField(key, c.branchResolveLatency);
+    appendField(key, c.retResolveLatency);
+    appendField(key, c.exceptionDeliveryLatency);
+    appendField(key, c.txnAbortDetectLatency);
+    appendField(key, c.partialAliasPenalty);
+    appendField(key, c.physAliasPenalty);
+    appendField(key, c.rsbDepth);
+    appendField(key, c.lfbEntries);
+    // CacheConfig.
+    appendField(key, c.cache.sets);
+    appendField(key, c.cache.ways);
+    appendField(key, c.cache.lineSize);
+    appendField(key, c.cache.hitLatency);
+    appendField(key, c.cache.missLatency);
+    // VulnConfig.
+    appendField(key, c.vuln.meltdown);
+    appendField(key, c.vuln.l1tf);
+    appendField(key, c.vuln.mds);
+    appendField(key, c.vuln.lazyFp);
+    appendField(key, c.vuln.storeBypass);
+    appendField(key, c.vuln.msr);
+    appendField(key, c.vuln.taa);
+    // HwDefenseConfig.
+    appendField(key, c.defense.fenceSpeculativeLoads);
+    appendField(key, c.defense.blockSpeculativeForwarding);
+    appendField(key, c.defense.blockTaintedTransmit);
+    appendField(key, c.defense.invisibleSpeculation);
+    appendField(key, c.defense.cleanupSpec);
+    appendField(key, c.defense.conditionalSpeculation);
+    appendField(key, c.defense.partitionedCache);
+    appendField(key, c.defense.flushPredictorOnContextSwitch);
+    appendField(key, c.defense.noIndirectPrediction);
+    appendField(key, c.defense.noBranchPrediction);
+    appendField(key, c.defense.clearBuffersOnContextSwitch);
+    appendField(key, c.defense.eagerFpuSwitch);
+    appendField(key, c.defense.safeStoreBypass);
+    // AttackOptions.
+    appendField(key, static_cast<std::uint64_t>(o.channel));
+    appendField(key, o.secretLen);
+    appendField(key, o.flushL1OnExit);
+    appendField(key, o.kpti);
+    appendField(key, o.rsbStuffing);
+    appendField(key, o.softwareLfence);
+    appendField(key, o.addressMasking);
+    appendField(key, o.trainingRounds);
+    appendField(key, o.delayAuthorization);
+    return key;
+}
+
+std::vector<Scenario>
+expandGrid(const ScenarioSpec &spec)
+{
+    const auto variants = resolveVariants(spec);
+    const auto defenses = resolveDefenses(spec);
+    const auto robs =
+        resolveKnob(spec.robSizes, spec.baseConfig.robSize);
+    const auto lats = resolveKnob(spec.permCheckLatencies,
+                                  spec.baseConfig.permCheckLatency);
+    const auto chans =
+        resolveKnob(spec.channels, spec.baseOptions.channel);
+
+    std::vector<Scenario> grid;
+    grid.reserve(variants.size() * defenses.size() * robs.size() *
+                 lats.size() * chans.size());
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        for (std::size_t di = 0; di < defenses.size(); ++di) {
+            for (std::size_t rob : robs) {
+                for (unsigned lat : lats) {
+                    for (core::CovertChannelKind chan : chans) {
+                        Scenario s;
+                        s.variant = variants[vi];
+                        s.config = spec.baseConfig;
+                        s.options = spec.baseOptions;
+                        s.config.robSize = rob;
+                        s.config.permCheckLatency = lat;
+                        s.options.channel = chan;
+                        if (defenses[di].apply)
+                            defenses[di].apply(s.config, s.options);
+                        s.row = vi;
+                        s.col = di;
+                        s.gridIndex = grid.size();
+                        s.rowLabel =
+                            core::variantInfo(s.variant).name;
+                        s.colLabel = defenses[di].label;
+                        s.key = scenarioKey(s.variant, s.config,
+                                            s.options);
+                        grid.push_back(std::move(s));
+                    }
+                }
+            }
+        }
+    }
+    return grid;
+}
+
+ExpandedGrid
+dedupGrid(const ScenarioSpec &spec)
+{
+    ExpandedGrid g;
+    g.expanded = expandGrid(spec);
+    g.dupOf.resize(g.expanded.size());
+    std::unordered_map<std::string, std::size_t> seen;
+    seen.reserve(g.expanded.size());
+    for (std::size_t i = 0; i < g.expanded.size(); ++i) {
+        const auto [it, inserted] =
+            seen.emplace(g.expanded[i].key, g.uniqueIndices.size());
+        if (inserted)
+            g.uniqueIndices.push_back(i);
+        g.dupOf[i] = it->second;
+    }
+    return g;
+}
+
+char
+CampaignReport::cellGlyph(std::size_t row, std::size_t col) const
+{
+    const unsigned runs = cellRuns.at(row).at(col);
+    if (runs == 0)
+        return ' ';
+    const unsigned leaks = cellLeaks.at(row).at(col);
+    if (leaks == runs)
+        return 'L';
+    if (leaks == 0)
+        return '.';
+    return 'p';
+}
+
+std::string
+CampaignReport::successMatrixText() const
+{
+    std::string out;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%-26s", "variant");
+    out += buf;
+    for (const std::string &col : colLabels) {
+        std::snprintf(buf, sizeof buf, " %10.10s", col.c_str());
+        out += buf;
+    }
+    out += '\n';
+    for (std::size_t r = 0; r < rowLabels.size(); ++r) {
+        std::snprintf(buf, sizeof buf, "%-26.26s",
+                      rowLabels[r].c_str());
+        out += buf;
+        for (std::size_t c = 0; c < colLabels.size(); ++c) {
+            std::snprintf(buf, sizeof buf, " %10c", cellGlyph(r, c));
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+unsigned
+CampaignEngine::workers() const
+{
+    if (options_.workers > 0)
+        return options_.workers;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+CampaignReport
+CampaignEngine::run(const ScenarioSpec &spec) const
+{
+    const ExpandedGrid grid = dedupGrid(spec);
+    const auto variants = resolveVariants(spec);
+    const auto defenses = resolveDefenses(spec);
+    const unsigned nworkers = workers();
+
+    struct UniqueOutcome
+    {
+        AttackResult result;
+        CpuStats stats;
+        double wallMillis = 0.0;
+    };
+    std::vector<UniqueOutcome> unique(grid.uniqueIndices.size());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= grid.uniqueIndices.size())
+                return;
+            const Scenario &s =
+                grid.expanded[grid.uniqueIndices[i]];
+            const auto s0 = std::chrono::steady_clock::now();
+            unique[i].result = attacks::runVariant(
+                s.variant, s.config, s.options, unique[i].stats);
+            unique[i].wallMillis = millisSince(s0);
+        }
+    };
+    if (nworkers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nworkers);
+        for (unsigned w = 0; w < nworkers; ++w)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    const double wall = millisSince(t0);
+
+    CampaignReport report;
+    report.name = spec.name;
+    for (core::AttackVariant v : variants)
+        report.rowLabels.push_back(core::variantInfo(v).name);
+    for (const DefenseAxis &d : defenses)
+        report.colLabels.push_back(d.label);
+    report.cellRuns.assign(
+        variants.size(),
+        std::vector<unsigned>(defenses.size(), 0));
+    report.cellLeaks.assign(
+        variants.size(),
+        std::vector<unsigned>(defenses.size(), 0));
+    report.outcomes.reserve(grid.expanded.size());
+    for (std::size_t i = 0; i < grid.expanded.size(); ++i) {
+        const Scenario &s = grid.expanded[i];
+        const UniqueOutcome &u = unique[grid.dupOf[i]];
+        ScenarioOutcome o;
+        o.variant = s.variant;
+        o.row = s.row;
+        o.col = s.col;
+        o.gridIndex = s.gridIndex;
+        o.rowLabel = s.rowLabel;
+        o.colLabel = s.colLabel;
+        o.config = s.config;
+        o.options = s.options;
+        o.result = u.result;
+        o.stats = u.stats;
+        o.wallMillis = u.wallMillis;
+        report.cellRuns[s.row][s.col] += 1;
+        if (u.result.leaked)
+            report.cellLeaks[s.row][s.col] += 1;
+        report.outcomes.push_back(std::move(o));
+    }
+    report.expandedCount = grid.expanded.size();
+    report.uniqueCount = grid.uniqueIndices.size();
+    report.workers = nworkers;
+    report.wallMillis = wall;
+    report.scenariosPerSecond =
+        wall > 0.0 ? 1000.0 * static_cast<double>(report.uniqueCount) /
+                         wall
+                   : 0.0;
+    return report;
+}
+
+} // namespace specsec::campaign

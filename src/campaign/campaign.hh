@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Declarative, parallel scenario-sweep engine.
+ *
+ * The paper's central deliverables are matrices: which attack
+ * variants succeed under which hardware defense strategies (Tables
+ * II/III).  Instead of hand-writing one loop per experiment, a
+ * ScenarioSpec declares a grid over
+ *
+ *     AttackVariant x defense axis x CpuConfig knob sweeps
+ *                   x covert channel,
+ *
+ * and the CampaignEngine expands the grid, deduplicates identical
+ * (variant, config, options) cells, and executes the unique
+ * scenarios across a worker-thread pool.  Each worker owns its
+ * Memory/PageTable/Cpu (the simulator is single-threaded per
+ * instance; attacks::runVariant constructs a private Scenario per
+ * call), so scenario execution is embarrassingly parallel and the
+ * outcome of every cell is independent of scheduling.
+ *
+ * Every result field except the wall-clock timings is a pure
+ * function of the cell's configuration, so a parallel run produces
+ * byte-identical results (success matrix, per-cell outcomes, CSV
+ * rows) to a serial run of the same spec.
+ */
+
+#ifndef SPECSEC_CAMPAIGN_CAMPAIGN_HH
+#define SPECSEC_CAMPAIGN_CAMPAIGN_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attacks/attack_kit.hh"
+#include "core/variants.hh"
+
+namespace specsec::campaign
+{
+
+using attacks::AttackOptions;
+using attacks::AttackResult;
+using uarch::CpuConfig;
+using uarch::CpuStats;
+
+/**
+ * One named defense column of the sweep: a mutation applied to the
+ * baseline CpuConfig/AttackOptions.  A null @c apply is the baseline
+ * (no mutation).
+ */
+struct DefenseAxis
+{
+    std::string label;
+    std::function<void(CpuConfig &, AttackOptions &)> apply;
+};
+
+/** Declarative description of a campaign grid. */
+struct ScenarioSpec
+{
+    std::string name = "campaign";
+
+    /// Rows.  Empty means core::allVariants().
+    std::vector<core::AttackVariant> variants;
+
+    /// Columns.  Empty means a single baseline column.
+    std::vector<DefenseAxis> defenses;
+
+    /// Baseline configuration every cell starts from.
+    CpuConfig baseConfig;
+    AttackOptions baseOptions;
+
+    /// @name Knob sweeps (cartesian with rows x columns).
+    /// An empty vector means "the baseline value only".
+    /// @{
+    std::vector<std::size_t> robSizes;
+    std::vector<unsigned> permCheckLatencies;
+    std::vector<core::CovertChannelKind> channels;
+    /// @}
+
+    /// Number of grid points before deduplication.
+    std::size_t gridSize() const;
+
+    /**
+     * The paper's defense matrix (the sweep previously hand-rolled
+     * in examples/defense_matrix.cpp): every variant except Spoiler
+     * against the baseline plus the seven hardware defense strategy
+     * realizations of Sections V-B/V-C.
+     */
+    static ScenarioSpec defenseMatrix();
+};
+
+/** One fully expanded cell of the grid. */
+struct Scenario
+{
+    core::AttackVariant variant{};
+    CpuConfig config;
+    AttackOptions options;
+    std::size_t row = 0;       ///< variant index in the spec
+    std::size_t col = 0;       ///< defense index in the spec
+    std::size_t gridIndex = 0; ///< position in expansion order
+    std::string rowLabel;
+    std::string colLabel;
+    std::string key; ///< canonical dedup key (scenarioKey())
+};
+
+/**
+ * Canonical serialization of everything that determines a run's
+ * outcome.  Two grid points with equal keys are the same experiment
+ * and are executed once.  Must cover every field of CpuConfig
+ * (including nested CacheConfig / VulnConfig / HwDefenseConfig) and
+ * AttackOptions; extend when those structs grow.
+ */
+std::string scenarioKey(core::AttackVariant variant,
+                        const CpuConfig &config,
+                        const AttackOptions &options);
+
+/**
+ * Expand @p spec into scenarios in deterministic row-major order:
+ * variant (outer), defense, robSize, permCheckLatency, channel
+ * (inner).
+ */
+std::vector<Scenario> expandGrid(const ScenarioSpec &spec);
+
+/** Grid expansion with duplicate cells folded onto one execution. */
+struct ExpandedGrid
+{
+    std::vector<Scenario> expanded; ///< every grid point, grid order
+
+    /// Indices into @c expanded of the first occurrence of each
+    /// distinct key, in grid order: the scenarios actually executed.
+    std::vector<std::size_t> uniqueIndices;
+
+    /// For every expanded index, the position in @c uniqueIndices of
+    /// the execution that produces its result.
+    std::vector<std::size_t> dupOf;
+};
+
+ExpandedGrid dedupGrid(const ScenarioSpec &spec);
+
+/** Outcome of one grid cell. */
+struct ScenarioOutcome
+{
+    core::AttackVariant variant{};
+    std::size_t row = 0;
+    std::size_t col = 0;
+    std::size_t gridIndex = 0;
+    std::string rowLabel;
+    std::string colLabel;
+    /// The exact configuration the cell ran under, so exports are
+    /// self-contained (knob sweeps differ only here).
+    CpuConfig config;
+    AttackOptions options;
+    AttackResult result;
+    CpuStats stats;
+    /// Wall time of the unique execution backing this cell.
+    /// Machine- and scheduling-dependent: excluded from the
+    /// deterministic exports (resultsCsv / success matrix).
+    double wallMillis = 0.0;
+};
+
+/** Aggregated results of a campaign. */
+struct CampaignReport
+{
+    std::string name;
+    std::vector<std::string> rowLabels;
+    std::vector<std::string> colLabels;
+
+    /// One outcome per expanded grid point, grid order (deduplicated
+    /// cells share the result of their unique execution).
+    std::vector<ScenarioOutcome> outcomes;
+
+    /// Per (row, col) cell: grid points landing in the cell and how
+    /// many of them leaked.  Knob sweeps put several runs per cell.
+    std::vector<std::vector<unsigned>> cellRuns;
+    std::vector<std::vector<unsigned>> cellLeaks;
+
+    std::size_t expandedCount = 0;
+    std::size_t uniqueCount = 0;
+    unsigned workers = 1;
+    double wallMillis = 0.0;
+    double scenariosPerSecond = 0.0; ///< unique executions / wall
+
+    /**
+     * 'L' when every run in the cell leaked, '.' when none did, 'p'
+     * when mixed, ' ' when the cell is empty.
+     */
+    char cellGlyph(std::size_t row, std::size_t col) const;
+
+    /** Deterministic text rendering of the success matrix. */
+    std::string successMatrixText() const;
+};
+
+/** The parallel campaign executor. */
+class CampaignEngine
+{
+  public:
+    struct Options
+    {
+        /// Worker threads; 0 means std::thread::hardware_concurrency.
+        unsigned workers = 0;
+    };
+
+    CampaignEngine() = default;
+    explicit CampaignEngine(Options options) : options_(options) {}
+
+    /** Resolved worker count (>= 1). */
+    unsigned workers() const;
+
+    /** Expand, deduplicate and execute @p spec. */
+    CampaignReport run(const ScenarioSpec &spec) const;
+
+  private:
+    Options options_;
+};
+
+} // namespace specsec::campaign
+
+#endif // SPECSEC_CAMPAIGN_CAMPAIGN_HH

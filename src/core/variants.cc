@@ -1,5 +1,6 @@
 #include "variants.hh"
 
+#include <cctype>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -322,6 +323,53 @@ allVariants()
         return v;
     }();
     return all;
+}
+
+std::optional<AttackVariant>
+findVariantByName(const std::string &name)
+{
+    const auto fold = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                out += static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+        }
+        return out;
+    };
+    // Short spellings matching the AttackVariant enumerators, for
+    // CLI use where the catalog names are unwieldy.
+    static const std::pair<const char *, AttackVariant> kShort[] = {
+        {"SpectreV1", AttackVariant::SpectreV1},
+        {"SpectreV1_1", AttackVariant::SpectreV1_1},
+        {"SpectreV1_2", AttackVariant::SpectreV1_2},
+        {"SpectreV2", AttackVariant::SpectreV2},
+        {"Meltdown", AttackVariant::Meltdown},
+        {"MeltdownV3a", AttackVariant::MeltdownV3a},
+        {"SpectreV4", AttackVariant::SpectreV4},
+        {"SpectreRsb", AttackVariant::SpectreRsb},
+        {"Foreshadow", AttackVariant::Foreshadow},
+        {"ForeshadowOs", AttackVariant::ForeshadowOs},
+        {"ForeshadowVmm", AttackVariant::ForeshadowVmm},
+        {"LazyFp", AttackVariant::LazyFp},
+        {"Spoiler", AttackVariant::Spoiler},
+        {"Ridl", AttackVariant::Ridl},
+        {"ZombieLoad", AttackVariant::ZombieLoad},
+        {"Fallout", AttackVariant::Fallout},
+        {"Lvi", AttackVariant::Lvi},
+        {"Taa", AttackVariant::Taa},
+        {"Cacheout", AttackVariant::Cacheout},
+    };
+    const std::string wanted = fold(name);
+    for (const auto &[spelling, variant] : kShort) {
+        if (fold(spelling) == wanted)
+            return variant;
+    }
+    for (const VariantInfo &info : kVariantTable) {
+        if (fold(info.name) == wanted)
+            return info.variant;
+    }
+    return std::nullopt;
 }
 
 std::vector<AttackVariant>

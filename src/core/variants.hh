@@ -9,6 +9,8 @@
 #define SPECSEC_CORE_VARIANTS_HH
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "attack_graph.hh"
@@ -93,6 +95,12 @@ const VariantInfo &variantInfo(AttackVariant variant);
 
 /** @return every variant, in Table III order (plus Spoiler). */
 const std::vector<AttackVariant> &allVariants();
+
+/**
+ * Case/punctuation-insensitive lookup of a variant by catalog name
+ * (e.g. "spectre-v1", "Spectre v1", "zombieload"), for CLI drivers.
+ */
+std::optional<AttackVariant> findVariantByName(const std::string &name);
 
 /** @return the variants listed in Table III (18 entries). */
 std::vector<AttackVariant> tableIIIVariants();

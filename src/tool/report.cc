@@ -1,11 +1,78 @@
 #include "report.hh"
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
+#include "campaign/campaign.hh"
 #include "core/security_dependency.hh"
 
 namespace specsec::tool
 {
+
+namespace
+{
+
+/** JSON string escaping for the label/name fields we emit. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Fixed-precision double rendering: locale-independent, stable. */
+std::string
+num(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", value);
+    return buf;
+}
+
+/** CSV field quoting (labels may contain commas). */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
 
 std::string
 renderReport(const AnalysisResult &result, const Program &program)
@@ -48,6 +115,111 @@ renderReport(const AnalysisResult &result, const Program &program)
            << core::defenseStrategyName(f.suggested) << "\n";
     }
     return os.str();
+}
+
+std::string
+campaignJson(const campaign::CampaignReport &report,
+             bool include_timing)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"name\": \"" << jsonEscape(report.name) << "\",\n";
+    os << "  \"expandedCount\": " << report.expandedCount << ",\n";
+    os << "  \"uniqueCount\": " << report.uniqueCount << ",\n";
+    if (include_timing) {
+        os << "  \"workers\": " << report.workers << ",\n";
+        os << "  \"wallMillis\": " << num(report.wallMillis)
+           << ",\n";
+        os << "  \"scenariosPerSecond\": "
+           << num(report.scenariosPerSecond) << ",\n";
+    }
+    os << "  \"rows\": [";
+    for (std::size_t i = 0; i < report.rowLabels.size(); ++i) {
+        os << (i ? ", " : "") << "\""
+           << jsonEscape(report.rowLabels[i]) << "\"";
+    }
+    os << "],\n  \"cols\": [";
+    for (std::size_t i = 0; i < report.colLabels.size(); ++i) {
+        os << (i ? ", " : "") << "\""
+           << jsonEscape(report.colLabels[i]) << "\"";
+    }
+    os << "],\n  \"matrix\": [\n";
+    for (std::size_t r = 0; r < report.rowLabels.size(); ++r) {
+        os << "    {\"variant\": \""
+           << jsonEscape(report.rowLabels[r]) << "\", \"cells\": [";
+        for (std::size_t c = 0; c < report.colLabels.size(); ++c) {
+            os << (c ? ", " : "") << "{\"runs\": "
+               << report.cellRuns[r][c] << ", \"leaks\": "
+               << report.cellLeaks[r][c] << "}";
+        }
+        os << "]}"
+           << (r + 1 < report.rowLabels.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"outcomes\": [\n";
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        const campaign::ScenarioOutcome &o = report.outcomes[i];
+        os << "    {\"gridIndex\": " << o.gridIndex
+           << ", \"variant\": \"" << jsonEscape(o.rowLabel)
+           << "\", \"defense\": \"" << jsonEscape(o.colLabel)
+           << "\", \"robSize\": " << o.config.robSize
+           << ", \"permCheckLatency\": " << o.config.permCheckLatency
+           << ", \"channel\": \""
+           << core::covertChannelName(o.options.channel)
+           << "\", \"leaked\": " << (o.result.leaked ? "true" : "false")
+           << ", \"accuracy\": " << num(o.result.accuracy)
+           << ", \"guestCycles\": " << o.result.guestCycles
+           << ", \"transientForwards\": " << o.result.transientForwards
+           << ", \"cycles\": " << o.stats.cycles
+           << ", \"committed\": " << o.stats.committed
+           << ", \"squashed\": " << o.stats.squashed
+           << ", \"branchMispredicts\": " << o.stats.branchMispredicts
+           << ", \"exceptions\": " << o.stats.exceptions;
+        if (include_timing)
+            os << ", \"wallMillis\": " << num(o.wallMillis);
+        os << "}" << (i + 1 < report.outcomes.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string
+campaignCsv(const campaign::CampaignReport &report,
+            bool include_timing)
+{
+    std::ostringstream os;
+    os << "gridIndex,variant,defense,robSize,permCheckLatency,"
+          "channel,leaked,accuracy,guestCycles,transientForwards,"
+          "cycles,committed,squashed,branchMispredicts,exceptions";
+    if (include_timing)
+        os << ",wallMillis";
+    os << "\n";
+    for (const campaign::ScenarioOutcome &o : report.outcomes) {
+        os << o.gridIndex << "," << csvField(o.rowLabel) << ","
+           << csvField(o.colLabel) << "," << o.config.robSize << ","
+           << o.config.permCheckLatency << ","
+           << core::covertChannelName(o.options.channel) << ","
+           << (o.result.leaked ? 1 : 0) << ","
+           << num(o.result.accuracy) << "," << o.result.guestCycles
+           << "," << o.result.transientForwards << ","
+           << o.stats.cycles << "," << o.stats.committed << ","
+           << o.stats.squashed << "," << o.stats.branchMispredicts
+           << "," << o.stats.exceptions;
+        if (include_timing)
+            os << "," << num(o.wallMillis);
+        os << "\n";
+    }
+    return os.str();
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << contents;
+    return static_cast<bool>(f);
 }
 
 } // namespace specsec::tool

@@ -1,6 +1,7 @@
 /**
  * @file
- * Human-readable vulnerability reports for analyzer results.
+ * Report writers: human-readable vulnerability reports for analyzer
+ * results, plus JSON/CSV exporters for campaign sweeps.
  */
 
 #ifndef SPECSEC_TOOL_REPORT_HH
@@ -10,12 +11,39 @@
 
 #include "analyzer.hh"
 
+namespace specsec::campaign
+{
+struct CampaignReport;
+}
+
 namespace specsec::tool
 {
 
 /** Render a report: program, graph summary, findings, suggestions. */
 std::string renderReport(const AnalysisResult &result,
                          const Program &program);
+
+/**
+ * Serialize a campaign report as JSON: campaign metadata, the
+ * success matrix (per-cell run/leak counts) and one record per grid
+ * cell.  With @p include_timing false the output is a pure function
+ * of the spec (byte-identical across serial/parallel runs and
+ * machines); with true it adds wall-clock and throughput fields.
+ */
+std::string campaignJson(const campaign::CampaignReport &report,
+                         bool include_timing = true);
+
+/**
+ * Serialize a campaign report as CSV, one row per grid cell.  Same
+ * determinism contract as campaignJson: timing columns only appear
+ * when @p include_timing is set.
+ */
+std::string campaignCsv(const campaign::CampaignReport &report,
+                        bool include_timing = false);
+
+/** Write @p contents to @p path; @return false on I/O failure. */
+bool writeTextFile(const std::string &path,
+                   const std::string &contents);
 
 } // namespace specsec::tool
 

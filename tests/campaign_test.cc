@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the campaign engine: grid expansion counts, config
+ * deduplication, report aggregation, and the determinism contract —
+ * the parallel engine produces byte-identical results to a serial
+ * run of the same spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/runner.hh"
+#include "campaign/campaign.hh"
+#include "tool/report.hh"
+
+namespace
+{
+
+using namespace specsec;
+using namespace specsec::campaign;
+using core::AttackVariant;
+using core::CovertChannelKind;
+
+DefenseAxis
+fenceAxis()
+{
+    return {"fence(1)", [](CpuConfig &c, AttackOptions &) {
+                c.defense.fenceSpeculativeLoads = true;
+            }};
+}
+
+DefenseAxis
+flushAxis()
+{
+    return {"flush(4)", [](CpuConfig &c, AttackOptions &) {
+                c.defense.flushPredictorOnContextSwitch = true;
+            }};
+}
+
+TEST(Grid, ExpansionCounts)
+{
+    ScenarioSpec spec;
+    spec.variants = {AttackVariant::SpectreV1,
+                     AttackVariant::Meltdown};
+    spec.defenses = {{"baseline", nullptr}, fenceAxis(), flushAxis()};
+    spec.robSizes = {32, 48, 64};
+    spec.permCheckLatencies = {10, 30};
+    spec.channels = {CovertChannelKind::FlushReload};
+    EXPECT_EQ(spec.gridSize(), 2u * 3u * 3u * 2u * 1u);
+    const std::vector<Scenario> grid = expandGrid(spec);
+    ASSERT_EQ(grid.size(), spec.gridSize());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(grid[i].gridIndex, i);
+        EXPECT_LT(grid[i].row, 2u);
+        EXPECT_LT(grid[i].col, 3u);
+    }
+    // Row-major order: the first variant fills the first half.
+    EXPECT_EQ(grid.front().variant, AttackVariant::SpectreV1);
+    EXPECT_EQ(grid.back().variant, AttackVariant::Meltdown);
+}
+
+TEST(Grid, EmptySpecDefaults)
+{
+    ScenarioSpec spec;
+    EXPECT_EQ(spec.gridSize(), core::allVariants().size());
+    const std::vector<Scenario> grid = expandGrid(spec);
+    ASSERT_EQ(grid.size(), core::allVariants().size());
+    EXPECT_EQ(grid.front().colLabel, "baseline");
+    EXPECT_EQ(grid.front().config.robSize, spec.baseConfig.robSize);
+}
+
+TEST(Grid, DedupIdenticalKnobValues)
+{
+    ScenarioSpec spec;
+    spec.variants = {AttackVariant::SpectreV1};
+    spec.robSizes = {48, 48};
+    const ExpandedGrid g = dedupGrid(spec);
+    EXPECT_EQ(g.expanded.size(), 2u);
+    ASSERT_EQ(g.uniqueIndices.size(), 1u);
+    EXPECT_EQ(g.uniqueIndices[0], 0u);
+    EXPECT_EQ(g.dupOf, (std::vector<std::size_t>{0, 0}));
+}
+
+TEST(Grid, DedupNoOpDefenseColumn)
+{
+    // A defense column whose mutation is a no-op produces cells
+    // identical to the baseline column: executed once, reported in
+    // both columns.
+    ScenarioSpec spec;
+    spec.variants = {AttackVariant::SpectreV1,
+                     AttackVariant::Meltdown};
+    spec.defenses = {{"baseline", nullptr},
+                     {"noop", [](CpuConfig &, AttackOptions &) {}},
+                     fenceAxis()};
+    const ExpandedGrid g = dedupGrid(spec);
+    EXPECT_EQ(g.expanded.size(), 6u);
+    EXPECT_EQ(g.uniqueIndices.size(), 4u);
+
+    const CampaignEngine engine(CampaignEngine::Options{1});
+    const CampaignReport report = engine.run(spec);
+    EXPECT_EQ(report.expandedCount, 6u);
+    EXPECT_EQ(report.uniqueCount, 4u);
+    ASSERT_EQ(report.outcomes.size(), 6u);
+    for (std::size_t r = 0; r < 2; ++r) {
+        EXPECT_EQ(report.cellGlyph(r, 0), report.cellGlyph(r, 1));
+        EXPECT_EQ(report.outcomes[r * 3].result.accuracy,
+                  report.outcomes[r * 3 + 1].result.accuracy);
+    }
+}
+
+TEST(Grid, KeyCoversConfigAndOptions)
+{
+    const CpuConfig base;
+    const AttackOptions opts;
+    const std::string k0 =
+        scenarioKey(AttackVariant::SpectreV1, base, opts);
+    EXPECT_EQ(k0, scenarioKey(AttackVariant::SpectreV1, base, opts));
+    EXPECT_NE(k0, scenarioKey(AttackVariant::SpectreV2, base, opts));
+
+    CpuConfig rob = base;
+    rob.robSize = 64;
+    EXPECT_NE(k0, scenarioKey(AttackVariant::SpectreV1, rob, opts));
+
+    CpuConfig fence = base;
+    fence.defense.fenceSpeculativeLoads = true;
+    EXPECT_NE(k0, scenarioKey(AttackVariant::SpectreV1, fence, opts));
+
+    AttackOptions pp = opts;
+    pp.channel = CovertChannelKind::PrimeProbe;
+    EXPECT_NE(k0, scenarioKey(AttackVariant::SpectreV1, base, pp));
+
+    AttackOptions kpti = opts;
+    kpti.kpti = true;
+    EXPECT_NE(k0, scenarioKey(AttackVariant::SpectreV1, base, kpti));
+}
+
+TEST(Engine, ParallelMatchesSerialByteIdentical)
+{
+    ScenarioSpec spec;
+    spec.name = "determinism";
+    spec.variants = {AttackVariant::SpectreV1, AttackVariant::Meltdown,
+                     AttackVariant::ZombieLoad};
+    spec.defenses = {{"baseline", nullptr}, fenceAxis(), flushAxis()};
+    spec.robSizes = {48, 64};
+
+    const CampaignReport serial =
+        CampaignEngine(CampaignEngine::Options{1}).run(spec);
+    const CampaignReport parallel =
+        CampaignEngine(CampaignEngine::Options{4}).run(spec);
+
+    EXPECT_EQ(serial.workers, 1u);
+    EXPECT_EQ(parallel.workers, 4u);
+    // Every timing-free export is byte-identical.
+    EXPECT_EQ(tool::campaignCsv(serial, false),
+              tool::campaignCsv(parallel, false));
+    EXPECT_EQ(tool::campaignJson(serial, false),
+              tool::campaignJson(parallel, false));
+    EXPECT_EQ(serial.successMatrixText(),
+              parallel.successMatrixText());
+    ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+    for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+        EXPECT_EQ(serial.outcomes[i].result.leaked,
+                  parallel.outcomes[i].result.leaked);
+        EXPECT_EQ(serial.outcomes[i].result.recovered,
+                  parallel.outcomes[i].result.recovered);
+        EXPECT_EQ(serial.outcomes[i].stats.cycles,
+                  parallel.outcomes[i].stats.cycles);
+    }
+}
+
+TEST(Engine, CollectsStatsAndThroughput)
+{
+    ScenarioSpec spec;
+    spec.variants = {AttackVariant::SpectreV1};
+    const CampaignReport report =
+        CampaignEngine(CampaignEngine::Options{1}).run(spec);
+    ASSERT_EQ(report.outcomes.size(), 1u);
+    const ScenarioOutcome &o = report.outcomes.front();
+    EXPECT_GT(o.stats.cycles, 0u);
+    EXPECT_GT(o.stats.committed, 0u);
+    EXPECT_GE(o.wallMillis, 0.0);
+    EXPECT_GT(report.scenariosPerSecond, 0.0);
+    EXPECT_EQ(report.expandedCount, 1u);
+    EXPECT_EQ(report.uniqueCount, 1u);
+}
+
+TEST(Engine, MatrixAgreesWithDirectRunner)
+{
+    ScenarioSpec spec;
+    spec.variants = {AttackVariant::SpectreV1};
+    spec.defenses = {{"baseline", nullptr}, fenceAxis()};
+    const CampaignReport report =
+        CampaignEngine(CampaignEngine::Options{2}).run(spec);
+
+    const attacks::AttackResult bare =
+        attacks::runVariant(AttackVariant::SpectreV1, CpuConfig{});
+    CpuConfig fenced;
+    fenced.defense.fenceSpeculativeLoads = true;
+    const attacks::AttackResult defended =
+        attacks::runVariant(AttackVariant::SpectreV1, fenced);
+
+    EXPECT_EQ(report.outcomes[0].result.leaked, bare.leaked);
+    EXPECT_EQ(report.outcomes[1].result.leaked, defended.leaked);
+    EXPECT_EQ(report.cellGlyph(0, 0), bare.leaked ? 'L' : '.');
+    EXPECT_EQ(report.cellGlyph(0, 1), defended.leaked ? 'L' : '.');
+}
+
+TEST(Engine, KnobSweepAggregatesPerCell)
+{
+    ScenarioSpec spec;
+    spec.variants = {AttackVariant::SpectreV1};
+    spec.permCheckLatencies = {30, 60};
+    const CampaignReport report =
+        CampaignEngine(CampaignEngine::Options{2}).run(spec);
+    ASSERT_EQ(report.cellRuns.size(), 1u);
+    EXPECT_EQ(report.cellRuns[0][0], 2u);
+    const unsigned leaks = report.cellLeaks[0][0];
+    const char glyph = report.cellGlyph(0, 0);
+    if (leaks == 2)
+        EXPECT_EQ(glyph, 'L');
+    else if (leaks == 0)
+        EXPECT_EQ(glyph, '.');
+    else
+        EXPECT_EQ(glyph, 'p');
+}
+
+TEST(Spec, DefenseMatrixShape)
+{
+    const ScenarioSpec spec = ScenarioSpec::defenseMatrix();
+    EXPECT_EQ(spec.variants.size(), core::allVariants().size() - 1);
+    EXPECT_EQ(spec.defenses.size(), 8u);
+    EXPECT_EQ(spec.gridSize(), spec.variants.size() * 8u);
+    EXPECT_EQ(spec.defenses.front().label, "baseline");
+}
+
+TEST(Report, CsvAndJsonWellFormed)
+{
+    ScenarioSpec spec;
+    spec.variants = {AttackVariant::SpectreV1};
+    spec.defenses = {{"baseline", nullptr}, fenceAxis()};
+    const CampaignReport report =
+        CampaignEngine(CampaignEngine::Options{1}).run(spec);
+
+    const std::string csv = tool::campaignCsv(report);
+    // Header + one line per grid cell.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+    EXPECT_NE(csv.find("gridIndex,variant,defense"),
+              std::string::npos);
+    EXPECT_NE(csv.find("fence(1)"), std::string::npos);
+
+    const std::string json = tool::campaignJson(report);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_NE(json.find("\"outcomes\""), std::string::npos);
+    EXPECT_NE(json.find("\"scenariosPerSecond\""),
+              std::string::npos);
+}
+
+} // namespace
