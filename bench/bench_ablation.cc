@@ -5,38 +5,48 @@
  * The paper's root cause is a *race* between delayed authorization
  * and transient access.  This bench sweeps the timing parameters
  * that decide the race and shows leak accuracy switching between
- * 0% and 100% exactly where the model predicts:
- *
- *  - the speculation-window length for Spectre v1 (how long the
- *    bounds check is delayed = the bound's miss latency),
- *  - the exception-delivery window for Meltdown (cold vs warm
- *    kernel data: the data track must win the race),
- *  - the authorization latency for Foreshadow (how long the
- *    terminal fault takes to resolve).
+ * 0% and 100% exactly where the model predicts.  Every sweep runs
+ * through the campaign engine on the same named specs the golden
+ * regression gate pins (src/regress/specs.hh), sharing one result
+ * cache across all four ablations.
  */
 
-#include "attacks/runner.hh"
 #include "bench_util.hh"
+#include "campaign/campaign.hh"
+#include "regress/specs.hh"
 
 using namespace specsec;
-using namespace specsec::attacks;
+using namespace specsec::campaign;
+
+namespace
+{
+
+/** Print one "value, accuracy, leaked" line per sweep column. */
+void
+printSweep(const CampaignReport &report)
+{
+    for (const ScenarioOutcome &o : report.outcomes)
+        std::printf("%-28s %9.1f%% %8s\n", o.colLabel.c_str(),
+                    o.result.accuracy * 100.0,
+                    o.result.leaked ? "yes" : "no");
+}
+
+} // namespace
 
 int
 main()
 {
+    ResultCache cache;
+    CampaignEngine::Options opts;
+    opts.cache = &cache;
+    const CampaignEngine engine(opts);
+
     bench::header("ablation 1: Spectre v1 leak vs speculation "
                   "window (bound-fetch latency)");
     std::printf("%-28s %10s %8s\n", "cache miss latency (cycles)",
                 "accuracy", "leaked");
     bench::rule();
-    for (std::uint32_t miss :
-         {6u, 8u, 10u, 12u, 16u, 24u, 40u, 80u, 200u}) {
-        CpuConfig cfg;
-        cfg.cache.missLatency = miss;
-        const AttackResult r = runSpectreV1(cfg);
-        std::printf("%-28u %9.1f%% %8s\n", miss, r.accuracy * 100.0,
-                    r.leaked ? "yes" : "no");
-    }
+    printSweep(engine.run(regress::ablationSpectreWindowSpec()));
     std::printf("-> below the transient chain's ~dozen cycles the "
                 "branch resolves first and the attack dies:\n"
                 "   no delayed authorization, no race, no leak "
@@ -47,13 +57,7 @@ main()
     std::printf("%-28s %10s %8s\n", "delivery latency (cycles)",
                 "accuracy", "leaked");
     bench::rule();
-    for (unsigned delivery : {0u, 2u, 4u, 8u, 12u, 16u, 32u}) {
-        CpuConfig cfg;
-        cfg.exceptionDeliveryLatency = delivery;
-        const AttackResult r = runMeltdown(cfg);
-        std::printf("%-28u %9.1f%% %8s\n", delivery,
-                    r.accuracy * 100.0, r.leaked ? "yes" : "no");
-    }
+    printSweep(engine.run(regress::ablationMeltdownDeliverySpec()));
     std::printf("-> the kernel word arrives from memory (slow), so "
                 "the squash races the send;\n"
                 "   tightening exception delivery closes the "
@@ -64,15 +68,7 @@ main()
     std::printf("%-28s %10s %8s\n", "perm check latency (cycles)",
                 "accuracy", "leaked");
     bench::rule();
-    for (unsigned perm : {1u, 2u, 4u, 8u, 16u, 30u, 60u}) {
-        CpuConfig cfg;
-        cfg.permCheckLatency = perm;
-        cfg.exceptionDeliveryLatency = 0; // immediate squash: the
-                                          // window is the check
-        const AttackResult r = runForeshadow(cfg);
-        std::printf("%-28u %9.1f%% %8s\n", perm, r.accuracy * 100.0,
-                    r.leaked ? "yes" : "no");
-    }
+    printSweep(engine.run(regress::ablationForeshadowAuthSpec()));
     std::printf("-> with an immediate squash the speculative window "
                 "IS the authorization latency:\n"
                 "   the L1-hit chain needs ~a dozen cycles, so slow "
@@ -84,15 +80,17 @@ main()
     std::printf("%-28s %18s %18s\n", "attack", "transient fwds",
                 "spec fills");
     bench::rule();
-    for (core::AttackVariant v :
-         {core::AttackVariant::SpectreV1, core::AttackVariant::Meltdown,
-          core::AttackVariant::Foreshadow, core::AttackVariant::Ridl}) {
-        const AttackResult r = runVariant(v, CpuConfig{});
-        std::printf("%-28s %18llu %18s\n",
-                    core::variantInfo(v).name,
+    ScenarioSpec footprint;
+    footprint.name = "ablation-footprint";
+    footprint.variants = {core::AttackVariant::SpectreV1,
+                          core::AttackVariant::Meltdown,
+                          core::AttackVariant::Foreshadow,
+                          core::AttackVariant::Ridl};
+    for (const ScenarioOutcome &o : engine.run(footprint).outcomes)
+        std::printf("%-28s %18llu %18llu\n", o.rowLabel.c_str(),
                     static_cast<unsigned long long>(
-                        r.transientForwards),
-                    "(see CpuStats)");
-    }
+                        o.result.transientForwards),
+                    static_cast<unsigned long long>(
+                        o.stats.speculativeFills));
     return 0;
 }

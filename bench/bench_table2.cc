@@ -4,27 +4,36 @@
  * attacks, with each mechanism classified under a paper strategy
  * and *executed*: the attack runs undefended (leaks) and defended
  * (blocked).
+ *
+ * The execution path is the campaign engine over the same named
+ * specs the golden regression gate pins (src/regress/specs.hh), so
+ * the numbers printed here are exactly the numbers CI checks.
  */
 
-#include "attacks/runner.hh"
+#include <cstdlib>
+
 #include "bench_util.hh"
-#include "defense/mitigations.hh"
+#include "campaign/campaign.hh"
+#include "core/defense_catalog.hh"
+#include "regress/specs.hh"
 
 using namespace specsec;
-using namespace specsec::attacks;
+using namespace specsec::campaign;
 using core::AttackVariant;
 using core::DefenseMechanism;
 
 namespace
 {
 
+/** The Table II pairing: which attack each mechanism is shown
+ *  against.  Execution comes from the campaign report. */
 struct Row
 {
     DefenseMechanism mechanism;
     AttackVariant variant;
 };
 
-const Row kRows[] = {
+const Row kIndustryRows[] = {
     // Spectre / serialization.
     {DefenseMechanism::LFence, AttackVariant::SpectreV1},
     {DefenseMechanism::MFence, AttackVariant::SpectreV1},
@@ -52,6 +61,67 @@ const Row kRows[] = {
     {DefenseMechanism::RsbStuffing, AttackVariant::SpectreRsb},
 };
 
+const Row kAcademiaRows[] = {
+    {DefenseMechanism::ContextSensitiveFencing,
+     AttackVariant::SpectreV1},
+    {DefenseMechanism::Sabc, AttackVariant::SpectreV1},
+    {DefenseMechanism::SpectreGuard, AttackVariant::SpectreV1},
+    {DefenseMechanism::Nda, AttackVariant::Meltdown},
+    {DefenseMechanism::ConTExT, AttackVariant::ZombieLoad},
+    {DefenseMechanism::SpecShield, AttackVariant::LazyFp},
+    {DefenseMechanism::Stt, AttackVariant::SpectreV1},
+    {DefenseMechanism::Dawg, AttackVariant::SpectreV2},
+    {DefenseMechanism::InvisiSpec, AttackVariant::SpectreV1},
+    {DefenseMechanism::SafeSpec, AttackVariant::Meltdown},
+    {DefenseMechanism::ConditionalSpeculation,
+     AttackVariant::SpectreV1},
+    {DefenseMechanism::EfficientInvisibleSpeculation,
+     AttackVariant::Meltdown},
+    {DefenseMechanism::CleanupSpec, AttackVariant::Foreshadow},
+};
+
+/**
+ * Accuracy of the (variant, defense-label) cell of @p report.
+ * Aborts when the cell is absent: the Row tables below must pair
+ * only variants/mechanisms present in the campaign spec.
+ */
+double
+cellAccuracy(const CampaignReport &report, AttackVariant variant,
+             const std::string &colLabel)
+{
+    const std::string rowLabel = core::variantInfo(variant).name;
+    for (const ScenarioOutcome &o : report.outcomes)
+        if (o.rowLabel == rowLabel && o.colLabel == colLabel)
+            return o.result.accuracy;
+    std::fprintf(stderr,
+                 "bench_table2: cell (%s x %s) missing from "
+                 "campaign '%s' -- Row table out of sync with "
+                 "regress spec\n",
+                 rowLabel.c_str(), colLabel.c_str(),
+                 report.name.c_str());
+    std::exit(1);
+}
+
+template <std::size_t N>
+void
+printRows(const CampaignReport &report, const Row (&rows)[N])
+{
+    for (const Row &row : rows) {
+        const core::DefenseInfo &dinfo =
+            core::defenseInfo(row.mechanism);
+        const core::VariantInfo &vinfo =
+            core::variantInfo(row.variant);
+        const double bare =
+            cellAccuracy(report, row.variant, "baseline");
+        const double defended =
+            cellAccuracy(report, row.variant, dinfo.name);
+        std::printf("%-44.44s %-10.10s %-16.16s %5.0f%% %8.0f%%\n",
+                    dinfo.name,
+                    core::defenseStrategyName(dinfo.strategy),
+                    vinfo.name, bare * 100.0, defended * 100.0);
+    }
+}
+
 } // namespace
 
 int
@@ -62,61 +132,31 @@ main()
     std::printf("%-44s %-10s %-16s %6s %9s\n", "Defense", "Strategy",
                 "Attack", "bare", "defended");
     bench::rule();
-    for (const Row &row : kRows) {
-        const core::DefenseInfo &dinfo =
-            core::defenseInfo(row.mechanism);
-        const core::VariantInfo &vinfo =
-            core::variantInfo(row.variant);
-        const AttackResult bare =
-            runVariant(row.variant, CpuConfig{});
-        CpuConfig cfg;
-        AttackOptions opt;
-        defense::applyMitigation(row.mechanism, cfg, opt);
-        const AttackResult defended =
-            runVariant(row.variant, cfg, opt);
-        std::printf("%-44.44s %-10.10s %-16.16s %5.0f%% %8.0f%%\n",
-                    dinfo.name,
-                    core::defenseStrategyName(dinfo.strategy),
-                    vinfo.name, bare.accuracy * 100.0,
-                    defended.accuracy * 100.0);
-    }
+
+    campaign::ResultCache cache;
+    CampaignEngine::Options opts;
+    opts.cache = &cache;
+    const CampaignEngine engine(opts);
+
+    const CampaignReport industry =
+        engine.run(regress::table2IndustrySpec());
+    printRows(industry, kIndustryRows);
     bench::rule();
     std::printf("(academia defenses, Section V-B, same harness)\n");
-    const Row academia[] = {
-        {DefenseMechanism::ContextSensitiveFencing,
-         AttackVariant::SpectreV1},
-        {DefenseMechanism::Sabc, AttackVariant::SpectreV1},
-        {DefenseMechanism::SpectreGuard, AttackVariant::SpectreV1},
-        {DefenseMechanism::Nda, AttackVariant::Meltdown},
-        {DefenseMechanism::ConTExT, AttackVariant::ZombieLoad},
-        {DefenseMechanism::SpecShield, AttackVariant::LazyFp},
-        {DefenseMechanism::Stt, AttackVariant::SpectreV1},
-        {DefenseMechanism::Dawg, AttackVariant::SpectreV2},
-        {DefenseMechanism::InvisiSpec, AttackVariant::SpectreV1},
-        {DefenseMechanism::SafeSpec, AttackVariant::Meltdown},
-        {DefenseMechanism::ConditionalSpeculation,
-         AttackVariant::SpectreV1},
-        {DefenseMechanism::EfficientInvisibleSpeculation,
-         AttackVariant::Meltdown},
-        {DefenseMechanism::CleanupSpec, AttackVariant::Foreshadow},
-    };
-    for (const Row &row : academia) {
-        const core::DefenseInfo &dinfo =
-            core::defenseInfo(row.mechanism);
-        const core::VariantInfo &vinfo =
-            core::variantInfo(row.variant);
-        const AttackResult bare =
-            runVariant(row.variant, CpuConfig{});
-        CpuConfig cfg;
-        AttackOptions opt;
-        defense::applyMitigation(row.mechanism, cfg, opt);
-        const AttackResult defended =
-            runVariant(row.variant, cfg, opt);
-        std::printf("%-44.44s %-10.10s %-16.16s %5.0f%% %8.0f%%\n",
-                    dinfo.name,
-                    core::defenseStrategyName(dinfo.strategy),
-                    vinfo.name, bare.accuracy * 100.0,
-                    defended.accuracy * 100.0);
-    }
+    const CampaignReport academia =
+        engine.run(regress::table2AcademiaSpec());
+    printRows(academia, kAcademiaRows);
+
+    bench::rule();
+    std::printf("full industry matrix (%zu cells, %zu executed, "
+                "%zu cached):\n\n%s",
+                industry.expandedCount, industry.executedCount,
+                industry.cacheHits,
+                industry.successMatrixText().c_str());
+    std::printf("\nfull academia matrix (%zu cells, %zu executed, "
+                "%zu cached):\n\n%s",
+                academia.expandedCount, academia.executedCount,
+                academia.cacheHits,
+                academia.successMatrixText().c_str());
     return 0;
 }

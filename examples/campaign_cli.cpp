@@ -67,6 +67,16 @@ usage(const char *prog)
         "  --rob n1,n2,...    sweep ROB sizes\n"
         "  --perm-lat l1,...  sweep permission-check latencies\n"
         "  --channels fr,pp   sweep covert channels\n"
+        "  --mitigations m,.. sweep software mitigations (none,\n"
+        "                     kpti, rsb-stuff, lfence, addr-mask, "
+        "flush-l1)\n"
+        "  --vuln-ablate p,.. sweep forwarding-path ablations (all,\n"
+        "                     no-meltdown, no-l1tf, no-mds, "
+        "no-lazyfp,\n"
+        "                     no-store-bypass, no-msr, no-taa)\n"
+        "  --cache-geom g,... sweep cache geometries "
+        "(SETSxWAYS[@MISS],\n"
+        "                     e.g. 256x4,64x2@100)\n"
         "  --json FILE        export full report as JSON\n"
         "  --csv FILE         export full report as CSV\n"
         "  --timing           include wall-clock fields in exports\n",
@@ -154,6 +164,96 @@ main(int argc, char **argv)
                                  n.c_str());
                     return 2;
                 }
+            }
+        } else if (arg == "--mitigations") {
+            spec.mitigations.clear();
+            for (const std::string &n : splitCommas(value())) {
+                SoftwareMitigation m;
+                m.label = n;
+                if (n == "none")
+                    ;
+                else if (n == "kpti")
+                    m.kpti = true;
+                else if (n == "rsb-stuff")
+                    m.rsbStuffing = true;
+                else if (n == "lfence")
+                    m.softwareLfence = true;
+                else if (n == "addr-mask")
+                    m.addressMasking = true;
+                else if (n == "flush-l1")
+                    m.flushL1OnExit = true;
+                else {
+                    std::fprintf(stderr,
+                                 "unknown mitigation: %s\n",
+                                 n.c_str());
+                    return 2;
+                }
+                spec.mitigations.push_back(std::move(m));
+            }
+        } else if (arg == "--vuln-ablate") {
+            spec.vulnAblations.clear();
+            for (const std::string &n : splitCommas(value())) {
+                VulnAblation a;
+                a.label = n;
+                if (n == "all")
+                    ;
+                else if (n == "no-meltdown")
+                    a.vuln.meltdown = false;
+                else if (n == "no-l1tf")
+                    a.vuln.l1tf = false;
+                else if (n == "no-mds")
+                    a.vuln.mds = false;
+                else if (n == "no-lazyfp")
+                    a.vuln.lazyFp = false;
+                else if (n == "no-store-bypass")
+                    a.vuln.storeBypass = false;
+                else if (n == "no-msr")
+                    a.vuln.msr = false;
+                else if (n == "no-taa")
+                    a.vuln.taa = false;
+                else {
+                    std::fprintf(stderr,
+                                 "unknown vuln ablation: %s\n",
+                                 n.c_str());
+                    return 2;
+                }
+                spec.vulnAblations.push_back(std::move(a));
+            }
+        } else if (arg == "--cache-geom") {
+            spec.cacheGeometries.clear();
+            for (const std::string &n : splitCommas(value())) {
+                CacheGeometry g;
+                g.label = n;
+                // SETSxWAYS with an optional @MISS latency suffix.
+                const std::size_t x = n.find('x');
+                const std::size_t at = n.find('@');
+                unsigned long sets = 0, ways = 0, miss = 0;
+                const bool ok =
+                    x != std::string::npos &&
+                    parseUnsigned(n.substr(0, x), sets) &&
+                    parseUnsigned(
+                        n.substr(x + 1,
+                                 (at == std::string::npos
+                                      ? n.size()
+                                      : at) -
+                                     x - 1),
+                        ways) &&
+                    (at == std::string::npos ||
+                     parseUnsigned(n.substr(at + 1), miss)) &&
+                    sets > 0 && ways > 0;
+                if (!ok) {
+                    std::fprintf(stderr,
+                                 "--cache-geom: '%s' is not "
+                                 "SETSxWAYS[@MISS]\n",
+                                 n.c_str());
+                    return 2;
+                }
+                g.cache.sets = sets;
+                g.cache.ways = ways;
+                if (at != std::string::npos)
+                    g.cache.missLatency =
+                        static_cast<std::uint32_t>(miss);
+                spec.cacheGeometries.push_back(std::move(g));
             }
         } else if (arg == "--json") {
             json_path = value();

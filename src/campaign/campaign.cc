@@ -56,7 +56,41 @@ millisSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+std::vector<SoftwareMitigation>
+resolveMitigations(const ScenarioSpec &spec)
+{
+    if (!spec.mitigations.empty())
+        return spec.mitigations;
+    return {SoftwareMitigation{}};
+}
+
+std::vector<VulnAblation>
+resolveVulns(const ScenarioSpec &spec)
+{
+    if (!spec.vulnAblations.empty())
+        return spec.vulnAblations;
+    return {VulnAblation{"baseline", spec.baseConfig.vuln}};
+}
+
+std::vector<CacheGeometry>
+resolveCaches(const ScenarioSpec &spec)
+{
+    if (!spec.cacheGeometries.empty())
+        return spec.cacheGeometries;
+    return {CacheGeometry{"baseline", spec.baseConfig.cache}};
+}
+
 } // namespace
+
+void
+SoftwareMitigation::applyTo(AttackOptions &options) const
+{
+    options.kpti |= kpti;
+    options.rsbStuffing |= rsbStuffing;
+    options.softwareLfence |= softwareLfence;
+    options.addressMasking |= addressMasking;
+    options.flushL1OnExit |= flushL1OnExit;
+}
 
 std::size_t
 ScenarioSpec::gridSize() const
@@ -64,6 +98,8 @@ ScenarioSpec::gridSize() const
     // Same resolution rules as expandGrid, so the two always agree.
     return resolveVariants(*this).size() *
            resolveDefenses(*this).size() *
+           resolveMitigations(*this).size() *
+           resolveVulns(*this).size() * resolveCaches(*this).size() *
            resolveKnob(robSizes, baseConfig.robSize).size() *
            resolveKnob(permCheckLatencies,
                        baseConfig.permCheckLatency)
@@ -189,6 +225,9 @@ expandGrid(const ScenarioSpec &spec)
 {
     const auto variants = resolveVariants(spec);
     const auto defenses = resolveDefenses(spec);
+    const auto mitigations = resolveMitigations(spec);
+    const auto vulns = resolveVulns(spec);
+    const auto caches = resolveCaches(spec);
     const auto robs =
         resolveKnob(spec.robSizes, spec.baseConfig.robSize);
     const auto lats = resolveKnob(spec.permCheckLatencies,
@@ -197,35 +236,38 @@ expandGrid(const ScenarioSpec &spec)
         resolveKnob(spec.channels, spec.baseOptions.channel);
 
     std::vector<Scenario> grid;
-    grid.reserve(variants.size() * defenses.size() * robs.size() *
-                 lats.size() * chans.size());
-    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
-        for (std::size_t di = 0; di < defenses.size(); ++di) {
-            for (std::size_t rob : robs) {
-                for (unsigned lat : lats) {
-                    for (core::CovertChannelKind chan : chans) {
-                        Scenario s;
-                        s.variant = variants[vi];
-                        s.config = spec.baseConfig;
-                        s.options = spec.baseOptions;
-                        s.config.robSize = rob;
-                        s.config.permCheckLatency = lat;
-                        s.options.channel = chan;
-                        if (defenses[di].apply)
-                            defenses[di].apply(s.config, s.options);
-                        s.row = vi;
-                        s.col = di;
-                        s.gridIndex = grid.size();
-                        s.rowLabel =
-                            core::variantInfo(s.variant).name;
-                        s.colLabel = defenses[di].label;
-                        s.key = scenarioKey(s.variant, s.config,
-                                            s.options);
-                        grid.push_back(std::move(s));
-                    }
-                }
-            }
-        }
+    grid.reserve(variants.size() * defenses.size() *
+                 mitigations.size() * vulns.size() * caches.size() *
+                 robs.size() * lats.size() * chans.size());
+    for (std::size_t vi = 0; vi < variants.size(); ++vi)
+    for (std::size_t di = 0; di < defenses.size(); ++di)
+    for (const SoftwareMitigation &mit : mitigations)
+    for (const VulnAblation &vuln : vulns)
+    for (const CacheGeometry &geom : caches)
+    for (std::size_t rob : robs)
+    for (unsigned lat : lats)
+    for (core::CovertChannelKind chan : chans) {
+        Scenario s;
+        s.variant = variants[vi];
+        s.config = spec.baseConfig;
+        s.options = spec.baseOptions;
+        s.config.vuln = vuln.vuln;
+        s.config.cache = geom.cache;
+        s.config.robSize = rob;
+        s.config.permCheckLatency = lat;
+        s.options.channel = chan;
+        mit.applyTo(s.options);
+        // The defense column mutation runs last so it wins over
+        // every knob dimension (e.g. a column may pin a geometry).
+        if (defenses[di].apply)
+            defenses[di].apply(s.config, s.options);
+        s.row = vi;
+        s.col = di;
+        s.gridIndex = grid.size();
+        s.rowLabel = core::variantInfo(s.variant).name;
+        s.colLabel = defenses[di].label;
+        s.key = scenarioKey(s.variant, s.config, s.options);
+        grid.push_back(std::move(s));
     }
     return grid;
 }
@@ -246,6 +288,56 @@ dedupGrid(const ScenarioSpec &spec)
         g.dupOf[i] = it->second;
     }
     return g;
+}
+
+std::optional<ResultCache::Entry>
+ResultCache::lookup(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+}
+
+void
+ResultCache::store(const std::string &key, const Entry &entry)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.emplace(key, entry);
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
 }
 
 char
@@ -314,6 +406,8 @@ CampaignEngine::run(const ScenarioSpec &spec) const
 
     const auto t0 = std::chrono::steady_clock::now();
     std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> cacheHits{0};
+    ResultCache *const cache = options_.cache;
     const auto worker = [&]() {
         for (;;) {
             const std::size_t i =
@@ -322,10 +416,22 @@ CampaignEngine::run(const ScenarioSpec &spec) const
                 return;
             const Scenario &s =
                 grid.expanded[grid.uniqueIndices[i]];
+            if (cache) {
+                if (const auto hit = cache->lookup(s.key)) {
+                    unique[i].result = hit->result;
+                    unique[i].stats = hit->stats;
+                    cacheHits.fetch_add(
+                        1, std::memory_order_relaxed);
+                    continue;
+                }
+            }
             const auto s0 = std::chrono::steady_clock::now();
             unique[i].result = attacks::runVariant(
                 s.variant, s.config, s.options, unique[i].stats);
             unique[i].wallMillis = millisSince(s0);
+            if (cache)
+                cache->store(s.key, {unique[i].result,
+                                     unique[i].stats});
         }
     };
     if (nworkers <= 1) {
@@ -375,12 +481,15 @@ CampaignEngine::run(const ScenarioSpec &spec) const
     }
     report.expandedCount = grid.expanded.size();
     report.uniqueCount = grid.uniqueIndices.size();
+    report.cacheHits = cacheHits.load(std::memory_order_relaxed);
+    report.executedCount = report.uniqueCount - report.cacheHits;
     report.workers = nworkers;
     report.wallMillis = wall;
     report.scenariosPerSecond =
-        wall > 0.0 ? 1000.0 * static_cast<double>(report.uniqueCount) /
-                         wall
-                   : 0.0;
+        wall > 0.0
+            ? 1000.0 * static_cast<double>(report.executedCount) /
+                  wall
+            : 0.0;
     return report;
 }
 

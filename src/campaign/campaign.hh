@@ -28,8 +28,12 @@
 #define SPECSEC_CAMPAIGN_CAMPAIGN_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "attacks/attack_kit.hh"
@@ -54,6 +58,42 @@ struct DefenseAxis
     std::function<void(CpuConfig &, AttackOptions &)> apply;
 };
 
+/**
+ * Software-mitigation grid dimension: a named set of AttackOptions
+ * toggles (the Table II software fixes).  Data-only so a sweep entry
+ * is fully described by its fields; toggles are OR-ed into the
+ * baseline options, never cleared.
+ */
+struct SoftwareMitigation
+{
+    std::string label = "none";
+    bool kpti = false;           ///< unmap kernel pages (Meltdown)
+    bool rsbStuffing = false;    ///< benign RSB refill (Spectre-RSB)
+    bool softwareLfence = false; ///< LFENCE after bounds checks
+    bool addressMasking = false; ///< index masking after bounds checks
+    bool flushL1OnExit = false;  ///< L1 flush on exit (Foreshadow)
+
+    void applyTo(AttackOptions &options) const;
+};
+
+/**
+ * VulnConfig-ablation grid dimension: which transient forwarding
+ * paths the simulated core has.  Sweeping ablations shows every
+ * Meltdown-type attack dying exactly when its path is removed.
+ */
+struct VulnAblation
+{
+    std::string label = "all-paths";
+    uarch::VulnConfig vuln;
+};
+
+/** Cache-geometry grid dimension (sets/ways/line/latency sweeps). */
+struct CacheGeometry
+{
+    std::string label = "default";
+    uarch::CacheConfig cache;
+};
+
 /** Declarative description of a campaign grid. */
 struct ScenarioSpec
 {
@@ -72,6 +112,9 @@ struct ScenarioSpec
     /// @name Knob sweeps (cartesian with rows x columns).
     /// An empty vector means "the baseline value only".
     /// @{
+    std::vector<SoftwareMitigation> mitigations;
+    std::vector<VulnAblation> vulnAblations;
+    std::vector<CacheGeometry> cacheGeometries;
     std::vector<std::size_t> robSizes;
     std::vector<unsigned> permCheckLatencies;
     std::vector<core::CovertChannelKind> channels;
@@ -137,6 +180,49 @@ struct ExpandedGrid
 
 ExpandedGrid dedupGrid(const ScenarioSpec &spec);
 
+/**
+ * Cross-campaign memo of executed scenarios, keyed on scenarioKey().
+ * dedupGrid() folds duplicates *within* one spec; the cache folds
+ * them *across* campaigns: CI regression matrices and overlapping
+ * specs (e.g. every spec's baseline column) execute each distinct
+ * cell once per process.  Thread-safe; a CampaignEngine given a
+ * cache consults it before executing and stores every fresh result.
+ *
+ * Because every cached field is a pure function of the key, hitting
+ * the cache cannot change any timing-free export.
+ */
+class ResultCache
+{
+  public:
+    struct Entry
+    {
+        AttackResult result;
+        CpuStats stats;
+    };
+
+    /** @return the memoized entry for @p key, if present. */
+    std::optional<Entry> lookup(const std::string &key) const;
+
+    /** Memoize @p entry under @p key (first write wins). */
+    void store(const std::string &key, const Entry &entry);
+
+    /** Distinct scenarios memoized so far. */
+    std::size_t size() const;
+
+    /** @name Lifetime lookup counters. @{ */
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    /// @}
+
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Entry> entries_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
 /** Outcome of one grid cell. */
 struct ScenarioOutcome
 {
@@ -176,9 +262,14 @@ struct CampaignReport
 
     std::size_t expandedCount = 0;
     std::size_t uniqueCount = 0;
+    /// Unique cells actually executed this run (uniqueCount minus
+    /// result-cache hits).
+    std::size_t executedCount = 0;
+    /// Unique cells served from the engine's ResultCache.
+    std::size_t cacheHits = 0;
     unsigned workers = 1;
     double wallMillis = 0.0;
-    double scenariosPerSecond = 0.0; ///< unique executions / wall
+    double scenariosPerSecond = 0.0; ///< executed scenarios / wall
 
     /**
      * 'L' when every run in the cell leaked, '.' when none did, 'p'
@@ -198,6 +289,11 @@ class CampaignEngine
     {
         /// Worker threads; 0 means std::thread::hardware_concurrency.
         unsigned workers = 0;
+
+        /// Optional cross-campaign result cache (not owned).  Cells
+        /// whose scenarioKey() is already memoized are not
+        /// re-executed; fresh results are stored back.
+        ResultCache *cache = nullptr;
     };
 
     CampaignEngine() = default;

@@ -1,0 +1,427 @@
+#include "golden.hh"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "tool/report.hh"
+
+namespace specsec::regress
+{
+
+namespace
+{
+
+/**
+ * Minimal cursor parser for the strict JSON subset goldenJson()
+ * emits: objects with string keys, arrays, strings, and unsigned
+ * integers.  Errors carry the byte offset.
+ */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &text) : text_(text) {}
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool atEnd()
+    {
+        skipWs();
+        return pos_ >= text_.size();
+    }
+
+    /** Consume @p c or fail. */
+    bool expect(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof buf,
+                      "expected '%c' at offset %zu", c, pos_);
+        return fail(buf);
+    }
+
+    /** True (and consumed) when the next token is @p c. */
+    bool peekConsume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string parseString()
+    {
+        std::string out;
+        if (!expect('"'))
+            return out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'u': {
+                      if (pos_ + 4 > text_.size()) {
+                          fail("truncated \\u escape");
+                          return out;
+                      }
+                      unsigned code = 0;
+                      for (int i = 0; i < 4; ++i) {
+                          const char h = text_[pos_++];
+                          code <<= 4;
+                          if (h >= '0' && h <= '9')
+                              code |= static_cast<unsigned>(h - '0');
+                          else if (h >= 'a' && h <= 'f')
+                              code |= static_cast<unsigned>(
+                                  h - 'a' + 10);
+                          else if (h >= 'A' && h <= 'F')
+                              code |= static_cast<unsigned>(
+                                  h - 'A' + 10);
+                          else {
+                              fail("bad \\u escape digit");
+                              return out;
+                          }
+                      }
+                      // Goldens only escape control characters.
+                      out += static_cast<char>(code & 0xff);
+                      break;
+                  }
+                  default:
+                      fail("unknown escape in string");
+                      return out;
+                }
+            } else {
+                out += c;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    unsigned parseUnsigned()
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] < '0' ||
+            text_[pos_] > '9') {
+            char buf[48];
+            std::snprintf(buf, sizeof buf,
+                          "expected integer at offset %zu", pos_);
+            fail(buf);
+            return 0;
+        }
+        unsigned long value = 0;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9')
+            value = value * 10 + static_cast<unsigned long>(
+                                     text_[pos_++] - '0');
+        return static_cast<unsigned>(value);
+    }
+
+    bool fail(const std::string &message)
+    {
+        if (!failed_) {
+            failed_ = true;
+            error_ = message;
+        }
+        return false;
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+    std::string error_;
+};
+
+std::vector<std::string>
+parseStringArray(Cursor &cur)
+{
+    std::vector<std::string> out;
+    if (!cur.expect('['))
+        return out;
+    if (cur.peekConsume(']'))
+        return out;
+    do {
+        out.push_back(cur.parseString());
+    } while (!cur.failed() && cur.peekConsume(','));
+    cur.expect(']');
+    return out;
+}
+
+GoldenCell
+parseCell(Cursor &cur)
+{
+    GoldenCell cell;
+    if (!cur.expect('{'))
+        return cell;
+    do {
+        const std::string key = cur.parseString();
+        if (!cur.expect(':'))
+            return cell;
+        if (key == "runs")
+            cell.runs = cur.parseUnsigned();
+        else if (key == "leaks")
+            cell.leaks = cur.parseUnsigned();
+        else if (key == "pattern")
+            cell.pattern = cur.parseString();
+        else {
+            cur.fail("unknown cell key '" + key + "'");
+            return cell;
+        }
+    } while (!cur.failed() && cur.peekConsume(','));
+    cur.expect('}');
+    return cell;
+}
+
+std::string
+describeCell(const std::optional<GoldenCell> &cell)
+{
+    if (!cell)
+        return "(absent)";
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%u/%u leaks", cell->leaks,
+                  cell->runs);
+    std::string out = buf;
+    if (cell->runs > 1 && !cell->pattern.empty())
+        out += " [" + cell->pattern + "]";
+    return out;
+}
+
+} // namespace
+
+GoldenMatrix
+GoldenMatrix::fromReport(const campaign::CampaignReport &report)
+{
+    GoldenMatrix m;
+    m.spec = report.name;
+    m.rows = report.rowLabels;
+    m.cols = report.colLabels;
+    m.cells.resize(m.rows.size());
+    for (std::size_t r = 0; r < m.rows.size(); ++r) {
+        m.cells[r].resize(m.cols.size());
+        for (std::size_t c = 0; c < m.cols.size(); ++c) {
+            m.cells[r][c].runs = report.cellRuns[r][c];
+            m.cells[r][c].leaks = report.cellLeaks[r][c];
+        }
+    }
+    // Outcomes are in deterministic grid-expansion order, so the
+    // per-cell patterns are a stable fingerprint of which knob
+    // values leaked.
+    for (const campaign::ScenarioOutcome &o : report.outcomes)
+        m.cells[o.row][o.col].pattern +=
+            o.result.leaked ? '1' : '0';
+    return m;
+}
+
+std::string
+goldenJson(const GoldenMatrix &matrix)
+{
+    std::ostringstream os;
+    os << "{\n  \"spec\": \"" << tool::jsonEscape(matrix.spec)
+       << "\",\n";
+    os << "  \"cols\": [";
+    for (std::size_t c = 0; c < matrix.cols.size(); ++c)
+        os << (c ? ", " : "") << "\""
+           << tool::jsonEscape(matrix.cols[c]) << "\"";
+    os << "],\n  \"rows\": [";
+    for (std::size_t r = 0; r < matrix.rows.size(); ++r)
+        os << (r ? ", " : "") << "\""
+           << tool::jsonEscape(matrix.rows[r]) << "\"";
+    os << "],\n  \"cells\": [";
+    for (std::size_t r = 0; r < matrix.cells.size(); ++r) {
+        os << (r ? "," : "") << "\n    [";
+        for (std::size_t c = 0; c < matrix.cells[r].size(); ++c) {
+            const GoldenCell &cell = matrix.cells[r][c];
+            os << (c ? ", " : "") << "{\"runs\": " << cell.runs
+               << ", \"leaks\": " << cell.leaks
+               << ", \"pattern\": \""
+               << tool::jsonEscape(cell.pattern) << "\"}";
+        }
+        os << "]";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+std::optional<GoldenMatrix>
+parseGoldenJson(const std::string &text, std::string *error)
+{
+    Cursor cur(text);
+    GoldenMatrix m;
+    const auto failed = [&]() -> std::optional<GoldenMatrix> {
+        if (error)
+            *error = cur.error();
+        return std::nullopt;
+    };
+
+    if (!cur.expect('{'))
+        return failed();
+    bool sawCells = false;
+    do {
+        const std::string key = cur.parseString();
+        if (cur.failed() || !cur.expect(':'))
+            return failed();
+        if (key == "spec") {
+            m.spec = cur.parseString();
+        } else if (key == "cols") {
+            m.cols = parseStringArray(cur);
+        } else if (key == "rows") {
+            m.rows = parseStringArray(cur);
+        } else if (key == "cells") {
+            sawCells = true;
+            if (!cur.expect('['))
+                return failed();
+            if (!cur.peekConsume(']')) {
+                do {
+                    std::vector<GoldenCell> row;
+                    if (!cur.expect('['))
+                        return failed();
+                    if (!cur.peekConsume(']')) {
+                        do {
+                            row.push_back(parseCell(cur));
+                        } while (!cur.failed() &&
+                                 cur.peekConsume(','));
+                        if (!cur.expect(']'))
+                            return failed();
+                    }
+                    m.cells.push_back(std::move(row));
+                } while (!cur.failed() && cur.peekConsume(','));
+                if (!cur.expect(']'))
+                    return failed();
+            }
+        } else {
+            cur.fail("unknown key '" + key + "'");
+            return failed();
+        }
+    } while (!cur.failed() && cur.peekConsume(','));
+    if (cur.failed() || !cur.expect('}'))
+        return failed();
+    if (!cur.atEnd()) {
+        cur.fail("trailing content after golden object");
+        return failed();
+    }
+    if (!sawCells) {
+        cur.fail("golden has no \"cells\" key");
+        return failed();
+    }
+    if (m.cells.size() != m.rows.size()) {
+        cur.fail("cells row count does not match rows");
+        return failed();
+    }
+    for (const auto &row : m.cells) {
+        if (row.size() != m.cols.size()) {
+            cur.fail("cells column count does not match cols");
+            return failed();
+        }
+    }
+    return m;
+}
+
+MatrixDiff
+compareGolden(const GoldenMatrix &golden, const GoldenMatrix &actual)
+{
+    MatrixDiff diff;
+
+    const auto indexOf = [](const std::vector<std::string> &labels) {
+        std::map<std::string, std::size_t> index;
+        for (std::size_t i = 0; i < labels.size(); ++i)
+            index.emplace(labels[i], i);
+        return index;
+    };
+    const auto goldenRows = indexOf(golden.rows);
+    const auto goldenCols = indexOf(golden.cols);
+    const auto actualRows = indexOf(actual.rows);
+    const auto actualCols = indexOf(actual.cols);
+
+    for (const std::string &row : golden.rows)
+        if (!actualRows.count(row))
+            diff.structural.push_back("row removed: " + row);
+    for (const std::string &row : actual.rows)
+        if (!goldenRows.count(row))
+            diff.structural.push_back("row added: " + row);
+    for (const std::string &col : golden.cols)
+        if (!actualCols.count(col))
+            diff.structural.push_back("column removed: " + col);
+    for (const std::string &col : actual.cols)
+        if (!goldenCols.count(col))
+            diff.structural.push_back("column added: " + col);
+
+    const auto cellAt =
+        [](const GoldenMatrix &m,
+           const std::map<std::string, std::size_t> &rows,
+           const std::map<std::string, std::size_t> &cols,
+           const std::string &row, const std::string &col)
+        -> std::optional<GoldenCell> {
+        const auto r = rows.find(row);
+        const auto c = cols.find(col);
+        if (r == rows.end() || c == cols.end())
+            return std::nullopt;
+        return m.cells[r->second][c->second];
+    };
+
+    // Walk the union of labels in golden order first, then the
+    // additions, so diff output order is deterministic.
+    std::vector<std::string> rowUnion = golden.rows;
+    for (const std::string &row : actual.rows)
+        if (!goldenRows.count(row))
+            rowUnion.push_back(row);
+    std::vector<std::string> colUnion = golden.cols;
+    for (const std::string &col : actual.cols)
+        if (!goldenCols.count(col))
+            colUnion.push_back(col);
+
+    for (const std::string &row : rowUnion) {
+        for (const std::string &col : colUnion) {
+            const auto g =
+                cellAt(golden, goldenRows, goldenCols, row, col);
+            const auto a =
+                cellAt(actual, actualRows, actualCols, row, col);
+            if (g == a)
+                continue;
+            diff.cells.push_back({row, col, g, a});
+        }
+    }
+    return diff;
+}
+
+std::string
+renderDiff(const MatrixDiff &diff)
+{
+    if (diff.empty())
+        return "matrices agree\n";
+    std::ostringstream os;
+    for (const std::string &note : diff.structural)
+        os << "  [shape] " << note << "\n";
+    for (const CellDiff &cell : diff.cells) {
+        os << "  [cell] (" << cell.row << " x " << cell.col
+           << "): golden " << describeCell(cell.golden)
+           << " -> actual " << describeCell(cell.actual) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace specsec::regress

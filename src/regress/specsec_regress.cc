@@ -1,0 +1,290 @@
+/**
+ * @file
+ * specsec_regress: the golden success-matrix regression gate.
+ *
+ * Records one golden matrix per named campaign spec (JSON under
+ * golden/) and checks fresh runs against them cell-by-cell:
+ *
+ *   specsec_regress --list
+ *   specsec_regress --record [--spec NAME] [--golden-dir DIR]
+ *   specsec_regress --check  [--spec NAME] [--golden-dir DIR]
+ *                            [--artifact-dir DIR] [--workers N]
+ *
+ * --check exits 0 when every matrix matches its golden, 1 on drift
+ * (printing a diff naming each changed (variant, defense) cell and
+ * writing actual/diff/campaign artifacts for CI upload), 2 on usage
+ * or I/O errors.  --flip-vuln PATH deliberately removes a forwarding
+ * path from the checked specs' baseline core -- a self-test that the
+ * gate catches model changes.
+ *
+ * All specs in one invocation share a ResultCache, so cells
+ * appearing in several matrices (e.g. every baseline column)
+ * execute once.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "regress/golden.hh"
+#include "regress/specs.hh"
+#include "tool/report.hh"
+
+using namespace specsec;
+using namespace specsec::regress;
+
+namespace
+{
+
+int
+usage(const char *prog)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--list | --record | --check] [options]\n"
+        "  --list             print the registered specs\n"
+        "  --record           (re)write goldens from a fresh run\n"
+        "  --check            compare a fresh run against goldens "
+        "(default)\n"
+        "  --spec NAME        limit to one registered spec\n"
+        "  --golden-dir DIR   golden file directory (default: "
+        "golden)\n"
+        "  --artifact-dir DIR where --check drops actual/diff/"
+        "campaign files on drift\n"
+        "                     (default: regress-artifacts)\n"
+        "  --workers N        engine worker threads (default: all "
+        "cores)\n"
+        "  --flip-vuln PATH   drift self-test: disable a forwarding "
+        "path (meltdown,\n"
+        "                     l1tf, mds, lazyfp, store-bypass, msr, "
+        "taa) before running\n",
+        prog);
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+flipVuln(const std::string &path, uarch::VulnConfig &vuln)
+{
+    if (path == "meltdown")
+        vuln.meltdown = !vuln.meltdown;
+    else if (path == "l1tf")
+        vuln.l1tf = !vuln.l1tf;
+    else if (path == "mds")
+        vuln.mds = !vuln.mds;
+    else if (path == "lazyfp")
+        vuln.lazyFp = !vuln.lazyFp;
+    else if (path == "store-bypass")
+        vuln.storeBypass = !vuln.storeBypass;
+    else if (path == "msr")
+        vuln.msr = !vuln.msr;
+    else if (path == "taa")
+        vuln.taa = !vuln.taa;
+    else
+        return false;
+    return true;
+}
+
+bool
+ensureDir(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return !ec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    enum class Mode { List, Record, Check };
+    Mode mode = Mode::Check;
+    std::string only_spec;
+    std::string golden_dir = "golden";
+    std::string artifact_dir = "regress-artifacts";
+    std::string flip;
+    campaign::CampaignEngine::Options engine_opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list")
+            mode = Mode::List;
+        else if (arg == "--record")
+            mode = Mode::Record;
+        else if (arg == "--check")
+            mode = Mode::Check;
+        else if (arg == "--spec")
+            only_spec = value();
+        else if (arg == "--golden-dir")
+            golden_dir = value();
+        else if (arg == "--artifact-dir")
+            artifact_dir = value();
+        else if (arg == "--workers") {
+            const char *v = value();
+            char *end = nullptr;
+            const unsigned long n = std::strtoul(v, &end, 10);
+            if (*v == '\0' || end == nullptr || *end != '\0') {
+                std::fprintf(stderr,
+                             "--workers: '%s' is not a number\n",
+                             v);
+                return 2;
+            }
+            engine_opts.workers = static_cast<unsigned>(n);
+        } else if (arg == "--flip-vuln")
+            flip = value();
+        else
+            return usage(argv[0]);
+    }
+
+    if (mode == Mode::Record && !flip.empty()) {
+        // Recording from a deliberately broken core would poison the
+        // goldens: every later --check would pass against the wrong
+        // model.  The flip is a --check self-test only.
+        std::fprintf(stderr,
+                     "--flip-vuln cannot be combined with --record\n");
+        return 2;
+    }
+
+    if (mode == Mode::List) {
+        for (const NamedSpec &named : registeredSpecs())
+            std::printf("%-28s %4zu cells  %s\n",
+                        named.name.c_str(), named.spec.gridSize(),
+                        named.description.c_str());
+        return 0;
+    }
+
+    std::vector<NamedSpec> selected;
+    for (const NamedSpec &named : registeredSpecs())
+        if (only_spec.empty() || named.name == only_spec)
+            selected.push_back(named);
+    if (selected.empty()) {
+        std::fprintf(stderr, "no registered spec named '%s'\n",
+                     only_spec.c_str());
+        return 2;
+    }
+
+    campaign::ResultCache cache;
+    engine_opts.cache = &cache;
+    const campaign::CampaignEngine engine(engine_opts);
+
+    if (mode == Mode::Record && !ensureDir(golden_dir)) {
+        std::fprintf(stderr, "cannot create %s\n",
+                     golden_dir.c_str());
+        return 2;
+    }
+
+    bool drift = false;
+    bool io_error = false;
+    for (NamedSpec &named : selected) {
+        if (!flip.empty() &&
+            !flipVuln(flip, named.spec.baseConfig.vuln)) {
+            std::fprintf(stderr, "unknown --flip-vuln path '%s'\n",
+                         flip.c_str());
+            return 2;
+        }
+        const campaign::CampaignReport report =
+            engine.run(named.spec);
+        const GoldenMatrix actual =
+            GoldenMatrix::fromReport(report);
+        const std::string golden_path =
+            golden_dir + "/" + named.name + ".json";
+
+        if (mode == Mode::Record) {
+            if (!tool::writeTextFile(golden_path,
+                                     goldenJson(actual))) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             golden_path.c_str());
+                io_error = true;
+                continue;
+            }
+            std::printf("recorded %-28s %4zu cells (%zu executed, "
+                        "%zu cached) -> %s\n",
+                        named.name.c_str(), report.expandedCount,
+                        report.executedCount, report.cacheHits,
+                        golden_path.c_str());
+            continue;
+        }
+
+        std::string text;
+        if (!readFile(golden_path, text)) {
+            std::fprintf(stderr,
+                         "%s: missing golden %s (run "
+                         "specsec_regress --record)\n",
+                         named.name.c_str(), golden_path.c_str());
+            io_error = true;
+            continue;
+        }
+        std::string parse_error;
+        const auto golden = parseGoldenJson(text, &parse_error);
+        if (!golden) {
+            std::fprintf(stderr, "%s: malformed golden %s: %s\n",
+                         named.name.c_str(), golden_path.c_str(),
+                         parse_error.c_str());
+            io_error = true;
+            continue;
+        }
+
+        const MatrixDiff diff = compareGolden(*golden, actual);
+        if (diff.empty()) {
+            std::printf("ok       %-28s %4zu cells (%zu executed, "
+                        "%zu cached)\n",
+                        named.name.c_str(), report.expandedCount,
+                        report.executedCount, report.cacheHits);
+            continue;
+        }
+
+        drift = true;
+        std::printf("DRIFT    %-28s %zu structural, %zu cell "
+                    "change(s):\n%s",
+                    named.name.c_str(), diff.structural.size(),
+                    diff.cells.size(), renderDiff(diff).c_str());
+        if (ensureDir(artifact_dir)) {
+            const std::string stem =
+                artifact_dir + "/" + named.name;
+            tool::writeTextFile(stem + ".actual.json",
+                                goldenJson(actual));
+            tool::writeTextFile(stem + ".diff.txt",
+                                renderDiff(diff));
+            tool::writeTextFile(stem + ".campaign.json",
+                                tool::campaignJson(report, false));
+            tool::writeTextFile(stem + ".campaign.csv",
+                                tool::campaignCsv(report, false));
+            std::printf("         artifacts under %s/\n",
+                        artifact_dir.c_str());
+        }
+    }
+
+    if (io_error)
+        return 2;
+    if (drift) {
+        std::printf("golden success matrices drifted -- inspect "
+                    "the diff above; if the change is intended, "
+                    "re-record with: specsec_regress --record\n");
+        return 1;
+    }
+    return 0;
+}

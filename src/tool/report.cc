@@ -10,10 +10,6 @@
 namespace specsec::tool
 {
 
-namespace
-{
-
-/** JSON string escaping for the label/name fields we emit. */
 std::string
 jsonEscape(const std::string &s)
 {
@@ -47,20 +43,10 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-/** Fixed-precision double rendering: locale-independent, stable. */
-std::string
-num(double value)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.4f", value);
-    return buf;
-}
-
-/** CSV field quoting (labels may contain commas). */
 std::string
 csvField(const std::string &s)
 {
-    if (s.find_first_of(",\"\n") == std::string::npos)
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
         return s;
     std::string out = "\"";
     for (char c : s) {
@@ -70,6 +56,72 @@ csvField(const std::string &s)
     }
     out += '"';
     return out;
+}
+
+namespace
+{
+
+/** Fixed-precision double rendering: locale-independent, stable. */
+std::string
+num(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", value);
+    return buf;
+}
+
+/** Compact "kpti+lfence" summary of the software toggles, "-" when
+ *  none are set. */
+std::string
+mitigationSummary(const attacks::AttackOptions &o)
+{
+    std::string out;
+    const auto add = [&out](bool on, const char *name) {
+        if (!on)
+            return;
+        if (!out.empty())
+            out += '+';
+        out += name;
+    };
+    add(o.kpti, "kpti");
+    add(o.rsbStuffing, "rsb-stuff");
+    add(o.softwareLfence, "lfence");
+    add(o.addressMasking, "addr-mask");
+    add(o.flushL1OnExit, "flush-l1");
+    return out.empty() ? "-" : out;
+}
+
+/** "256x4/64@4:200" cache-geometry summary. */
+std::string
+cacheSummary(const uarch::CacheConfig &c)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%zux%zu/%zu@%u:%u", c.sets,
+                  c.ways, c.lineSize, c.hitLatency, c.missLatency);
+    return buf;
+}
+
+/** "all" or "no-mds+no-taa": disabled forwarding paths. */
+std::string
+vulnSummary(const uarch::VulnConfig &v)
+{
+    std::string out;
+    const auto add = [&out](bool enabled, const char *name) {
+        if (enabled)
+            return;
+        if (!out.empty())
+            out += '+';
+        out += "no-";
+        out += name;
+    };
+    add(v.meltdown, "meltdown");
+    add(v.l1tf, "l1tf");
+    add(v.mds, "mds");
+    add(v.lazyFp, "lazyfp");
+    add(v.storeBypass, "store-bypass");
+    add(v.msr, "msr");
+    add(v.taa, "taa");
+    return out.empty() ? "all" : out;
 }
 
 } // namespace
@@ -127,6 +179,12 @@ campaignJson(const campaign::CampaignReport &report,
     os << "  \"expandedCount\": " << report.expandedCount << ",\n";
     os << "  \"uniqueCount\": " << report.uniqueCount << ",\n";
     if (include_timing) {
+        // Run provenance: which cells executed vs. hit the result
+        // cache is machine/history-dependent, so it lives with the
+        // timing fields, outside the deterministic contract.
+        os << "  \"executedCount\": " << report.executedCount
+           << ",\n";
+        os << "  \"cacheHits\": " << report.cacheHits << ",\n";
         os << "  \"workers\": " << report.workers << ",\n";
         os << "  \"wallMillis\": " << num(report.wallMillis)
            << ",\n";
@@ -165,6 +223,10 @@ campaignJson(const campaign::CampaignReport &report,
            << ", \"permCheckLatency\": " << o.config.permCheckLatency
            << ", \"channel\": \""
            << core::covertChannelName(o.options.channel)
+           << "\", \"mitigations\": \""
+           << mitigationSummary(o.options) << "\", \"vulns\": \""
+           << vulnSummary(o.config.vuln) << "\", \"cache\": \""
+           << cacheSummary(o.config.cache)
            << "\", \"leaked\": " << (o.result.leaked ? "true" : "false")
            << ", \"accuracy\": " << num(o.result.accuracy)
            << ", \"guestCycles\": " << o.result.guestCycles
@@ -189,8 +251,9 @@ campaignCsv(const campaign::CampaignReport &report,
 {
     std::ostringstream os;
     os << "gridIndex,variant,defense,robSize,permCheckLatency,"
-          "channel,leaked,accuracy,guestCycles,transientForwards,"
-          "cycles,committed,squashed,branchMispredicts,exceptions";
+          "channel,mitigations,vulns,cache,leaked,accuracy,"
+          "guestCycles,transientForwards,cycles,committed,squashed,"
+          "branchMispredicts,exceptions";
     if (include_timing)
         os << ",wallMillis";
     os << "\n";
@@ -199,6 +262,9 @@ campaignCsv(const campaign::CampaignReport &report,
            << csvField(o.colLabel) << "," << o.config.robSize << ","
            << o.config.permCheckLatency << ","
            << core::covertChannelName(o.options.channel) << ","
+           << mitigationSummary(o.options) << ","
+           << vulnSummary(o.config.vuln) << ","
+           << cacheSummary(o.config.cache) << ","
            << (o.result.leaked ? 1 : 0) << ","
            << num(o.result.accuracy) << "," << o.result.guestCycles
            << "," << o.result.transientForwards << ","

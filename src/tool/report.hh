@@ -24,6 +24,15 @@ std::string renderReport(const AnalysisResult &result,
                          const Program &program);
 
 /**
+ * JSON string-body escaping (quotes, backslash, control characters)
+ * shared by every JSON writer in the tree.
+ */
+std::string jsonEscape(const std::string &s);
+
+/** RFC-4180 CSV field quoting (commas, quotes, newlines). */
+std::string csvField(const std::string &s);
+
+/**
  * Serialize a campaign report as JSON: campaign metadata, the
  * success matrix (per-cell run/leak counts) and one record per grid
  * cell.  With @p include_timing false the output is a pure function

@@ -107,6 +107,57 @@ TEST(Grid, DedupNoOpDefenseColumn)
     }
 }
 
+TEST(Grid, NewDimensionsMultiplyTheGrid)
+{
+    ScenarioSpec spec;
+    spec.variants = {AttackVariant::SpectreV1};
+    SoftwareMitigation kpti;
+    kpti.label = "kpti";
+    kpti.kpti = true;
+    spec.mitigations = {SoftwareMitigation{}, kpti};
+    uarch::VulnConfig noMds;
+    noMds.mds = false;
+    spec.vulnAblations = {{"all", uarch::VulnConfig{}},
+                          {"no-mds", noMds}};
+    CacheGeometry small;
+    small.label = "small";
+    small.cache.sets = 64;
+    spec.cacheGeometries = {CacheGeometry{}, small};
+    EXPECT_EQ(spec.gridSize(), 1u * 1u * 2u * 2u * 2u);
+    const std::vector<Scenario> grid = expandGrid(spec);
+    ASSERT_EQ(grid.size(), 8u);
+    // Each dimension lands in the expanded cell's config/options.
+    EXPECT_FALSE(grid[0].options.kpti);
+    EXPECT_TRUE(grid[4].options.kpti); // mitigation is the outermost
+    EXPECT_TRUE(grid[0].config.vuln.mds);
+    EXPECT_FALSE(grid[2].config.vuln.mds);
+    EXPECT_EQ(grid[0].config.cache.sets, 256u);
+    EXPECT_EQ(grid[1].config.cache.sets, 64u);
+    // All eight cells are distinct experiments.
+    const ExpandedGrid g = dedupGrid(spec);
+    EXPECT_EQ(g.uniqueIndices.size(), 8u);
+}
+
+TEST(Grid, DefenseColumnWinsOverKnobDimensions)
+{
+    // A defense column that pins a field overrides the sweep value,
+    // so both sweep cells collapse onto one experiment.
+    ScenarioSpec spec;
+    spec.variants = {AttackVariant::SpectreV1};
+    spec.defenses = {{"pin-cache",
+                      [](CpuConfig &c, AttackOptions &) {
+                          c.cache.sets = 512;
+                      }}};
+    CacheGeometry small;
+    small.label = "small";
+    small.cache.sets = 64;
+    spec.cacheGeometries = {CacheGeometry{}, small};
+    const ExpandedGrid g = dedupGrid(spec);
+    EXPECT_EQ(g.expanded.size(), 2u);
+    EXPECT_EQ(g.uniqueIndices.size(), 1u);
+    EXPECT_EQ(g.expanded[0].config.cache.sets, 512u);
+}
+
 TEST(Grid, KeyCoversConfigAndOptions)
 {
     const CpuConfig base;
@@ -131,6 +182,244 @@ TEST(Grid, KeyCoversConfigAndOptions)
     AttackOptions kpti = opts;
     kpti.kpti = true;
     EXPECT_NE(k0, scenarioKey(AttackVariant::SpectreV1, base, kpti));
+}
+
+TEST(Grid, KeyIsExhaustiveOverEveryField)
+{
+    // Tripwire companion to the static_asserts in campaign.cc: for
+    // every field of CpuConfig (including nested CacheConfig /
+    // VulnConfig / HwDefenseConfig) and AttackOptions, a config
+    // differing only in that field must produce a distinct key.  A
+    // field missing from scenarioKey() would silently fold distinct
+    // scenarios in dedup and the result cache.
+    const CpuConfig base;
+    const AttackOptions opts;
+    std::vector<std::pair<std::string, std::string>> keys;
+    keys.emplace_back("base", scenarioKey(AttackVariant::SpectreV1,
+                                          base, opts));
+    keys.emplace_back("variant",
+                      scenarioKey(AttackVariant::Meltdown, base,
+                                  opts));
+
+    const auto addConfig = [&](const char *name, auto mutate) {
+        CpuConfig c = base;
+        mutate(c);
+        keys.emplace_back(
+            name, scenarioKey(AttackVariant::SpectreV1, c, opts));
+    };
+    const auto addOpts = [&](const char *name, auto mutate) {
+        AttackOptions o = opts;
+        mutate(o);
+        keys.emplace_back(
+            name, scenarioKey(AttackVariant::SpectreV1, base, o));
+    };
+
+    // CpuConfig scalars.
+    addConfig("robSize", [](CpuConfig &c) { c.robSize = 99; });
+    addConfig("fetchWidth", [](CpuConfig &c) { c.fetchWidth = 9; });
+    addConfig("commitWidth",
+              [](CpuConfig &c) { c.commitWidth = 9; });
+    addConfig("permCheckLatency",
+              [](CpuConfig &c) { c.permCheckLatency = 99; });
+    addConfig("branchResolveLatency",
+              [](CpuConfig &c) { c.branchResolveLatency = 99; });
+    addConfig("retResolveLatency",
+              [](CpuConfig &c) { c.retResolveLatency = 99; });
+    addConfig("exceptionDeliveryLatency", [](CpuConfig &c) {
+        c.exceptionDeliveryLatency = 99;
+    });
+    addConfig("txnAbortDetectLatency", [](CpuConfig &c) {
+        c.txnAbortDetectLatency = 99;
+    });
+    addConfig("partialAliasPenalty",
+              [](CpuConfig &c) { c.partialAliasPenalty = 99; });
+    addConfig("physAliasPenalty",
+              [](CpuConfig &c) { c.physAliasPenalty = 99; });
+    addConfig("rsbDepth", [](CpuConfig &c) { c.rsbDepth = 99; });
+    addConfig("lfbEntries", [](CpuConfig &c) { c.lfbEntries = 99; });
+    // CacheConfig.
+    addConfig("cache.sets", [](CpuConfig &c) { c.cache.sets = 99; });
+    addConfig("cache.ways", [](CpuConfig &c) { c.cache.ways = 99; });
+    addConfig("cache.lineSize",
+              [](CpuConfig &c) { c.cache.lineSize = 99; });
+    addConfig("cache.hitLatency",
+              [](CpuConfig &c) { c.cache.hitLatency = 99; });
+    addConfig("cache.missLatency",
+              [](CpuConfig &c) { c.cache.missLatency = 99; });
+    // VulnConfig.
+    addConfig("vuln.meltdown",
+              [](CpuConfig &c) { c.vuln.meltdown = false; });
+    addConfig("vuln.l1tf", [](CpuConfig &c) { c.vuln.l1tf = false; });
+    addConfig("vuln.mds", [](CpuConfig &c) { c.vuln.mds = false; });
+    addConfig("vuln.lazyFp",
+              [](CpuConfig &c) { c.vuln.lazyFp = false; });
+    addConfig("vuln.storeBypass",
+              [](CpuConfig &c) { c.vuln.storeBypass = false; });
+    addConfig("vuln.msr", [](CpuConfig &c) { c.vuln.msr = false; });
+    addConfig("vuln.taa", [](CpuConfig &c) { c.vuln.taa = false; });
+    // HwDefenseConfig.
+    addConfig("defense.fenceSpeculativeLoads", [](CpuConfig &c) {
+        c.defense.fenceSpeculativeLoads = true;
+    });
+    addConfig("defense.blockSpeculativeForwarding",
+              [](CpuConfig &c) {
+                  c.defense.blockSpeculativeForwarding = true;
+              });
+    addConfig("defense.blockTaintedTransmit", [](CpuConfig &c) {
+        c.defense.blockTaintedTransmit = true;
+    });
+    addConfig("defense.invisibleSpeculation", [](CpuConfig &c) {
+        c.defense.invisibleSpeculation = true;
+    });
+    addConfig("defense.cleanupSpec",
+              [](CpuConfig &c) { c.defense.cleanupSpec = true; });
+    addConfig("defense.conditionalSpeculation", [](CpuConfig &c) {
+        c.defense.conditionalSpeculation = true;
+    });
+    addConfig("defense.partitionedCache", [](CpuConfig &c) {
+        c.defense.partitionedCache = true;
+    });
+    addConfig("defense.flushPredictorOnContextSwitch",
+              [](CpuConfig &c) {
+                  c.defense.flushPredictorOnContextSwitch = true;
+              });
+    addConfig("defense.noIndirectPrediction", [](CpuConfig &c) {
+        c.defense.noIndirectPrediction = true;
+    });
+    addConfig("defense.noBranchPrediction", [](CpuConfig &c) {
+        c.defense.noBranchPrediction = true;
+    });
+    addConfig("defense.clearBuffersOnContextSwitch",
+              [](CpuConfig &c) {
+                  c.defense.clearBuffersOnContextSwitch = true;
+              });
+    addConfig("defense.eagerFpuSwitch", [](CpuConfig &c) {
+        c.defense.eagerFpuSwitch = true;
+    });
+    addConfig("defense.safeStoreBypass", [](CpuConfig &c) {
+        c.defense.safeStoreBypass = true;
+    });
+    // AttackOptions.
+    addOpts("channel", [](AttackOptions &o) {
+        o.channel = CovertChannelKind::PrimeProbe;
+    });
+    addOpts("secretLen", [](AttackOptions &o) { o.secretLen = 99; });
+    addOpts("flushL1OnExit",
+            [](AttackOptions &o) { o.flushL1OnExit = true; });
+    addOpts("kpti", [](AttackOptions &o) { o.kpti = true; });
+    addOpts("rsbStuffing",
+            [](AttackOptions &o) { o.rsbStuffing = true; });
+    addOpts("softwareLfence",
+            [](AttackOptions &o) { o.softwareLfence = true; });
+    addOpts("addressMasking",
+            [](AttackOptions &o) { o.addressMasking = true; });
+    addOpts("trainingRounds",
+            [](AttackOptions &o) { o.trainingRounds = 99; });
+    addOpts("delayAuthorization",
+            [](AttackOptions &o) { o.delayAuthorization = false; });
+
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        for (std::size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i].second, keys[j].second)
+                << "scenarioKey() does not separate '"
+                << keys[i].first << "' from '" << keys[j].first
+                << "'";
+}
+
+TEST(Cache, RepeatedCampaignsExecuteOnce)
+{
+    ScenarioSpec spec;
+    spec.variants = {AttackVariant::SpectreV1,
+                     AttackVariant::Meltdown};
+    spec.defenses = {{"baseline", nullptr}, fenceAxis()};
+
+    ResultCache cache;
+    CampaignEngine::Options opts;
+    opts.workers = 2;
+    opts.cache = &cache;
+    const CampaignEngine engine(opts);
+
+    const CampaignReport first = engine.run(spec);
+    EXPECT_EQ(first.cacheHits, 0u);
+    EXPECT_EQ(first.executedCount, first.uniqueCount);
+    EXPECT_EQ(cache.size(), first.uniqueCount);
+
+    const CampaignReport second = engine.run(spec);
+    EXPECT_EQ(second.cacheHits, second.uniqueCount);
+    EXPECT_EQ(second.executedCount, 0u);
+    EXPECT_EQ(cache.size(), first.uniqueCount);
+
+    // Cached results are the same experiment outcomes.
+    EXPECT_EQ(tool::campaignCsv(first, false),
+              tool::campaignCsv(second, false));
+    EXPECT_EQ(first.successMatrixText(),
+              second.successMatrixText());
+}
+
+TEST(Cache, SharedAcrossOverlappingSpecs)
+{
+    // Two different specs whose grids overlap on the baseline cells:
+    // the second campaign re-executes only its new cells.
+    ScenarioSpec baseline;
+    baseline.variants = {AttackVariant::SpectreV1,
+                         AttackVariant::Meltdown};
+
+    ScenarioSpec wider = baseline;
+    wider.defenses = {{"baseline", nullptr}, fenceAxis()};
+
+    ResultCache cache;
+    CampaignEngine::Options opts;
+    opts.workers = 1;
+    opts.cache = &cache;
+    const CampaignEngine engine(opts);
+
+    engine.run(baseline);
+    const CampaignReport report = engine.run(wider);
+    EXPECT_EQ(report.uniqueCount, 4u);
+    EXPECT_EQ(report.cacheHits, 2u);
+    EXPECT_EQ(report.executedCount, 2u);
+    EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(Engine, DeterministicAcrossWorkerCountsAndCache)
+{
+    // The regression gate's contract: sweeping worker counts, with
+    // and without the result cache (cold and warm), every
+    // timing-free export is byte-identical.
+    ScenarioSpec spec;
+    spec.name = "worker-sweep";
+    spec.variants = {AttackVariant::SpectreV1,
+                     AttackVariant::Meltdown,
+                     AttackVariant::ZombieLoad};
+    spec.defenses = {{"baseline", nullptr}, fenceAxis(),
+                     flushAxis()};
+    spec.permCheckLatencies = {10, 30};
+
+    const CampaignReport reference =
+        CampaignEngine(CampaignEngine::Options{1}).run(spec);
+    const std::string refCsv = tool::campaignCsv(reference, false);
+    const std::string refJson =
+        tool::campaignJson(reference, false);
+    const std::string refMatrix = reference.successMatrixText();
+
+    ResultCache cache;
+    for (const unsigned workers : {1u, 2u, 8u}) {
+        for (const bool cached : {false, true}) {
+            CampaignEngine::Options opts;
+            opts.workers = workers;
+            opts.cache = cached ? &cache : nullptr;
+            const CampaignReport run =
+                CampaignEngine(opts).run(spec);
+            EXPECT_EQ(tool::campaignCsv(run, false), refCsv)
+                << "workers=" << workers << " cached=" << cached;
+            EXPECT_EQ(tool::campaignJson(run, false), refJson)
+                << "workers=" << workers << " cached=" << cached;
+            EXPECT_EQ(run.successMatrixText(), refMatrix)
+                << "workers=" << workers << " cached=" << cached;
+        }
+    }
+    // The cache ended warm: the last run executed nothing new.
+    EXPECT_GT(cache.hits(), 0u);
 }
 
 TEST(Engine, ParallelMatchesSerialByteIdentical)

@@ -9,7 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "attacks/attack_kit.hh"
+#include "campaign/campaign.hh"
 #include "tool/patcher.hh"
 #include "tool/report.hh"
 #include "uarch/covert.hh"
@@ -335,6 +338,114 @@ TEST(Tool, PatchedProgramStopsLeakOnSimulator)
     const PatchResult patch = autoPatch(spec);
     ASSERT_TRUE(patch.verified);
     EXPECT_EQ(run_program(patch.patched), 0u); // no longer leaks
+}
+
+/** A hand-built one-cell report carrying the given labels. */
+campaign::CampaignReport
+reportWithLabels(const std::string &row, const std::string &col)
+{
+    campaign::CampaignReport report;
+    report.name = "edge-cases";
+    report.rowLabels = {row};
+    report.colLabels = {col};
+    report.cellRuns = {{1}};
+    report.cellLeaks = {{1}};
+    campaign::ScenarioOutcome o;
+    o.rowLabel = row;
+    o.colLabel = col;
+    o.result.leaked = true;
+    report.outcomes.push_back(std::move(o));
+    report.expandedCount = 1;
+    report.uniqueCount = 1;
+    report.executedCount = 1;
+    return report;
+}
+
+TEST(CampaignExport, CsvQuotesCommasQuotesAndNewlines)
+{
+    const campaign::CampaignReport report = reportWithLabels(
+        "variant, with commas", "de\"fense\nwith newline");
+    const std::string csv = campaignCsv(report);
+
+    // RFC 4180: the awkward fields are quoted, inner quotes doubled,
+    // so the embedded newline stays inside a quoted field.
+    EXPECT_NE(csv.find("\"variant, with commas\""),
+              std::string::npos);
+    EXPECT_NE(csv.find("\"de\"\"fense\nwith newline\""),
+              std::string::npos);
+    // Exactly header + 1 record: the label newline is the only
+    // in-field one.
+    std::size_t quoted = 0;
+    bool in_quotes = false;
+    std::size_t record_breaks = 0;
+    for (char c : csv) {
+        if (c == '"')
+            in_quotes = !in_quotes;
+        else if (c == '\n' && in_quotes)
+            ++quoted;
+        else if (c == '\n')
+            ++record_breaks;
+    }
+    EXPECT_EQ(quoted, 1u);
+    EXPECT_EQ(record_breaks, 2u);
+}
+
+TEST(CampaignExport, JsonEscapesControlAndQuoteCharacters)
+{
+    const campaign::CampaignReport report = reportWithLabels(
+        "tab\there", "quote\" and \\ and \nnewline");
+    const std::string json = campaignJson(report, false);
+    EXPECT_NE(json.find("tab\\there"), std::string::npos);
+    EXPECT_NE(json.find("quote\\\" and \\\\ and \\nnewline"),
+              std::string::npos);
+    // No raw control characters may survive inside the document.
+    for (char c : json)
+        EXPECT_TRUE(c == '\n' ||
+                    static_cast<unsigned char>(c) >= 0x20);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(CampaignExport, EmptyCampaignProducesWellFormedDocuments)
+{
+    const campaign::CampaignReport report; // no rows, cols, outcomes
+    const std::string csv = campaignCsv(report);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);
+    EXPECT_EQ(csv.find("gridIndex,variant,defense"), 0u);
+
+    const std::string json = campaignJson(report);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    EXPECT_NE(json.find("\"rows\": []"), std::string::npos);
+    EXPECT_NE(json.find("\"cols\": []"), std::string::npos);
+
+    EXPECT_EQ(report.successMatrixText(),
+              std::string("variant                   \n"));
+}
+
+TEST(CampaignExport, SingleCellGridExports)
+{
+    campaign::ScenarioSpec spec;
+    spec.variants = {core::AttackVariant::SpectreV1};
+    const campaign::CampaignReport report =
+        campaign::CampaignEngine(campaign::CampaignEngine::Options{1})
+            .run(spec);
+
+    const std::string csv = campaignCsv(report);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+    const std::string json = campaignJson(report, false);
+    EXPECT_NE(json.find("\"mitigations\": \"-\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"vulns\": \"all\""), std::string::npos);
+    EXPECT_NE(json.find("\"cache\": \"256x4/64@4:200\""),
+              std::string::npos);
+    // The timing-free single cell is stable across repeat runs.
+    const campaign::CampaignReport again =
+        campaign::CampaignEngine(campaign::CampaignEngine::Options{1})
+            .run(spec);
+    EXPECT_EQ(json, campaignJson(again, false));
 }
 
 } // namespace
