@@ -7,13 +7,18 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <thread>
 
 #include "bench_util.hh"
 #include "campaign/campaign.hh"
+#include "campaign/sink.hh"
+#include "tool/report.hh"
+#include "tool/stream_export.hh"
 
 using namespace specsec;
 using namespace specsec::campaign;
@@ -78,6 +83,50 @@ main(int argc, char **argv)
                 agree ? "yes" : "NO — BUG");
     if (!agree)
         return 1;
+
+    // Sink overhead: the same parallel sweep collecting a report
+    // only, vs. additionally streaming ordered CSV + JSONL exports
+    // as workers finish.  Streaming should cost noise — the export
+    // work rides on worker threads that would otherwise idle-wait.
+    bench::header("sink overhead: collect vs. collect+streaming");
+    const CampaignEngine engine(
+        CampaignEngine::Options{parallel_workers});
+    const auto timeRun = [&](const std::vector<OutcomeSink *> &s) {
+        const auto t0 = std::chrono::steady_clock::now();
+        engine.run(spec, s);
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    ReportSink collect_only;
+    const double collectMs = timeRun({&collect_only});
+
+    ReportSink collect;
+    std::ostringstream csv_out, jsonl_out;
+    tool::CsvStreamSink csv_sink(csv_out);
+    tool::JsonlStreamSink jsonl_sink(jsonl_out);
+    const double streamMs =
+        timeRun({&collect, &csv_sink, &jsonl_sink});
+
+    std::printf("%-22s %12s\n", "sinks", "wall (ms)");
+    std::printf("%-22s %12.1f\n", "report", collectMs);
+    std::printf("%-22s %12.1f\n", "report+csv+jsonl", streamMs);
+    std::printf("streaming overhead: %+.1f%%\n",
+                collectMs > 0.0
+                    ? 100.0 * (streamMs - collectMs) / collectMs
+                    : 0.0);
+
+    const bool stream_ok =
+        csv_out.str() ==
+            tool::campaignCsv(collect.report(), false) &&
+        jsonl_out.str() ==
+            tool::campaignJsonl(collect.report(), false);
+    std::printf("streamed exports match batch exporters: %s\n",
+                stream_ok ? "yes" : "NO — BUG");
+    if (!stream_ok)
+        return 1;
+
     std::printf("\n%s", parallel.successMatrixText().c_str());
     return 0;
 }

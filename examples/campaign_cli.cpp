@@ -2,23 +2,39 @@
  * @file
  * Campaign driver: run a declarative attack x defense sweep from the
  * command line, print the success matrix, and optionally export the
- * full report as JSON and/or CSV.
+ * full report as JSON, CSV and/or streaming JSONL.
  *
  * Examples:
  *   campaign_cli                             # full defense matrix
  *   campaign_cli --workers 8 --json out.json --csv out.csv
  *   campaign_cli --variants spectre-v1,meltdown --rob 32,48,64
  *   campaign_cli --perm-lat 10,30,50 --channels fr,pp
+ *   campaign_cli --jsonl out.jsonl --progress  # incremental export
+ *   campaign_cli --cache-file .campaign-cache.json   # warm reruns
+ *
+ * Sharded operation (multi-process fan-out):
+ *   campaign_cli --shard 0/2 --shard-report s0.json
+ *   campaign_cli --shard 1/2 --shard-report s1.json
+ *   campaign_cli merge s0.json s1.json --csv merged.csv
+ *
+ * The merged run is byte-identical, in every timing-free export, to
+ * an unsharded run of the same spec.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign.hh"
+#include "campaign/sink.hh"
 #include "tool/report.hh"
+#include "tool/report_io.hh"
+#include "tool/stream_export.hh"
 
 using namespace specsec;
 using namespace specsec::campaign;
@@ -60,6 +76,8 @@ usage(const char *prog)
     std::fprintf(
         stderr,
         "usage: %s [options]\n"
+        "       %s merge SHARD.json... [--json F] [--csv F] "
+        "[--jsonl F] [--timing]\n"
         "  --workers N        worker threads (default: all cores)\n"
         "  --serial           shorthand for --workers 1\n"
         "  --variants a,b,c   variants by catalog name "
@@ -77,11 +95,139 @@ usage(const char *prog)
         "  --cache-geom g,... sweep cache geometries "
         "(SETSxWAYS[@MISS],\n"
         "                     e.g. 256x4,64x2@100)\n"
+        "  --shard I/N        execute only shard I of N of the "
+        "grid\n"
+        "  --shard-report F   write a mergeable shard report "
+        "(see merge)\n"
+        "  --cache-file F     persistent result cache (load/save)\n"
         "  --json FILE        export full report as JSON\n"
-        "  --csv FILE         export full report as CSV\n"
+        "  --csv FILE         export full report as CSV "
+        "(streamed)\n"
+        "  --jsonl FILE       export as JSONL, streamed as "
+        "scenarios finish\n"
+        "  --progress         live progress line on stderr\n"
         "  --timing           include wall-clock fields in exports\n",
-        prog);
+        prog, prog);
     return 2;
+}
+
+void
+printSummary(const CampaignReport &report)
+{
+    std::printf("\n%s", report.successMatrixText().c_str());
+    std::printf("\n(L = every run in the cell leaks, . = blocked, "
+                "p = leaks under some knob values)\n");
+    if (report.partial())
+        std::printf("shard %zu/%zu: %zu of %zu grid points\n",
+                    report.shardIndex, report.shardCount,
+                    report.outcomes.size(), report.expandedCount);
+    std::printf("executed %zu unique of %zu expanded scenarios "
+                "in %.1f ms (%.1f scenarios/sec, %u workers, "
+                "%zu cache hits)\n",
+                report.executedCount, report.expandedCount,
+                report.wallMillis, report.scenariosPerSecond,
+                report.workers, report.cacheHits);
+}
+
+bool
+exportReport(const CampaignReport &report,
+             const std::string &json_path,
+             const std::string &csv_path,
+             const std::string &jsonl_path, bool timing)
+{
+    const auto write = [](const std::string &path,
+                          const std::string &contents) {
+        if (tool::writeTextFile(path, contents)) {
+            std::printf("wrote %s\n", path.c_str());
+            return true;
+        }
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    };
+    bool ok = true;
+    if (!json_path.empty())
+        ok &= write(json_path, tool::campaignJson(report, timing));
+    if (!csv_path.empty())
+        ok &= write(csv_path, tool::campaignCsv(report, timing));
+    if (!jsonl_path.empty())
+        ok &= write(jsonl_path,
+                    tool::campaignJsonl(report, timing));
+    return ok;
+}
+
+/** `campaign_cli merge SHARD.json...`: re-join shard reports. */
+int
+mergeMain(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    std::string json_path, csv_path, jsonl_path;
+    bool timing = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json")
+            json_path = value();
+        else if (arg == "--csv")
+            csv_path = value();
+        else if (arg == "--jsonl")
+            jsonl_path = value();
+        else if (arg == "--timing")
+            timing = true;
+        else if (!arg.empty() && arg[0] == '-')
+            return usage(argv[0]);
+        else
+            files.push_back(arg);
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "merge: no shard report files given\n");
+        return 2;
+    }
+
+    std::optional<CampaignReport> merged;
+    for (const std::string &path : files) {
+        std::string text;
+        if (!tool::readTextFile(path, text)) {
+            std::fprintf(stderr, "cannot read %s\n", path.c_str());
+            return 2;
+        }
+        std::string error;
+        auto shard = tool::parseShardReportJson(text, &error);
+        if (!shard) {
+            std::fprintf(stderr, "%s: malformed shard report: %s\n",
+                         path.c_str(), error.c_str());
+            return 2;
+        }
+        std::printf("loaded %s: shard %zu/%zu, %zu outcomes\n",
+                    path.c_str(), shard->shardIndex,
+                    shard->shardCount, shard->outcomes.size());
+        if (!merged) {
+            merged = std::move(*shard);
+            continue;
+        }
+        std::string merge_error;
+        if (!merged->merge(*shard, &merge_error)) {
+            std::fprintf(stderr, "%s: merge conflict: %s\n",
+                         path.c_str(), merge_error.c_str());
+            return 1;
+        }
+    }
+    if (merged->partial())
+        std::printf("note: merged report is still partial (%zu of "
+                    "%zu grid points)\n",
+                    merged->outcomes.size(),
+                    merged->expandedCount);
+    printSummary(*merged);
+    return exportReport(*merged, json_path, csv_path, jsonl_path,
+                        timing)
+               ? 0
+               : 1;
 }
 
 } // namespace
@@ -89,10 +235,18 @@ usage(const char *prog)
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "merge") == 0)
+        return mergeMain(argc, argv);
+
     ScenarioSpec spec = ScenarioSpec::defenseMatrix();
     CampaignEngine::Options engine_opts;
     std::string json_path;
     std::string csv_path;
+    std::string jsonl_path;
+    std::string shard_report_path;
+    std::string cache_path;
+    ShardRange shard;
+    bool progress = false;
     bool timing = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -255,10 +409,24 @@ main(int argc, char **argv)
                         static_cast<std::uint32_t>(miss);
                 spec.cacheGeometries.push_back(std::move(g));
             }
+        } else if (arg == "--shard") {
+            if (!parseShardRange(value(), shard)) {
+                std::fprintf(stderr,
+                             "--shard: expected I/N with I < N\n");
+                return 2;
+            }
+        } else if (arg == "--shard-report") {
+            shard_report_path = value();
+        } else if (arg == "--cache-file") {
+            cache_path = value();
         } else if (arg == "--json") {
             json_path = value();
         } else if (arg == "--csv") {
             csv_path = value();
+        } else if (arg == "--jsonl") {
+            jsonl_path = value();
+        } else if (arg == "--progress") {
+            progress = true;
         } else if (arg == "--timing") {
             timing = true;
         } else {
@@ -266,38 +434,106 @@ main(int argc, char **argv)
         }
     }
 
+    ResultCache cache;
+    const std::string fingerprint = modelFingerprint();
+    if (!cache_path.empty()) {
+        engine_opts.cache = &cache;
+        std::string error;
+        if (cache.loadFromFile(cache_path, fingerprint, &error))
+            std::printf("loaded %zu cached results from %s\n",
+                        cache.size(), cache_path.c_str());
+    }
+
     const CampaignEngine engine(engine_opts);
-    std::printf("campaign %s: %zu grid points, %u workers\n",
+    std::printf("campaign %s: %zu grid points, %u workers",
                 spec.name.c_str(), spec.gridSize(),
                 engine.workers());
-    const CampaignReport report = engine.run(spec);
+    if (shard.count > 1)
+        std::printf(", shard %zu/%zu", shard.index, shard.count);
+    std::printf("\n");
 
-    std::printf("\n%s", report.successMatrixText().c_str());
-    std::printf("\n(L = every run in the cell leaks, . = blocked, "
-                "p = leaks under some knob values)\n");
-    std::printf("executed %zu unique of %zu expanded scenarios "
-                "in %.1f ms (%.1f scenarios/sec, %u workers)\n",
-                report.uniqueCount, report.expandedCount,
-                report.wallMillis, report.scenariosPerSecond,
-                report.workers);
-
-    if (!json_path.empty()) {
-        if (!tool::writeTextFile(json_path,
-                                 tool::campaignJson(report, timing))) {
-            std::fprintf(stderr, "cannot write %s\n",
-                         json_path.c_str());
-            return 1;
-        }
-        std::printf("wrote %s\n", json_path.c_str());
-    }
+    // The engine is a thin driver over sinks: the report, the
+    // streaming exports and the progress line all observe the same
+    // run.  CSV and JSONL files fill incrementally as workers
+    // finish scenarios, not after the sweep.
+    ReportSink report_sink;
+    std::vector<OutcomeSink *> sinks{&report_sink};
+    std::ofstream csv_stream;
+    std::optional<tool::CsvStreamSink> csv_sink;
     if (!csv_path.empty()) {
-        if (!tool::writeTextFile(csv_path,
-                                 tool::campaignCsv(report, timing))) {
+        csv_stream.open(csv_path, std::ios::binary);
+        if (!csv_stream) {
             std::fprintf(stderr, "cannot write %s\n",
                          csv_path.c_str());
             return 1;
         }
-        std::printf("wrote %s\n", csv_path.c_str());
+        csv_sink.emplace(csv_stream, timing);
+        sinks.push_back(&*csv_sink);
     }
-    return 0;
+    std::ofstream jsonl_stream;
+    std::optional<tool::JsonlStreamSink> jsonl_sink;
+    if (!jsonl_path.empty()) {
+        jsonl_stream.open(jsonl_path, std::ios::binary);
+        if (!jsonl_stream) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         jsonl_path.c_str());
+            return 1;
+        }
+        jsonl_sink.emplace(jsonl_stream, timing);
+        sinks.push_back(&*jsonl_sink);
+    }
+    std::optional<ProgressSink> progress_sink;
+    if (progress) {
+        progress_sink.emplace(stderr);
+        sinks.push_back(&*progress_sink);
+    }
+
+    engine.run(spec, sinks, shard);
+    const CampaignReport report = report_sink.takeReport();
+    bool ok = true;
+    // A stream that went bad mid-run (disk full, deleted dir) left
+    // a truncated export; that must fail the exit code, not print
+    // "wrote".
+    const auto finishStream = [&ok](std::ofstream &stream,
+                                    const std::string &path) {
+        if (path.empty())
+            return;
+        stream.flush();
+        if (stream.good()) {
+            std::printf("wrote %s\n", path.c_str());
+        } else {
+            std::fprintf(stderr, "write failed on %s\n",
+                         path.c_str());
+            ok = false;
+        }
+    };
+    finishStream(csv_stream, csv_path);
+    finishStream(jsonl_stream, jsonl_path);
+
+    printSummary(report);
+
+    if (!cache_path.empty()) {
+        std::string error;
+        if (cache.saveToFile(cache_path, fingerprint, &error))
+            std::printf("saved %zu cached results to %s\n",
+                        cache.size(), cache_path.c_str());
+        else
+            std::fprintf(stderr, "cache save failed: %s\n",
+                         error.c_str());
+    }
+
+    if (!shard_report_path.empty()) {
+        if (tool::writeTextFile(shard_report_path,
+                                tool::shardReportJson(report)))
+            std::printf("wrote %s\n", shard_report_path.c_str());
+        else {
+            std::fprintf(stderr, "cannot write %s\n",
+                         shard_report_path.c_str());
+            ok = false;
+        }
+    }
+    // JSON has no streaming form (it is one document); export it
+    // from the collected report like before.
+    ok &= exportReport(report, json_path, "", "", timing);
+    return ok ? 0 : 1;
 }

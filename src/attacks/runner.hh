@@ -22,7 +22,10 @@ AttackResult runVariant(core::AttackVariant variant,
 /**
  * Run the executable attack for @p variant and also report the final
  * pipeline counters of the scenario CPU in @p stats_out.  This is
- * the execution backend of the campaign engine (src/campaign).
+ * the execution backend of the campaign engine (src/campaign): each
+ * worker calls this overload once per unique scenario, and the
+ * result + stats flow into every OutcomeSink observing the run (and
+ * into the persistent ResultCache) as part of the ScenarioOutcome.
  */
 AttackResult runVariant(core::AttackVariant variant,
                         const CpuConfig &config,

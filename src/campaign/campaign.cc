@@ -1,12 +1,16 @@
 #include "campaign.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "attacks/runner.hh"
+#include "sink.hh"
 
 namespace specsec::campaign
 {
@@ -220,6 +224,121 @@ scenarioKey(core::AttackVariant variant, const CpuConfig &c,
     return key;
 }
 
+namespace
+{
+
+/**
+ * Field-by-field consumer for parseScenarioKey: pops the next
+ * ';'-terminated decimal field of the key.
+ */
+class KeyReader
+{
+  public:
+    explicit KeyReader(const std::string &key) : key_(key) {}
+
+    std::uint64_t next()
+    {
+        if (failed_ || pos_ >= key_.size()) {
+            failed_ = true;
+            return 0;
+        }
+        const std::size_t semi = key_.find(';', pos_);
+        if (semi == std::string::npos || semi == pos_) {
+            failed_ = true;
+            return 0;
+        }
+        std::uint64_t value = 0;
+        for (std::size_t i = pos_; i < semi; ++i) {
+            const char c = key_[i];
+            if (c < '0' || c > '9') {
+                failed_ = true;
+                return 0;
+            }
+            value = value * 10 +
+                    static_cast<std::uint64_t>(c - '0');
+        }
+        pos_ = semi + 1;
+        return value;
+    }
+
+    bool done() const { return !failed_ && pos_ == key_.size(); }
+    bool failed() const { return failed_; }
+
+  private:
+    const std::string &key_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+bool
+parseScenarioKey(const std::string &key,
+                 core::AttackVariant &variant, CpuConfig &c,
+                 AttackOptions &o)
+{
+    // Mirror of scenarioKey(): consume the fields in the exact
+    // order that function appends them.  The static_asserts there
+    // cover this function too — both must be extended together.
+    KeyReader in(key);
+    const std::uint64_t v = in.next();
+    // CpuConfig scalars.
+    c.robSize = static_cast<std::size_t>(in.next());
+    c.fetchWidth = static_cast<unsigned>(in.next());
+    c.commitWidth = static_cast<unsigned>(in.next());
+    c.permCheckLatency = static_cast<unsigned>(in.next());
+    c.branchResolveLatency = static_cast<unsigned>(in.next());
+    c.retResolveLatency = static_cast<unsigned>(in.next());
+    c.exceptionDeliveryLatency = static_cast<unsigned>(in.next());
+    c.txnAbortDetectLatency = static_cast<unsigned>(in.next());
+    c.partialAliasPenalty = static_cast<unsigned>(in.next());
+    c.physAliasPenalty = static_cast<unsigned>(in.next());
+    c.rsbDepth = static_cast<std::size_t>(in.next());
+    c.lfbEntries = static_cast<std::size_t>(in.next());
+    // CacheConfig.
+    c.cache.sets = static_cast<std::size_t>(in.next());
+    c.cache.ways = static_cast<std::size_t>(in.next());
+    c.cache.lineSize = static_cast<std::size_t>(in.next());
+    c.cache.hitLatency = static_cast<std::uint32_t>(in.next());
+    c.cache.missLatency = static_cast<std::uint32_t>(in.next());
+    // VulnConfig.
+    c.vuln.meltdown = in.next() != 0;
+    c.vuln.l1tf = in.next() != 0;
+    c.vuln.mds = in.next() != 0;
+    c.vuln.lazyFp = in.next() != 0;
+    c.vuln.storeBypass = in.next() != 0;
+    c.vuln.msr = in.next() != 0;
+    c.vuln.taa = in.next() != 0;
+    // HwDefenseConfig.
+    c.defense.fenceSpeculativeLoads = in.next() != 0;
+    c.defense.blockSpeculativeForwarding = in.next() != 0;
+    c.defense.blockTaintedTransmit = in.next() != 0;
+    c.defense.invisibleSpeculation = in.next() != 0;
+    c.defense.cleanupSpec = in.next() != 0;
+    c.defense.conditionalSpeculation = in.next() != 0;
+    c.defense.partitionedCache = in.next() != 0;
+    c.defense.flushPredictorOnContextSwitch = in.next() != 0;
+    c.defense.noIndirectPrediction = in.next() != 0;
+    c.defense.noBranchPrediction = in.next() != 0;
+    c.defense.clearBuffersOnContextSwitch = in.next() != 0;
+    c.defense.eagerFpuSwitch = in.next() != 0;
+    c.defense.safeStoreBypass = in.next() != 0;
+    // AttackOptions.
+    o.channel = static_cast<core::CovertChannelKind>(in.next());
+    o.secretLen = static_cast<std::size_t>(in.next());
+    o.flushL1OnExit = in.next() != 0;
+    o.kpti = in.next() != 0;
+    o.rsbStuffing = in.next() != 0;
+    o.softwareLfence = in.next() != 0;
+    o.addressMasking = in.next() != 0;
+    o.trainingRounds = static_cast<unsigned>(in.next());
+    o.delayAuthorization = in.next() != 0;
+    if (!in.done())
+        return false;
+    variant = static_cast<core::AttackVariant>(v);
+    return true;
+}
+
 std::vector<Scenario>
 expandGrid(const ScenarioSpec &spec)
 {
@@ -270,6 +389,53 @@ expandGrid(const ScenarioSpec &spec)
         grid.push_back(std::move(s));
     }
     return grid;
+}
+
+bool
+parseShardRange(const std::string &text, ShardRange &shard)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size())
+        return false;
+    const auto parseField = [&text](std::size_t begin,
+                                    std::size_t end,
+                                    std::size_t &out) {
+        std::size_t value = 0;
+        if (begin == end)
+            return false;
+        for (std::size_t i = begin; i < end; ++i) {
+            const char c = text[i];
+            if (c < '0' || c > '9')
+                return false;
+            value = value * 10 + static_cast<std::size_t>(c - '0');
+        }
+        out = value;
+        return true;
+    };
+    return parseField(0, slash, shard.index) &&
+           parseField(slash + 1, text.size(), shard.count) &&
+           shard.count > 0 && shard.index < shard.count;
+}
+
+ShardSelection
+ExpandedGrid::shard(std::size_t index, std::size_t count) const
+{
+    if (count == 0)
+        count = 1;
+    ShardSelection sel;
+    if (index >= count)
+        return sel;
+    // Round-robin over the deduplicated executions: unique position
+    // j belongs to shard j % count.  Duplicates follow dupOf, so a
+    // cell and the execution backing it always share a shard.
+    for (std::size_t j = index; j < uniqueIndices.size();
+         j += count)
+        sel.uniquePositions.push_back(j);
+    for (std::size_t i = 0; i < expanded.size(); ++i)
+        if (dupOf[i] % count == index)
+            sel.expandedIndices.push_back(i);
+    return sel;
 }
 
 ExpandedGrid
@@ -340,6 +506,21 @@ ResultCache::clear()
     misses_ = 0;
 }
 
+std::vector<std::pair<std::string, ResultCache::Entry>>
+ResultCache::snapshot() const
+{
+    std::vector<std::pair<std::string, Entry>> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.assign(entries_.begin(), entries_.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return out;
+}
+
 char
 CampaignReport::cellGlyph(std::size_t row, std::size_t col) const
 {
@@ -379,6 +560,96 @@ CampaignReport::successMatrixText() const
     return out;
 }
 
+void
+CampaignReport::recomputeCells()
+{
+    cellRuns.assign(rowLabels.size(),
+                    std::vector<unsigned>(colLabels.size(), 0));
+    cellLeaks.assign(rowLabels.size(),
+                     std::vector<unsigned>(colLabels.size(), 0));
+    for (const ScenarioOutcome &o : outcomes) {
+        if (o.row >= rowLabels.size() || o.col >= colLabels.size())
+            continue;
+        cellRuns[o.row][o.col] += 1;
+        if (o.result.leaked)
+            cellLeaks[o.row][o.col] += 1;
+    }
+}
+
+bool
+CampaignReport::merge(const CampaignReport &other,
+                      std::string *error)
+{
+    const auto fail = [error](const std::string &message) {
+        if (error)
+            *error = message;
+        return false;
+    };
+    if (name != other.name)
+        return fail("spec name mismatch: '" + name + "' vs '" +
+                    other.name + "'");
+    if (rowLabels != other.rowLabels)
+        return fail("row labels differ between shard reports");
+    if (colLabels != other.colLabels)
+        return fail("column labels differ between shard reports");
+    if (expandedCount != other.expandedCount ||
+        uniqueCount != other.uniqueCount) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf,
+                      "grid shape mismatch: %zu/%zu expanded, "
+                      "%zu/%zu unique",
+                      expandedCount, other.expandedCount,
+                      uniqueCount, other.uniqueCount);
+        return fail(buf);
+    }
+    std::unordered_set<std::size_t> present;
+    present.reserve(outcomes.size());
+    for (const ScenarioOutcome &o : outcomes)
+        present.insert(o.gridIndex);
+    for (const ScenarioOutcome &o : other.outcomes) {
+        if (o.gridIndex >= expandedCount) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf,
+                          "gridIndex %zu out of range (%zu)",
+                          o.gridIndex, expandedCount);
+            return fail(buf);
+        }
+        if (present.count(o.gridIndex)) {
+            char buf[80];
+            std::snprintf(buf, sizeof buf,
+                          "overlapping shards: gridIndex %zu "
+                          "present in both reports",
+                          o.gridIndex);
+            return fail(buf);
+        }
+    }
+
+    outcomes.insert(outcomes.end(), other.outcomes.begin(),
+                    other.outcomes.end());
+    std::sort(outcomes.begin(), outcomes.end(),
+              [](const ScenarioOutcome &a, const ScenarioOutcome &b) {
+                  return a.gridIndex < b.gridIndex;
+              });
+    recomputeCells();
+    executedCount += other.executedCount;
+    cacheHits += other.cacheHits;
+    workers = std::max(workers, other.workers);
+    // Shard wall-clocks add (they model separate processes); the
+    // merged throughput is re-derived from the totals.
+    wallMillis += other.wallMillis;
+    scenariosPerSecond =
+        wallMillis > 0.0
+            ? 1000.0 * static_cast<double>(executedCount) /
+                  wallMillis
+            : 0.0;
+    if (!partial()) {
+        // Complete again: indistinguishable from a 1-process run.
+        shardIndex = 0;
+        shardCount = 1;
+    }
+    return true;
+}
+
 unsigned
 CampaignEngine::workers() const
 {
@@ -388,21 +659,39 @@ CampaignEngine::workers() const
     return hw > 0 ? hw : 1;
 }
 
-CampaignReport
-CampaignEngine::run(const ScenarioSpec &spec) const
+void
+CampaignEngine::run(const ScenarioSpec &spec,
+                    const std::vector<OutcomeSink *> &sinks,
+                    ShardRange shard) const
 {
     const ExpandedGrid grid = dedupGrid(spec);
-    const auto variants = resolveVariants(spec);
-    const auto defenses = resolveDefenses(spec);
+    const ShardSelection sel = grid.shard(shard.index, shard.count);
     const unsigned nworkers = workers();
 
-    struct UniqueOutcome
-    {
-        AttackResult result;
-        CpuStats stats;
-        double wallMillis = 0.0;
-    };
-    std::vector<UniqueOutcome> unique(grid.uniqueIndices.size());
+    // Expanded grid points grouped by the unique-execution position
+    // that backs them, restricted to this shard: the emission list
+    // of each completed execution.
+    std::unordered_map<std::size_t, std::vector<std::size_t>>
+        backedBy;
+    backedBy.reserve(sel.uniquePositions.size());
+    for (const std::size_t e : sel.expandedIndices)
+        backedBy[grid.dupOf[e]].push_back(e);
+
+    CampaignHeader header;
+    header.name = spec.name;
+    for (core::AttackVariant v : resolveVariants(spec))
+        header.rowLabels.push_back(core::variantInfo(v).name);
+    for (const DefenseAxis &d : resolveDefenses(spec))
+        header.colLabels.push_back(d.label);
+    header.expandedCount = grid.expanded.size();
+    header.uniqueCount = grid.uniqueIndices.size();
+    header.gridIndices = sel.expandedIndices;
+    header.shardUniqueCount = sel.uniquePositions.size();
+    header.shardIndex = shard.index;
+    header.shardCount = shard.count == 0 ? 1 : shard.count;
+    header.workers = nworkers;
+    for (OutcomeSink *sink : sinks)
+        sink->begin(header);
 
     const auto t0 = std::chrono::steady_clock::now();
     std::atomic<std::size_t> next{0};
@@ -410,28 +699,54 @@ CampaignEngine::run(const ScenarioSpec &spec) const
     ResultCache *const cache = options_.cache;
     const auto worker = [&]() {
         for (;;) {
-            const std::size_t i =
+            const std::size_t n =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= grid.uniqueIndices.size())
+            if (n >= sel.uniquePositions.size())
                 return;
+            const std::size_t pos = sel.uniquePositions[n];
             const Scenario &s =
-                grid.expanded[grid.uniqueIndices[i]];
+                grid.expanded[grid.uniqueIndices[pos]];
+            AttackResult result;
+            CpuStats stats;
+            double wallMillis = 0.0;
+            bool cached = false;
             if (cache) {
                 if (const auto hit = cache->lookup(s.key)) {
-                    unique[i].result = hit->result;
-                    unique[i].stats = hit->stats;
+                    result = hit->result;
+                    stats = hit->stats;
+                    cached = true;
                     cacheHits.fetch_add(
                         1, std::memory_order_relaxed);
-                    continue;
                 }
             }
-            const auto s0 = std::chrono::steady_clock::now();
-            unique[i].result = attacks::runVariant(
-                s.variant, s.config, s.options, unique[i].stats);
-            unique[i].wallMillis = millisSince(s0);
-            if (cache)
-                cache->store(s.key, {unique[i].result,
-                                     unique[i].stats});
+            if (!cached) {
+                const auto s0 = std::chrono::steady_clock::now();
+                result = attacks::runVariant(s.variant, s.config,
+                                             s.options, stats);
+                wallMillis = millisSince(s0);
+                if (cache)
+                    cache->store(s.key, {result, stats});
+            }
+            // Stream one outcome per expanded grid point this
+            // execution backs, straight from the worker thread.
+            // (.at(): lookups must not mutate the shared map.)
+            for (const std::size_t e : backedBy.at(pos)) {
+                const Scenario &dup = grid.expanded[e];
+                ScenarioOutcome o;
+                o.variant = dup.variant;
+                o.row = dup.row;
+                o.col = dup.col;
+                o.gridIndex = dup.gridIndex;
+                o.rowLabel = dup.rowLabel;
+                o.colLabel = dup.colLabel;
+                o.config = dup.config;
+                o.options = dup.options;
+                o.result = result;
+                o.stats = stats;
+                o.wallMillis = wallMillis;
+                for (OutcomeSink *sink : sinks)
+                    sink->consume(o);
+            }
         }
     };
     if (nworkers <= 1) {
@@ -444,53 +759,34 @@ CampaignEngine::run(const ScenarioSpec &spec) const
         for (std::thread &t : pool)
             t.join();
     }
-    const double wall = millisSince(t0);
 
-    CampaignReport report;
-    report.name = spec.name;
-    for (core::AttackVariant v : variants)
-        report.rowLabels.push_back(core::variantInfo(v).name);
-    for (const DefenseAxis &d : defenses)
-        report.colLabels.push_back(d.label);
-    report.cellRuns.assign(
-        variants.size(),
-        std::vector<unsigned>(defenses.size(), 0));
-    report.cellLeaks.assign(
-        variants.size(),
-        std::vector<unsigned>(defenses.size(), 0));
-    report.outcomes.reserve(grid.expanded.size());
-    for (std::size_t i = 0; i < grid.expanded.size(); ++i) {
-        const Scenario &s = grid.expanded[i];
-        const UniqueOutcome &u = unique[grid.dupOf[i]];
-        ScenarioOutcome o;
-        o.variant = s.variant;
-        o.row = s.row;
-        o.col = s.col;
-        o.gridIndex = s.gridIndex;
-        o.rowLabel = s.rowLabel;
-        o.colLabel = s.colLabel;
-        o.config = s.config;
-        o.options = s.options;
-        o.result = u.result;
-        o.stats = u.stats;
-        o.wallMillis = u.wallMillis;
-        report.cellRuns[s.row][s.col] += 1;
-        if (u.result.leaked)
-            report.cellLeaks[s.row][s.col] += 1;
-        report.outcomes.push_back(std::move(o));
-    }
-    report.expandedCount = grid.expanded.size();
-    report.uniqueCount = grid.uniqueIndices.size();
-    report.cacheHits = cacheHits.load(std::memory_order_relaxed);
-    report.executedCount = report.uniqueCount - report.cacheHits;
-    report.workers = nworkers;
-    report.wallMillis = wall;
-    report.scenariosPerSecond =
-        wall > 0.0
-            ? 1000.0 * static_cast<double>(report.executedCount) /
-                  wall
+    CampaignFooter footer;
+    footer.cacheHits = cacheHits.load(std::memory_order_relaxed);
+    footer.executedCount =
+        sel.uniquePositions.size() - footer.cacheHits;
+    footer.wallMillis = millisSince(t0);
+    footer.scenariosPerSecond =
+        footer.wallMillis > 0.0
+            ? 1000.0 *
+                  static_cast<double>(footer.executedCount) /
+                  footer.wallMillis
             : 0.0;
-    return report;
+    for (OutcomeSink *sink : sinks)
+        sink->end(footer);
+}
+
+CampaignReport
+CampaignEngine::run(const ScenarioSpec &spec) const
+{
+    return run(spec, ShardRange{});
+}
+
+CampaignReport
+CampaignEngine::run(const ScenarioSpec &spec, ShardRange shard) const
+{
+    ReportSink sink;
+    run(spec, {&sink}, shard);
+    return sink.takeReport();
 }
 
 } // namespace specsec::campaign

@@ -22,6 +22,15 @@
  * function of the cell's configuration, so a parallel run produces
  * byte-identical results (success matrix, per-cell outcomes, CSV
  * rows) to a serial run of the same spec.
+ *
+ * The engine itself owns no aggregation: outcomes stream into
+ * OutcomeSinks (src/campaign/sink.hh) as workers complete them, and
+ * report accumulation, incremental JSONL/CSV export and live
+ * progress are all sinks.  Grids partition deterministically across
+ * processes (ExpandedGrid::shard) into shard reports that merge back
+ * bit-identically (CampaignReport::merge), and a ResultCache
+ * persists to disk (persist.cc) so repeated runs skip unchanged
+ * cells.
  */
 
 #ifndef SPECSEC_CAMPAIGN_CAMPAIGN_HH
@@ -158,11 +167,52 @@ std::string scenarioKey(core::AttackVariant variant,
                         const AttackOptions &options);
 
 /**
+ * Invert scenarioKey(): reconstruct the (variant, config, options)
+ * triple from its canonical key.  The key is the wire encoding of a
+ * scenario's configuration in shard report files (src/tool/
+ * report_io) — one string instead of ~47 named fields.  Must stay in
+ * lockstep with scenarioKey(); the static_asserts there and the
+ * round-trip test in tests/shard_test.cc tripwire both directions.
+ *
+ * @return false when @p key is not a well-formed scenario key.
+ */
+bool parseScenarioKey(const std::string &key,
+                      core::AttackVariant &variant,
+                      CpuConfig &config, AttackOptions &options);
+
+/**
  * Expand @p spec into scenarios in deterministic row-major order:
  * variant (outer), defense, robSize, permCheckLatency, channel
  * (inner).
  */
 std::vector<Scenario> expandGrid(const ScenarioSpec &spec);
+
+/** One shard of a partitioned grid: shard @c index of @c count. */
+struct ShardRange
+{
+    std::size_t index = 0;
+    std::size_t count = 1;
+};
+
+/**
+ * Parse the user-facing "I/N" shard spelling (strict decimals,
+ * N > 0, I < N) shared by every CLI front-end.
+ */
+bool parseShardRange(const std::string &text, ShardRange &shard);
+
+/**
+ * The slice of an ExpandedGrid owned by one shard: which unique
+ * executions it runs and which expanded grid points those back.
+ */
+struct ShardSelection
+{
+    /// Positions into ExpandedGrid::uniqueIndices, ascending.
+    std::vector<std::size_t> uniquePositions;
+
+    /// Indices into ExpandedGrid::expanded whose results this shard
+    /// produces, ascending (grid order).
+    std::vector<std::size_t> expandedIndices;
+};
 
 /** Grid expansion with duplicate cells folded onto one execution. */
 struct ExpandedGrid
@@ -176,6 +226,18 @@ struct ExpandedGrid
     /// For every expanded index, the position in @c uniqueIndices of
     /// the execution that produces its result.
     std::vector<std::size_t> dupOf;
+
+    /**
+     * Deterministic, dedup-stable partition for multi-process runs:
+     * unique execution j goes to shard j % count (round-robin over
+     * the deduplicated work, so shards balance even when duplicates
+     * cluster), and every expanded grid point follows the shard of
+     * its backing unique execution — a duplicate cell is never split
+     * from the execution that produces its result.  The union of all
+     * shards is the whole grid; shards are pairwise disjoint;
+     * shard(0, 1) selects everything.
+     */
+    ShardSelection shard(std::size_t index, std::size_t count) const;
 };
 
 ExpandedGrid dedupGrid(const ScenarioSpec &spec);
@@ -216,12 +278,47 @@ class ResultCache
 
     void clear();
 
+    /** Every entry, sorted by key (deterministic save files). */
+    std::vector<std::pair<std::string, Entry>> snapshot() const;
+
+    /**
+     * @name Disk persistence (implemented in persist.cc).
+     *
+     * The cache survives the process as a versioned JSON file so
+     * repeated CI and local runs skip unchanged cells.  Entries are
+     * only trusted when the file's fingerprint equals the caller's
+     * (see modelFingerprint()): a stale fingerprint, a corrupt or
+     * truncated file, or a missing file all load nothing and return
+     * false — never fatal, the run just starts cold.  Saving writes
+     * a temp file and renames it into place, so a concurrent reader
+     * (or a crash mid-save) sees the old file or the new one, never
+     * a torn write.
+     * @{
+     */
+    bool loadFromFile(const std::string &path,
+                      const std::string &fingerprint,
+                      std::string *error = nullptr);
+    bool saveToFile(const std::string &path,
+                    const std::string &fingerprint,
+                    std::string *error = nullptr) const;
+    /// @}
+
   private:
     mutable std::mutex mutex_;
     std::unordered_map<std::string, Entry> entries_;
     mutable std::uint64_t hits_ = 0;
     mutable std::uint64_t misses_ = 0;
 };
+
+/**
+ * Fingerprint of the simulated model for cache invalidation: any
+ * change to the shape *or defaults* of CpuConfig / AttackOptions
+ * (captured by the canonical key of a default-configured scenario,
+ * which serializes every field) or to the result/stats structs
+ * invalidates persisted caches.  Deliberate semantic changes that
+ * keep every struct identical must bump the version constant inside.
+ */
+std::string modelFingerprint();
 
 /** Outcome of one grid cell. */
 struct ScenarioOutcome
@@ -244,15 +341,19 @@ struct ScenarioOutcome
     double wallMillis = 0.0;
 };
 
-/** Aggregated results of a campaign. */
+/** Aggregated results of a campaign (possibly one shard of one). */
 struct CampaignReport
 {
     std::string name;
     std::vector<std::string> rowLabels;
     std::vector<std::string> colLabels;
 
-    /// One outcome per expanded grid point, grid order (deduplicated
-    /// cells share the result of their unique execution).
+    /// One outcome per grid point this report covers, grid order
+    /// (deduplicated cells share the result of their unique
+    /// execution).  A full report covers every expanded grid point;
+    /// a shard report covers its shard's subset, each outcome still
+    /// carrying its full-grid @c gridIndex so shards merge back
+    /// losslessly.
     std::vector<ScenarioOutcome> outcomes;
 
     /// Per (row, col) cell: grid points landing in the cell and how
@@ -260,16 +361,42 @@ struct CampaignReport
     std::vector<std::vector<unsigned>> cellRuns;
     std::vector<std::vector<unsigned>> cellLeaks;
 
+    /// Full-grid counts, identical across every shard of one spec.
     std::size_t expandedCount = 0;
     std::size_t uniqueCount = 0;
-    /// Unique cells actually executed this run (uniqueCount minus
-    /// result-cache hits).
+    /// Unique cells actually executed this run (this shard's unique
+    /// share minus result-cache hits).
     std::size_t executedCount = 0;
     /// Unique cells served from the engine's ResultCache.
     std::size_t cacheHits = 0;
+    /// Which shard this report is (0 of 1 = the whole grid).
+    std::size_t shardIndex = 0;
+    std::size_t shardCount = 1;
     unsigned workers = 1;
     double wallMillis = 0.0;
     double scenariosPerSecond = 0.0; ///< executed scenarios / wall
+
+    /// True while outcomes cover only part of the expanded grid.
+    bool partial() const { return outcomes.size() != expandedCount; }
+
+    /**
+     * Fold @p other (another shard of the same spec) into this
+     * report: outcomes are unioned and re-sorted into grid order,
+     * per-cell counts recomputed, provenance counters summed.  After
+     * the last shard lands the merged report is indistinguishable —
+     * byte-identical in every timing-free export — from a
+     * single-process run of the whole spec.
+     *
+     * Conflicts are detected, not absorbed: mismatched spec name,
+     * row/column labels or grid shape, and overlapping shards (two
+     * reports claiming the same gridIndex) fail the merge with a
+     * message in @p error and leave this report unchanged.
+     */
+    bool merge(const CampaignReport &other,
+               std::string *error = nullptr);
+
+    /** Rebuild cellRuns/cellLeaks from the outcomes present. */
+    void recomputeCells();
 
     /**
      * 'L' when every run in the cell leaked, '.' when none did, 'p'
@@ -281,7 +408,17 @@ struct CampaignReport
     std::string successMatrixText() const;
 };
 
-/** The parallel campaign executor. */
+class OutcomeSink; // src/campaign/sink.hh
+
+/**
+ * The parallel campaign executor: a thin driver that expands and
+ * deduplicates a spec, executes (its shard of) the unique scenarios
+ * on the worker pool, and streams every ScenarioOutcome into the
+ * caller's OutcomeSinks as its backing execution completes.  All
+ * aggregation — report accumulation, incremental JSONL/CSV export,
+ * live progress — lives in sinks (src/campaign/sink.hh,
+ * src/tool/stream_export.hh), not in the engine.
+ */
 class CampaignEngine
 {
   public:
@@ -302,8 +439,22 @@ class CampaignEngine
     /** Resolved worker count (>= 1). */
     unsigned workers() const;
 
-    /** Expand, deduplicate and execute @p spec. */
+    /**
+     * Execute shard @p shard of @p spec, streaming outcomes into
+     * @p sinks.  Each sink sees begin() once, then consume() once
+     * per grid point the shard covers — from any worker thread, in
+     * completion order — then end() once after the pool drains.
+     */
+    void run(const ScenarioSpec &spec,
+             const std::vector<OutcomeSink *> &sinks,
+             ShardRange shard = {}) const;
+
+    /** Expand, deduplicate and execute @p spec into a report. */
     CampaignReport run(const ScenarioSpec &spec) const;
+
+    /** Shard-of-a-report convenience over the sink API. */
+    CampaignReport run(const ScenarioSpec &spec,
+                       ShardRange shard) const;
 
   private:
     Options options_;

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * ResultCache disk persistence + the model fingerprint.
+ *
+ * The cache file is versioned JSON: a fingerprint of the simulated
+ * model and one entry per memoized scenario, keyed on the canonical
+ * scenarioKey().  Loading trusts entries only under an exact
+ * fingerprint match; anything else (stale fingerprint, corrupt or
+ * truncated file, missing file, bad version) loads nothing and
+ * reports false without raising — a persistent cache must never be
+ * able to fail a run, only to stop accelerating it.  Saving is
+ * atomic: write a sibling temp file, then rename over the target.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "campaign.hh"
+#include "tool/jsonio.hh"
+#include "tool/report.hh"
+#include "tool/report_io.hh"
+
+namespace specsec::campaign
+{
+
+namespace
+{
+
+/// Bump on deliberate semantic model changes that keep every
+/// config/result struct byte-identical (see modelFingerprint()).
+constexpr unsigned kModelVersion = 1;
+
+bool
+loadFail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+std::string
+modelFingerprint()
+{
+    // The canonical key of a default-configured scenario serializes
+    // every CpuConfig/AttackOptions field, so both struct *shape*
+    // changes (via the sizeofs) and *default-value* changes (via
+    // the key) invalidate persisted caches automatically.
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "specsec-model-v%u;cfg%zu;opt%zu;res%zu;stat%zu;",
+                  kModelVersion, sizeof(CpuConfig),
+                  sizeof(AttackOptions), sizeof(AttackResult),
+                  sizeof(CpuStats));
+    return buf + scenarioKey(core::AttackVariant::SpectreV1,
+                             CpuConfig{}, AttackOptions{});
+}
+
+bool
+ResultCache::loadFromFile(const std::string &path,
+                          const std::string &fingerprint,
+                          std::string *error)
+{
+    std::string text;
+    if (!tool::readTextFile(path, text))
+        return loadFail(error, "cannot read " + path);
+
+    tool::json::Cursor cur(text);
+    unsigned version = 0;
+    bool fingerprintOk = false;
+    std::vector<std::pair<std::string, Entry>> loaded;
+
+    if (!cur.expect('{'))
+        return loadFail(error, cur.error());
+    do {
+        const std::string key = cur.parseString();
+        if (cur.failed() || !cur.expect(':'))
+            return loadFail(error, cur.error());
+        if (key == "version") {
+            version = cur.parseUnsigned();
+            if (version != tool::kReportIoVersion)
+                return loadFail(error,
+                                "unsupported cache version");
+        } else if (key == "fingerprint") {
+            const std::string found = cur.parseString();
+            if (found != fingerprint)
+                return loadFail(
+                    error,
+                    "stale fingerprint (model changed); "
+                    "ignoring cache");
+            fingerprintOk = true;
+        } else if (key == "entries") {
+            if (!fingerprintOk || version == 0)
+                return loadFail(error,
+                                "entries before fingerprint/"
+                                "version; ignoring cache");
+            if (!cur.expect('['))
+                return loadFail(error, cur.error());
+            if (!cur.peekConsume(']')) {
+                do {
+                    std::string entry_key;
+                    Entry entry;
+                    if (!cur.expect('{'))
+                        return loadFail(error, cur.error());
+                    do {
+                        const std::string field =
+                            cur.parseString();
+                        if (cur.failed() || !cur.expect(':'))
+                            return loadFail(error, cur.error());
+                        if (field == "key")
+                            entry_key = cur.parseString();
+                        else if (field == "result") {
+                            if (!tool::parseAttackResultJson(
+                                    cur, entry.result))
+                                return loadFail(error,
+                                                cur.error());
+                        } else if (field == "stats") {
+                            if (!tool::parseCpuStatsJson(
+                                    cur, entry.stats))
+                                return loadFail(error,
+                                                cur.error());
+                        } else
+                            return loadFail(
+                                error,
+                                "unknown cache entry key '" +
+                                    field + "'");
+                    } while (!cur.failed() &&
+                             cur.peekConsume(','));
+                    if (!cur.expect('}'))
+                        return loadFail(error, cur.error());
+                    if (entry_key.empty())
+                        return loadFail(error,
+                                        "cache entry without key");
+                    loaded.emplace_back(std::move(entry_key),
+                                        std::move(entry));
+                } while (!cur.failed() && cur.peekConsume(','));
+                if (!cur.expect(']'))
+                    return loadFail(error, cur.error());
+            }
+        } else {
+            return loadFail(error,
+                            "unknown cache key '" + key + "'");
+        }
+    } while (!cur.failed() && cur.peekConsume(','));
+    if (cur.failed() || !cur.expect('}') || !cur.atEnd())
+        return loadFail(error, cur.error().empty()
+                                   ? "trailing content"
+                                   : cur.error());
+    if (version == 0 || !fingerprintOk)
+        return loadFail(error, "cache missing version/fingerprint");
+
+    // Only a fully validated file mutates the cache: a truncated
+    // tail can't leave half a file's entries behind.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &kv : loaded)
+        entries_.emplace(std::move(kv.first),
+                         std::move(kv.second));
+    return true;
+}
+
+bool
+ResultCache::saveToFile(const std::string &path,
+                        const std::string &fingerprint,
+                        std::string *error) const
+{
+    std::ostringstream os;
+    os << "{\n\"version\": " << tool::kReportIoVersion << ",\n";
+    os << "\"fingerprint\": \"" << tool::jsonEscape(fingerprint)
+       << "\",\n";
+    os << "\"entries\": [";
+    const auto entries = snapshot();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        os << (i ? ",\n" : "\n");
+        os << "{\"key\": \"" << tool::jsonEscape(entries[i].first)
+           << "\", \"result\": "
+           << tool::attackResultJson(entries[i].second.result)
+           << ", \"stats\": "
+           << tool::cpuStatsJson(entries[i].second.stats) << "}";
+    }
+    os << "\n]\n}\n";
+
+    const std::string tmp = path + ".tmp";
+    if (!tool::writeTextFile(tmp, os.str()))
+        return loadFail(error, "cannot write " + tmp);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return loadFail(error, "cannot rename " + tmp + " -> " +
+                                   path);
+    }
+    return true;
+}
+
+} // namespace specsec::campaign

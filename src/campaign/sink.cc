@@ -1,0 +1,121 @@
+#include "sink.hh"
+
+namespace specsec::campaign
+{
+
+void
+OutcomeSink::begin(const CampaignHeader &)
+{
+}
+
+void
+OutcomeSink::end(const CampaignFooter &)
+{
+}
+
+void
+ReportSink::begin(const CampaignHeader &header)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    report_ = CampaignReport{};
+    report_.name = header.name;
+    report_.rowLabels = header.rowLabels;
+    report_.colLabels = header.colLabels;
+    report_.expandedCount = header.expandedCount;
+    report_.uniqueCount = header.uniqueCount;
+    report_.shardIndex = header.shardIndex;
+    report_.shardCount = header.shardCount;
+    report_.workers = header.workers;
+    slots_.assign(header.gridIndices.size(), std::nullopt);
+    slotOf_.clear();
+    slotOf_.reserve(header.gridIndices.size());
+    for (std::size_t i = 0; i < header.gridIndices.size(); ++i)
+        slotOf_.emplace(header.gridIndices[i], i);
+}
+
+void
+ReportSink::consume(const ScenarioOutcome &outcome)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = slotOf_.find(outcome.gridIndex);
+    if (it == slotOf_.end())
+        return; // not announced in begin(); drop rather than corrupt
+    slots_[it->second] = outcome;
+}
+
+void
+ReportSink::end(const CampaignFooter &footer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    report_.outcomes.clear();
+    report_.outcomes.reserve(slots_.size());
+    // Slots are ordered by the header's ascending gridIndices, so
+    // this flush is the deterministic grid order regardless of the
+    // completion order consume() observed.
+    for (std::optional<ScenarioOutcome> &slot : slots_)
+        if (slot)
+            report_.outcomes.push_back(std::move(*slot));
+    slots_.clear();
+    slotOf_.clear();
+    report_.executedCount = footer.executedCount;
+    report_.cacheHits = footer.cacheHits;
+    report_.wallMillis = footer.wallMillis;
+    report_.scenariosPerSecond = footer.scenariosPerSecond;
+    report_.recomputeCells();
+}
+
+void
+ProgressSink::begin(const CampaignHeader &header)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    name_ = header.name;
+    if (header.shardCount > 1) {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, " [shard %zu/%zu]",
+                      header.shardIndex, header.shardCount);
+        name_ += buf;
+    }
+    total_ = header.gridIndices.size();
+    done_ = 0;
+    render(0);
+}
+
+void
+ProgressSink::consume(const ScenarioOutcome &)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++done_;
+    if (done_ % every_ == 0 || done_ == total_)
+        render(done_);
+}
+
+void
+ProgressSink::end(const CampaignFooter &footer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    render(done_);
+    if (out_)
+        std::fprintf(out_,
+                     "  (%zu executed, %zu cached, %.1f ms)\n",
+                     footer.executedCount, footer.cacheHits,
+                     footer.wallMillis);
+}
+
+std::size_t
+ProgressSink::completed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+}
+
+void
+ProgressSink::render(std::size_t done)
+{
+    if (!out_)
+        return;
+    std::fprintf(out_, "\r%s: %zu/%zu scenarios", name_.c_str(),
+                 done, total_);
+    std::fflush(out_);
+}
+
+} // namespace specsec::campaign

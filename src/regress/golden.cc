@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "tool/jsonio.hh"
 #include "tool/report.hh"
 
 namespace specsec::regress
@@ -12,165 +13,10 @@ namespace specsec::regress
 namespace
 {
 
-/**
- * Minimal cursor parser for the strict JSON subset goldenJson()
- * emits: objects with string keys, arrays, strings, and unsigned
- * integers.  Errors carry the byte offset.
- */
-class Cursor
-{
-  public:
-    explicit Cursor(const std::string &text) : text_(text) {}
-
-    bool failed() const { return failed_; }
-    const std::string &error() const { return error_; }
-
-    void skipWs()
-    {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                text_[pos_] == '\n' || text_[pos_] == '\r'))
-            ++pos_;
-    }
-
-    bool atEnd()
-    {
-        skipWs();
-        return pos_ >= text_.size();
-    }
-
-    /** Consume @p c or fail. */
-    bool expect(char c)
-    {
-        skipWs();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        char buf[64];
-        std::snprintf(buf, sizeof buf,
-                      "expected '%c' at offset %zu", c, pos_);
-        return fail(buf);
-    }
-
-    /** True (and consumed) when the next token is @p c. */
-    bool peekConsume(char c)
-    {
-        skipWs();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    std::string parseString()
-    {
-        std::string out;
-        if (!expect('"'))
-            return out;
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_++];
-            if (c == '"')
-                return out;
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    break;
-                const char esc = text_[pos_++];
-                switch (esc) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'r': out += '\r'; break;
-                  case 'u': {
-                      if (pos_ + 4 > text_.size()) {
-                          fail("truncated \\u escape");
-                          return out;
-                      }
-                      unsigned code = 0;
-                      for (int i = 0; i < 4; ++i) {
-                          const char h = text_[pos_++];
-                          code <<= 4;
-                          if (h >= '0' && h <= '9')
-                              code |= static_cast<unsigned>(h - '0');
-                          else if (h >= 'a' && h <= 'f')
-                              code |= static_cast<unsigned>(
-                                  h - 'a' + 10);
-                          else if (h >= 'A' && h <= 'F')
-                              code |= static_cast<unsigned>(
-                                  h - 'A' + 10);
-                          else {
-                              fail("bad \\u escape digit");
-                              return out;
-                          }
-                      }
-                      // Goldens only escape control characters.
-                      out += static_cast<char>(code & 0xff);
-                      break;
-                  }
-                  default:
-                      fail("unknown escape in string");
-                      return out;
-                }
-            } else {
-                out += c;
-            }
-        }
-        fail("unterminated string");
-        return out;
-    }
-
-    unsigned parseUnsigned()
-    {
-        skipWs();
-        if (pos_ >= text_.size() || text_[pos_] < '0' ||
-            text_[pos_] > '9') {
-            char buf[48];
-            std::snprintf(buf, sizeof buf,
-                          "expected integer at offset %zu", pos_);
-            fail(buf);
-            return 0;
-        }
-        unsigned long value = 0;
-        while (pos_ < text_.size() && text_[pos_] >= '0' &&
-               text_[pos_] <= '9')
-            value = value * 10 + static_cast<unsigned long>(
-                                     text_[pos_++] - '0');
-        return static_cast<unsigned>(value);
-    }
-
-    bool fail(const std::string &message)
-    {
-        if (!failed_) {
-            failed_ = true;
-            error_ = message;
-        }
-        return false;
-    }
-
-  private:
-    const std::string &text_;
-    std::size_t pos_ = 0;
-    bool failed_ = false;
-    std::string error_;
-};
-
-std::vector<std::string>
-parseStringArray(Cursor &cur)
-{
-    std::vector<std::string> out;
-    if (!cur.expect('['))
-        return out;
-    if (cur.peekConsume(']'))
-        return out;
-    do {
-        out.push_back(cur.parseString());
-    } while (!cur.failed() && cur.peekConsume(','));
-    cur.expect(']');
-    return out;
-}
+// The strict JSON subset goldenJson() emits is read back with the
+// tree-wide cursor shared by every persisted-artifact parser.
+using tool::json::Cursor;
+using tool::json::parseStringArray;
 
 GoldenCell
 parseCell(Cursor &cur)

@@ -9,6 +9,9 @@
  *   specsec_regress --record [--spec NAME] [--golden-dir DIR]
  *   specsec_regress --check  [--spec NAME] [--golden-dir DIR]
  *                            [--artifact-dir DIR] [--workers N]
+ *                            [--cache-file PATH]
+ *   specsec_regress --check --shard I/N [--shard-dir DIR]
+ *   specsec_regress --merge [--shard-dir DIR] ...
  *
  * --check exits 0 when every matrix matches its golden, 1 on drift
  * (printing a diff naming each changed (variant, defense) cell and
@@ -17,15 +20,28 @@
  * path from the checked specs' baseline core -- a self-test that the
  * gate catches model changes.
  *
- * All specs in one invocation share a ResultCache, so cells
- * appearing in several matrices (e.g. every baseline column)
- * execute once.
+ * Sharded operation fans one gate across processes: `--check
+ * --shard I/N` executes shard I of every selected spec and writes a
+ * mergeable shard report per spec into --shard-dir instead of
+ * comparing; a final `--merge` invocation loads every shard file,
+ * re-joins them with CampaignReport::merge, and compares the merged
+ * matrices against the goldens -- byte-identically to a
+ * single-process --check (tests/shard_test.cc pins this).
+ *
+ * --cache-file makes the cross-spec ResultCache persistent: entries
+ * are loaded before the first spec (ignored wholesale when the
+ * model fingerprint is stale or the file is corrupt) and saved back
+ * atomically at exit, so an unchanged matrix re-run executes zero
+ * cells even across processes and CI jobs.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +49,7 @@
 #include "regress/golden.hh"
 #include "regress/specs.hh"
 #include "tool/report.hh"
+#include "tool/report_io.hh"
 
 using namespace specsec;
 using namespace specsec::regress;
@@ -45,11 +62,15 @@ usage(const char *prog)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--list | --record | --check] [options]\n"
+        "usage: %s [--list | --record | --check | --merge] "
+        "[options]\n"
         "  --list             print the registered specs\n"
         "  --record           (re)write goldens from a fresh run\n"
         "  --check            compare a fresh run against goldens "
         "(default)\n"
+        "  --merge            merge shard reports from --shard-dir "
+        "and compare\n"
+        "                     the merged matrices against goldens\n"
         "  --spec NAME        limit to one registered spec\n"
         "  --golden-dir DIR   golden file directory (default: "
         "golden)\n"
@@ -58,24 +79,23 @@ usage(const char *prog)
         "                     (default: regress-artifacts)\n"
         "  --workers N        engine worker threads (default: all "
         "cores)\n"
+        "  --shard I/N        with --check: execute only shard I of "
+        "N of each spec\n"
+        "                     and write mergeable shard reports to "
+        "--shard-dir\n"
+        "                     instead of comparing\n"
+        "  --shard-dir DIR    shard report directory (default: "
+        "regress-shards)\n"
+        "  --cache-file PATH  persistent result cache: load before "
+        "running, save\n"
+        "                     (atomically) after; stale/corrupt "
+        "files are ignored\n"
         "  --flip-vuln PATH   drift self-test: disable a forwarding "
         "path (meltdown,\n"
         "                     l1tf, mds, lazyfp, store-bypass, msr, "
         "taa) before running\n",
         prog);
     return 2;
-}
-
-bool
-readFile(const std::string &path, std::string &out)
-{
-    std::ifstream f(path, std::ios::binary);
-    if (!f)
-        return false;
-    std::ostringstream ss;
-    ss << f.rdbuf();
-    out = ss.str();
-    return true;
 }
 
 bool
@@ -108,17 +128,170 @@ ensureDir(const std::string &dir)
     return !ec;
 }
 
+std::string
+shardFileName(const std::string &spec, std::size_t index,
+              std::size_t count)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, ".shard-%zu-of-%zu.json", index,
+                  count);
+    return spec + buf;
+}
+
+/** Exit-code bookkeeping shared by --check and --merge. */
+struct GateStatus
+{
+    bool drift = false;
+    bool io_error = false;
+};
+
+/**
+ * The golden comparison step: compare @p report against the
+ * committed golden of @p named, printing ok/DRIFT and dropping
+ * artifacts on drift.
+ */
+void
+checkAgainstGolden(const NamedSpec &named,
+                   const campaign::CampaignReport &report,
+                   const std::string &golden_dir,
+                   const std::string &artifact_dir,
+                   GateStatus &status)
+{
+    const GoldenMatrix actual = GoldenMatrix::fromReport(report);
+    const std::string golden_path =
+        golden_dir + "/" + named.name + ".json";
+
+    std::string text;
+    if (!tool::readTextFile(golden_path, text)) {
+        std::fprintf(stderr,
+                     "%s: missing golden %s (run "
+                     "specsec_regress --record)\n",
+                     named.name.c_str(), golden_path.c_str());
+        status.io_error = true;
+        return;
+    }
+    std::string parse_error;
+    const auto golden = parseGoldenJson(text, &parse_error);
+    if (!golden) {
+        std::fprintf(stderr, "%s: malformed golden %s: %s\n",
+                     named.name.c_str(), golden_path.c_str(),
+                     parse_error.c_str());
+        status.io_error = true;
+        return;
+    }
+
+    const MatrixDiff diff = compareGolden(*golden, actual);
+    if (diff.empty()) {
+        std::printf("ok       %-28s %4zu cells (%zu executed, "
+                    "%zu cached)\n",
+                    named.name.c_str(), report.expandedCount,
+                    report.executedCount, report.cacheHits);
+        return;
+    }
+
+    status.drift = true;
+    std::printf("DRIFT    %-28s %zu structural, %zu cell "
+                "change(s):\n%s",
+                named.name.c_str(), diff.structural.size(),
+                diff.cells.size(), renderDiff(diff).c_str());
+    if (ensureDir(artifact_dir)) {
+        const std::string stem = artifact_dir + "/" + named.name;
+        tool::writeTextFile(stem + ".actual.json",
+                            goldenJson(actual));
+        tool::writeTextFile(stem + ".diff.txt", renderDiff(diff));
+        tool::writeTextFile(stem + ".campaign.json",
+                            tool::campaignJson(report, false));
+        tool::writeTextFile(stem + ".campaign.csv",
+                            tool::campaignCsv(report, false));
+        std::printf("         artifacts under %s/\n",
+                    artifact_dir.c_str());
+    }
+}
+
+/**
+ * --merge: load and fold every shard report of @p named from
+ * @p shard_dir; nullopt (with a printed message) when files are
+ * missing, malformed, conflicting, or the union is incomplete.
+ */
+std::optional<campaign::CampaignReport>
+mergeShards(const NamedSpec &named, const std::string &shard_dir)
+{
+    std::vector<std::string> files;
+    std::error_code ec;
+    const std::string prefix = named.name + ".shard-";
+    for (const auto &entry :
+         std::filesystem::directory_iterator(shard_dir, ec)) {
+        const std::string file = entry.path().filename().string();
+        if (file.rfind(prefix, 0) == 0 &&
+            file.size() > 5 &&
+            file.compare(file.size() - 5, 5, ".json") == 0)
+            files.push_back(entry.path().string());
+    }
+    if (ec) {
+        std::fprintf(stderr, "%s: cannot read shard dir %s\n",
+                     named.name.c_str(), shard_dir.c_str());
+        return std::nullopt;
+    }
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "%s: no shard reports under %s (run --check "
+                     "--shard I/N first)\n",
+                     named.name.c_str(), shard_dir.c_str());
+        return std::nullopt;
+    }
+    // Deterministic fold order regardless of directory order.
+    std::sort(files.begin(), files.end());
+
+    std::optional<campaign::CampaignReport> merged;
+    for (const std::string &path : files) {
+        std::string text;
+        if (!tool::readTextFile(path, text)) {
+            std::fprintf(stderr, "cannot read %s\n", path.c_str());
+            return std::nullopt;
+        }
+        std::string error;
+        auto shard = tool::parseShardReportJson(text, &error);
+        if (!shard) {
+            std::fprintf(stderr, "%s: malformed shard report: %s\n",
+                         path.c_str(), error.c_str());
+            return std::nullopt;
+        }
+        if (!merged) {
+            merged = std::move(*shard);
+            continue;
+        }
+        if (!merged->merge(*shard, &error)) {
+            std::fprintf(stderr, "%s: merge conflict: %s\n",
+                         path.c_str(), error.c_str());
+            return std::nullopt;
+        }
+    }
+    if (merged->partial()) {
+        std::fprintf(stderr,
+                     "%s: merged shards cover %zu of %zu grid "
+                     "points -- missing shard file(s)?\n",
+                     named.name.c_str(), merged->outcomes.size(),
+                     merged->expandedCount);
+        return std::nullopt;
+    }
+    return merged;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    enum class Mode { List, Record, Check };
+    enum class Mode { List, Record, Check, Merge };
     Mode mode = Mode::Check;
     std::string only_spec;
     std::string golden_dir = "golden";
     std::string artifact_dir = "regress-artifacts";
+    std::string shard_dir = "regress-shards";
+    std::string cache_file;
     std::string flip;
+    campaign::ShardRange shard;
+    bool sharded = false;
     campaign::CampaignEngine::Options engine_opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -137,13 +310,26 @@ main(int argc, char **argv)
             mode = Mode::Record;
         else if (arg == "--check")
             mode = Mode::Check;
+        else if (arg == "--merge")
+            mode = Mode::Merge;
         else if (arg == "--spec")
             only_spec = value();
         else if (arg == "--golden-dir")
             golden_dir = value();
         else if (arg == "--artifact-dir")
             artifact_dir = value();
-        else if (arg == "--workers") {
+        else if (arg == "--shard-dir")
+            shard_dir = value();
+        else if (arg == "--cache-file")
+            cache_file = value();
+        else if (arg == "--shard") {
+            if (!campaign::parseShardRange(value(), shard)) {
+                std::fprintf(stderr,
+                             "--shard: expected I/N with I < N\n");
+                return 2;
+            }
+            sharded = true;
+        } else if (arg == "--workers") {
             const char *v = value();
             char *end = nullptr;
             const unsigned long n = std::strtoul(v, &end, 10);
@@ -168,6 +354,21 @@ main(int argc, char **argv)
                      "--flip-vuln cannot be combined with --record\n");
         return 2;
     }
+    if (mode == Mode::Merge && !flip.empty()) {
+        // Merge never executes scenarios, so the flip would be a
+        // silent no-op and the self-test would "pass" vacuously.
+        std::fprintf(stderr,
+                     "--flip-vuln cannot be combined with --merge "
+                     "(merge runs nothing; flip the shard runs "
+                     "instead)\n");
+        return 2;
+    }
+    if (sharded && mode != Mode::Check) {
+        std::fprintf(stderr,
+                     "--shard only applies to --check (goldens and "
+                     "merges need the whole grid)\n");
+        return 2;
+    }
 
     if (mode == Mode::List) {
         for (const NamedSpec &named : registeredSpecs())
@@ -190,15 +391,29 @@ main(int argc, char **argv)
     campaign::ResultCache cache;
     engine_opts.cache = &cache;
     const campaign::CampaignEngine engine(engine_opts);
+    const std::string fingerprint = campaign::modelFingerprint();
+    if (!cache_file.empty() && mode != Mode::Merge) {
+        std::string error;
+        if (cache.loadFromFile(cache_file, fingerprint, &error))
+            std::printf("cache    loaded %zu entries from %s\n",
+                        cache.size(), cache_file.c_str());
+        else
+            std::printf("cache    cold start (%s)\n",
+                        error.c_str());
+    }
 
     if (mode == Mode::Record && !ensureDir(golden_dir)) {
         std::fprintf(stderr, "cannot create %s\n",
                      golden_dir.c_str());
         return 2;
     }
+    if (sharded && !ensureDir(shard_dir)) {
+        std::fprintf(stderr, "cannot create %s\n",
+                     shard_dir.c_str());
+        return 2;
+    }
 
-    bool drift = false;
-    bool io_error = false;
+    GateStatus status;
     for (NamedSpec &named : selected) {
         if (!flip.empty() &&
             !flipVuln(flip, named.spec.baseConfig.vuln)) {
@@ -206,19 +421,54 @@ main(int argc, char **argv)
                          flip.c_str());
             return 2;
         }
+
+        if (mode == Mode::Merge) {
+            const auto merged = mergeShards(named, shard_dir);
+            if (!merged) {
+                status.io_error = true;
+                continue;
+            }
+            checkAgainstGolden(named, *merged, golden_dir,
+                               artifact_dir, status);
+            continue;
+        }
+
         const campaign::CampaignReport report =
-            engine.run(named.spec);
-        const GoldenMatrix actual =
-            GoldenMatrix::fromReport(report);
-        const std::string golden_path =
-            golden_dir + "/" + named.name + ".json";
+            engine.run(named.spec, shard);
+
+        if (sharded) {
+            const std::string path =
+                shard_dir + "/" +
+                shardFileName(named.name, shard.index,
+                              shard.count);
+            if (!tool::writeTextFile(
+                    path, tool::shardReportJson(report))) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             path.c_str());
+                status.io_error = true;
+                continue;
+            }
+            std::printf("sharded  %-28s shard %zu/%zu: %4zu of "
+                        "%4zu cells (%zu executed, %zu cached) "
+                        "-> %s\n",
+                        named.name.c_str(), shard.index,
+                        shard.count, report.outcomes.size(),
+                        report.expandedCount,
+                        report.executedCount, report.cacheHits,
+                        path.c_str());
+            continue;
+        }
 
         if (mode == Mode::Record) {
+            const GoldenMatrix actual =
+                GoldenMatrix::fromReport(report);
+            const std::string golden_path =
+                golden_dir + "/" + named.name + ".json";
             if (!tool::writeTextFile(golden_path,
                                      goldenJson(actual))) {
                 std::fprintf(stderr, "cannot write %s\n",
                              golden_path.c_str());
-                io_error = true;
+                status.io_error = true;
                 continue;
             }
             std::printf("recorded %-28s %4zu cells (%zu executed, "
@@ -229,58 +479,23 @@ main(int argc, char **argv)
             continue;
         }
 
-        std::string text;
-        if (!readFile(golden_path, text)) {
-            std::fprintf(stderr,
-                         "%s: missing golden %s (run "
-                         "specsec_regress --record)\n",
-                         named.name.c_str(), golden_path.c_str());
-            io_error = true;
-            continue;
-        }
-        std::string parse_error;
-        const auto golden = parseGoldenJson(text, &parse_error);
-        if (!golden) {
-            std::fprintf(stderr, "%s: malformed golden %s: %s\n",
-                         named.name.c_str(), golden_path.c_str(),
-                         parse_error.c_str());
-            io_error = true;
-            continue;
-        }
-
-        const MatrixDiff diff = compareGolden(*golden, actual);
-        if (diff.empty()) {
-            std::printf("ok       %-28s %4zu cells (%zu executed, "
-                        "%zu cached)\n",
-                        named.name.c_str(), report.expandedCount,
-                        report.executedCount, report.cacheHits);
-            continue;
-        }
-
-        drift = true;
-        std::printf("DRIFT    %-28s %zu structural, %zu cell "
-                    "change(s):\n%s",
-                    named.name.c_str(), diff.structural.size(),
-                    diff.cells.size(), renderDiff(diff).c_str());
-        if (ensureDir(artifact_dir)) {
-            const std::string stem =
-                artifact_dir + "/" + named.name;
-            tool::writeTextFile(stem + ".actual.json",
-                                goldenJson(actual));
-            tool::writeTextFile(stem + ".diff.txt",
-                                renderDiff(diff));
-            tool::writeTextFile(stem + ".campaign.json",
-                                tool::campaignJson(report, false));
-            tool::writeTextFile(stem + ".campaign.csv",
-                                tool::campaignCsv(report, false));
-            std::printf("         artifacts under %s/\n",
-                        artifact_dir.c_str());
-        }
+        checkAgainstGolden(named, report, golden_dir, artifact_dir,
+                           status);
     }
 
-    if (io_error)
+    if (!cache_file.empty() && mode != Mode::Merge) {
+        std::string error;
+        if (cache.saveToFile(cache_file, fingerprint, &error))
+            std::printf("cache    saved %zu entries to %s\n",
+                        cache.size(), cache_file.c_str());
+        else
+            std::fprintf(stderr, "cache    save failed: %s\n",
+                         error.c_str());
+    }
+
+    if (status.io_error)
         return 2;
-    if (drift) {
+    if (status.drift) {
         std::printf("golden success matrices drifted -- inspect "
                     "the diff above; if the change is intended, "
                     "re-record with: specsec_regress --record\n");

@@ -44,6 +44,19 @@ jsonEscape(const std::string &s)
 }
 
 std::string
+jsonStringArray(const std::vector<std::string> &items)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        out += i ? ", \"" : "\"";
+        out += jsonEscape(items[i]);
+        out += "\"";
+    }
+    out += "]";
+    return out;
+}
+
+std::string
 csvField(const std::string &s)
 {
     if (s.find_first_of(",\"\n\r") == std::string::npos)
@@ -215,33 +228,77 @@ campaignJson(const campaign::CampaignReport &report,
     }
     os << "  ],\n  \"outcomes\": [\n";
     for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
-        const campaign::ScenarioOutcome &o = report.outcomes[i];
-        os << "    {\"gridIndex\": " << o.gridIndex
-           << ", \"variant\": \"" << jsonEscape(o.rowLabel)
-           << "\", \"defense\": \"" << jsonEscape(o.colLabel)
-           << "\", \"robSize\": " << o.config.robSize
-           << ", \"permCheckLatency\": " << o.config.permCheckLatency
-           << ", \"channel\": \""
-           << core::covertChannelName(o.options.channel)
-           << "\", \"mitigations\": \""
-           << mitigationSummary(o.options) << "\", \"vulns\": \""
-           << vulnSummary(o.config.vuln) << "\", \"cache\": \""
-           << cacheSummary(o.config.cache)
-           << "\", \"leaked\": " << (o.result.leaked ? "true" : "false")
-           << ", \"accuracy\": " << num(o.result.accuracy)
-           << ", \"guestCycles\": " << o.result.guestCycles
-           << ", \"transientForwards\": " << o.result.transientForwards
-           << ", \"cycles\": " << o.stats.cycles
-           << ", \"committed\": " << o.stats.committed
-           << ", \"squashed\": " << o.stats.squashed
-           << ", \"branchMispredicts\": " << o.stats.branchMispredicts
-           << ", \"exceptions\": " << o.stats.exceptions;
-        if (include_timing)
-            os << ", \"wallMillis\": " << num(o.wallMillis);
-        os << "}" << (i + 1 < report.outcomes.size() ? "," : "")
-           << "\n";
+        os << "    " << outcomeJson(report.outcomes[i],
+                                    include_timing)
+           << (i + 1 < report.outcomes.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string
+outcomeJson(const campaign::ScenarioOutcome &o, bool include_timing)
+{
+    std::ostringstream os;
+    os << "{\"gridIndex\": " << o.gridIndex << ", \"variant\": \""
+       << jsonEscape(o.rowLabel) << "\", \"defense\": \""
+       << jsonEscape(o.colLabel)
+       << "\", \"robSize\": " << o.config.robSize
+       << ", \"permCheckLatency\": " << o.config.permCheckLatency
+       << ", \"channel\": \""
+       << core::covertChannelName(o.options.channel)
+       << "\", \"mitigations\": \"" << mitigationSummary(o.options)
+       << "\", \"vulns\": \"" << vulnSummary(o.config.vuln)
+       << "\", \"cache\": \"" << cacheSummary(o.config.cache)
+       << "\", \"leaked\": " << (o.result.leaked ? "true" : "false")
+       << ", \"accuracy\": " << num(o.result.accuracy)
+       << ", \"guestCycles\": " << o.result.guestCycles
+       << ", \"transientForwards\": " << o.result.transientForwards
+       << ", \"cycles\": " << o.stats.cycles
+       << ", \"committed\": " << o.stats.committed
+       << ", \"squashed\": " << o.stats.squashed
+       << ", \"branchMispredicts\": " << o.stats.branchMispredicts
+       << ", \"exceptions\": " << o.stats.exceptions;
+    if (include_timing)
+        os << ", \"wallMillis\": " << num(o.wallMillis);
+    os << "}";
+    return os.str();
+}
+
+std::string
+campaignCsvHeader(bool include_timing)
+{
+    std::string out =
+        "gridIndex,variant,defense,robSize,permCheckLatency,"
+        "channel,mitigations,vulns,cache,leaked,accuracy,"
+        "guestCycles,transientForwards,cycles,committed,squashed,"
+        "branchMispredicts,exceptions";
+    if (include_timing)
+        out += ",wallMillis";
+    out += "\n";
+    return out;
+}
+
+std::string
+campaignCsvRow(const campaign::ScenarioOutcome &o,
+               bool include_timing)
+{
+    std::ostringstream os;
+    os << o.gridIndex << "," << csvField(o.rowLabel) << ","
+       << csvField(o.colLabel) << "," << o.config.robSize << ","
+       << o.config.permCheckLatency << ","
+       << core::covertChannelName(o.options.channel) << ","
+       << mitigationSummary(o.options) << ","
+       << vulnSummary(o.config.vuln) << ","
+       << cacheSummary(o.config.cache) << ","
+       << (o.result.leaked ? 1 : 0) << "," << num(o.result.accuracy)
+       << "," << o.result.guestCycles << ","
+       << o.result.transientForwards << "," << o.stats.cycles << ","
+       << o.stats.committed << "," << o.stats.squashed << ","
+       << o.stats.branchMispredicts << "," << o.stats.exceptions;
+    if (include_timing)
+        os << "," << num(o.wallMillis);
+    os << "\n";
     return os.str();
 }
 
@@ -249,33 +306,10 @@ std::string
 campaignCsv(const campaign::CampaignReport &report,
             bool include_timing)
 {
-    std::ostringstream os;
-    os << "gridIndex,variant,defense,robSize,permCheckLatency,"
-          "channel,mitigations,vulns,cache,leaked,accuracy,"
-          "guestCycles,transientForwards,cycles,committed,squashed,"
-          "branchMispredicts,exceptions";
-    if (include_timing)
-        os << ",wallMillis";
-    os << "\n";
-    for (const campaign::ScenarioOutcome &o : report.outcomes) {
-        os << o.gridIndex << "," << csvField(o.rowLabel) << ","
-           << csvField(o.colLabel) << "," << o.config.robSize << ","
-           << o.config.permCheckLatency << ","
-           << core::covertChannelName(o.options.channel) << ","
-           << mitigationSummary(o.options) << ","
-           << vulnSummary(o.config.vuln) << ","
-           << cacheSummary(o.config.cache) << ","
-           << (o.result.leaked ? 1 : 0) << ","
-           << num(o.result.accuracy) << "," << o.result.guestCycles
-           << "," << o.result.transientForwards << ","
-           << o.stats.cycles << "," << o.stats.committed << ","
-           << o.stats.squashed << "," << o.stats.branchMispredicts
-           << "," << o.stats.exceptions;
-        if (include_timing)
-            os << "," << num(o.wallMillis);
-        os << "\n";
-    }
-    return os.str();
+    std::string out = campaignCsvHeader(include_timing);
+    for (const campaign::ScenarioOutcome &o : report.outcomes)
+        out += campaignCsvRow(o, include_timing);
+    return out;
 }
 
 bool
@@ -285,6 +319,18 @@ writeTextFile(const std::string &path, const std::string &contents)
     if (!f)
         return false;
     f << contents;
+    return static_cast<bool>(f);
+}
+
+bool
+readTextFile(const std::string &path, std::string &out)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    out = ss.str();
     return static_cast<bool>(f);
 }
 

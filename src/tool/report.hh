@@ -8,12 +8,14 @@
 #define SPECSEC_TOOL_REPORT_HH
 
 #include <string>
+#include <vector>
 
 #include "analyzer.hh"
 
 namespace specsec::campaign
 {
 struct CampaignReport;
+struct ScenarioOutcome;
 }
 
 namespace specsec::tool
@@ -28,6 +30,9 @@ std::string renderReport(const AnalysisResult &result,
  * shared by every JSON writer in the tree.
  */
 std::string jsonEscape(const std::string &s);
+
+/** `["a", "b"]` with each element jsonEscape()d. */
+std::string jsonStringArray(const std::vector<std::string> &items);
 
 /** RFC-4180 CSV field quoting (commas, quotes, newlines). */
 std::string csvField(const std::string &s);
@@ -50,9 +55,36 @@ std::string campaignJson(const campaign::CampaignReport &report,
 std::string campaignCsv(const campaign::CampaignReport &report,
                         bool include_timing = false);
 
+/**
+ * @name Per-record formatters shared by the batch exporters above
+ * and the streaming sinks (stream_export.hh).  One formatter per
+ * format keeps "stream then concatenate" byte-identical to "collect
+ * then export" by construction.
+ * @{
+ */
+
+/** The campaignCsv column header line, with trailing newline. */
+std::string campaignCsvHeader(bool include_timing);
+
+/** One campaignCsv data row for @p outcome, with trailing newline. */
+std::string campaignCsvRow(const campaign::ScenarioOutcome &outcome,
+                           bool include_timing);
+
+/**
+ * The one-line JSON object campaignJson() emits for @p outcome (no
+ * surrounding indentation, comma or newline).
+ */
+std::string outcomeJson(const campaign::ScenarioOutcome &outcome,
+                        bool include_timing);
+
+/// @}
+
 /** Write @p contents to @p path; @return false on I/O failure. */
 bool writeTextFile(const std::string &path,
                    const std::string &contents);
+
+/** Slurp @p path into @p out; @return false on I/O failure. */
+bool readTextFile(const std::string &path, std::string &out);
 
 } // namespace specsec::tool
 

@@ -1,0 +1,294 @@
+#include "report_io.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "report.hh"
+
+namespace specsec::tool
+{
+
+namespace
+{
+
+/** Exact round-trip double rendering (shortest via %.17g). */
+std::string
+exactNum(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+attackResultJson(const attacks::AttackResult &r)
+{
+    std::ostringstream os;
+    os << "{\"name\": \"" << jsonEscape(r.name)
+       << "\", \"recovered\": [";
+    for (std::size_t i = 0; i < r.recovered.size(); ++i)
+        os << (i ? ", " : "") << r.recovered[i];
+    os << "], \"expected\": [";
+    for (std::size_t i = 0; i < r.expected.size(); ++i)
+        os << (i ? ", " : "")
+           << static_cast<unsigned>(r.expected[i]);
+    os << "], \"accuracy\": " << exactNum(r.accuracy)
+       << ", \"leaked\": " << (r.leaked ? "true" : "false")
+       << ", \"guestCycles\": " << r.guestCycles
+       << ", \"transientForwards\": " << r.transientForwards << "}";
+    return os.str();
+}
+
+std::string
+cpuStatsJson(const uarch::CpuStats &s)
+{
+    std::ostringstream os;
+    os << "[" << s.cycles << ", " << s.committed << ", "
+       << s.squashed << ", " << s.branchMispredicts << ", "
+       << s.exceptions << ", " << s.memOrderViolations << ", "
+       << s.speculativeFills << ", " << s.transientForwards << "]";
+    return os.str();
+}
+
+bool
+parseAttackResultJson(json::Cursor &cur,
+                      attacks::AttackResult &r)
+{
+    if (!cur.expect('{'))
+        return false;
+    do {
+        const std::string key = cur.parseString();
+        if (cur.failed() || !cur.expect(':'))
+            return false;
+        if (key == "name") {
+            r.name = cur.parseString();
+        } else if (key == "recovered") {
+            r.recovered.clear();
+            for (const std::int64_t v : json::parseIntArray(cur))
+                r.recovered.push_back(static_cast<int>(v));
+        } else if (key == "expected") {
+            r.expected.clear();
+            for (const std::int64_t v : json::parseIntArray(cur))
+                r.expected.push_back(
+                    static_cast<std::uint8_t>(v));
+        } else if (key == "accuracy") {
+            r.accuracy = cur.parseDouble();
+        } else if (key == "leaked") {
+            r.leaked = cur.parseBool();
+        } else if (key == "guestCycles") {
+            r.guestCycles = cur.parseU64();
+        } else if (key == "transientForwards") {
+            r.transientForwards = cur.parseU64();
+        } else {
+            return cur.fail("unknown result key '" + key + "'");
+        }
+    } while (!cur.failed() && cur.peekConsume(','));
+    return cur.expect('}');
+}
+
+bool
+parseCpuStatsJson(json::Cursor &cur, uarch::CpuStats &s)
+{
+    if (!cur.expect('['))
+        return false;
+    s.cycles = cur.parseU64();
+    if (!cur.expect(','))
+        return false;
+    s.committed = cur.parseU64();
+    if (!cur.expect(','))
+        return false;
+    s.squashed = cur.parseU64();
+    if (!cur.expect(','))
+        return false;
+    s.branchMispredicts = cur.parseU64();
+    if (!cur.expect(','))
+        return false;
+    s.exceptions = cur.parseU64();
+    if (!cur.expect(','))
+        return false;
+    s.memOrderViolations = cur.parseU64();
+    if (!cur.expect(','))
+        return false;
+    s.speculativeFills = cur.parseU64();
+    if (!cur.expect(','))
+        return false;
+    s.transientForwards = cur.parseU64();
+    return cur.expect(']');
+}
+
+std::string
+shardReportJson(const campaign::CampaignReport &report)
+{
+    std::ostringstream os;
+    os << "{\n\"version\": " << kReportIoVersion << ",\n";
+    os << "\"name\": \"" << jsonEscape(report.name) << "\",\n";
+    os << "\"rows\": " << jsonStringArray(report.rowLabels)
+       << ",\n";
+    os << "\"cols\": " << jsonStringArray(report.colLabels)
+       << ",\n";
+    os << "\"expandedCount\": " << report.expandedCount << ",\n";
+    os << "\"uniqueCount\": " << report.uniqueCount << ",\n";
+    os << "\"shardIndex\": " << report.shardIndex << ",\n";
+    os << "\"shardCount\": " << report.shardCount << ",\n";
+    os << "\"executedCount\": " << report.executedCount << ",\n";
+    os << "\"cacheHits\": " << report.cacheHits << ",\n";
+    os << "\"workers\": " << report.workers << ",\n";
+    os << "\"wallMillis\": " << exactNum(report.wallMillis)
+       << ",\n";
+    os << "\"outcomes\": [";
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        const campaign::ScenarioOutcome &o = report.outcomes[i];
+        os << (i ? ",\n" : "\n");
+        os << "{\"gridIndex\": " << o.gridIndex
+           << ", \"row\": " << o.row << ", \"col\": " << o.col
+           << ", \"rowLabel\": \"" << jsonEscape(o.rowLabel)
+           << "\", \"colLabel\": \"" << jsonEscape(o.colLabel)
+           << "\", \"key\": \""
+           << jsonEscape(campaign::scenarioKey(o.variant, o.config,
+                                               o.options))
+           << "\", \"result\": " << attackResultJson(o.result)
+           << ", \"stats\": " << cpuStatsJson(o.stats)
+           << ", \"wallMillis\": " << exactNum(o.wallMillis) << "}";
+    }
+    os << "\n]\n}\n";
+    return os.str();
+}
+
+std::optional<campaign::CampaignReport>
+parseShardReportJson(const std::string &text, std::string *error)
+{
+    json::Cursor cur(text);
+    campaign::CampaignReport report;
+    unsigned version = 0;
+    bool sawOutcomes = false;
+    const auto failed =
+        [&]() -> std::optional<campaign::CampaignReport> {
+        if (error)
+            *error = cur.error().empty() ? "parse error"
+                                         : cur.error();
+        return std::nullopt;
+    };
+
+    if (!cur.expect('{'))
+        return failed();
+    do {
+        const std::string key = cur.parseString();
+        if (cur.failed() || !cur.expect(':'))
+            return failed();
+        if (key == "version") {
+            version = cur.parseUnsigned();
+            if (version != kReportIoVersion) {
+                cur.fail("unsupported shard report version");
+                return failed();
+            }
+        } else if (key == "name") {
+            report.name = cur.parseString();
+        } else if (key == "rows") {
+            report.rowLabels = json::parseStringArray(cur);
+        } else if (key == "cols") {
+            report.colLabels = json::parseStringArray(cur);
+        } else if (key == "expandedCount") {
+            report.expandedCount = cur.parseU64();
+        } else if (key == "uniqueCount") {
+            report.uniqueCount = cur.parseU64();
+        } else if (key == "shardIndex") {
+            report.shardIndex = cur.parseU64();
+        } else if (key == "shardCount") {
+            report.shardCount = cur.parseU64();
+        } else if (key == "executedCount") {
+            report.executedCount = cur.parseU64();
+        } else if (key == "cacheHits") {
+            report.cacheHits = cur.parseU64();
+        } else if (key == "workers") {
+            report.workers = cur.parseUnsigned();
+        } else if (key == "wallMillis") {
+            report.wallMillis = cur.parseDouble();
+        } else if (key == "outcomes") {
+            sawOutcomes = true;
+            if (!cur.expect('['))
+                return failed();
+            if (!cur.peekConsume(']')) {
+                do {
+                    campaign::ScenarioOutcome o;
+                    std::string scenario_key;
+                    if (!cur.expect('{'))
+                        return failed();
+                    do {
+                        const std::string field =
+                            cur.parseString();
+                        if (cur.failed() || !cur.expect(':'))
+                            return failed();
+                        if (field == "gridIndex")
+                            o.gridIndex = cur.parseU64();
+                        else if (field == "row")
+                            o.row = cur.parseU64();
+                        else if (field == "col")
+                            o.col = cur.parseU64();
+                        else if (field == "rowLabel")
+                            o.rowLabel = cur.parseString();
+                        else if (field == "colLabel")
+                            o.colLabel = cur.parseString();
+                        else if (field == "key")
+                            scenario_key = cur.parseString();
+                        else if (field == "result") {
+                            if (!parseAttackResultJson(cur,
+                                                       o.result))
+                                return failed();
+                        } else if (field == "stats") {
+                            if (!parseCpuStatsJson(cur, o.stats))
+                                return failed();
+                        } else if (field == "wallMillis")
+                            o.wallMillis = cur.parseDouble();
+                        else {
+                            cur.fail("unknown outcome key '" +
+                                     field + "'");
+                            return failed();
+                        }
+                    } while (!cur.failed() &&
+                             cur.peekConsume(','));
+                    if (!cur.expect('}'))
+                        return failed();
+                    if (!campaign::parseScenarioKey(
+                            scenario_key, o.variant, o.config,
+                            o.options)) {
+                        cur.fail("malformed scenario key '" +
+                                 scenario_key + "'");
+                        return failed();
+                    }
+                    report.outcomes.push_back(std::move(o));
+                } while (!cur.failed() && cur.peekConsume(','));
+                if (!cur.expect(']'))
+                    return failed();
+            }
+        } else {
+            cur.fail("unknown report key '" + key + "'");
+            return failed();
+        }
+    } while (!cur.failed() && cur.peekConsume(','));
+    if (cur.failed() || !cur.expect('}'))
+        return failed();
+    if (!cur.atEnd()) {
+        cur.fail("trailing content after shard report");
+        return failed();
+    }
+    if (version == 0) {
+        cur.fail("shard report has no version");
+        return failed();
+    }
+    if (!sawOutcomes) {
+        cur.fail("shard report has no outcomes");
+        return failed();
+    }
+    report.scenariosPerSecond =
+        report.wallMillis > 0.0
+            ? 1000.0 *
+                  static_cast<double>(report.executedCount) /
+                  report.wallMillis
+            : 0.0;
+    report.recomputeCells();
+    return report;
+}
+
+} // namespace specsec::tool

@@ -1,0 +1,189 @@
+#include "stream_export.hh"
+
+#include <sstream>
+
+#include "report.hh"
+
+namespace specsec::tool
+{
+
+namespace
+{
+
+std::string
+num(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", value);
+    return buf;
+}
+
+/** The JSONL header record, shared by stream and batch writers. */
+std::string
+jsonlHeaderLine(const std::string &name,
+                const std::vector<std::string> &rows,
+                const std::vector<std::string> &cols,
+                std::size_t expandedCount, std::size_t uniqueCount,
+                std::size_t shardIndex, std::size_t shardCount)
+{
+    std::ostringstream os;
+    os << "{\"type\": \"header\", \"name\": \"" << jsonEscape(name)
+       << "\", \"expandedCount\": " << expandedCount
+       << ", \"uniqueCount\": " << uniqueCount
+       << ", \"shardIndex\": " << shardIndex
+       << ", \"shardCount\": " << shardCount
+       << ", \"rows\": " << jsonStringArray(rows)
+       << ", \"cols\": " << jsonStringArray(cols) << "}\n";
+    return os.str();
+}
+
+std::string
+jsonlSummaryLine(std::size_t executedCount, std::size_t cacheHits,
+                 unsigned workers, double wallMillis,
+                 double scenariosPerSecond)
+{
+    std::ostringstream os;
+    os << "{\"type\": \"summary\", \"executedCount\": "
+       << executedCount << ", \"cacheHits\": " << cacheHits
+       << ", \"workers\": " << workers
+       << ", \"wallMillis\": " << num(wallMillis)
+       << ", \"scenariosPerSecond\": " << num(scenariosPerSecond)
+       << "}\n";
+    return os.str();
+}
+
+std::string
+jsonlOutcomeLine(const campaign::ScenarioOutcome &o,
+                 bool include_timing)
+{
+    std::string out = "{\"type\": \"outcome\", \"record\": ";
+    out += outcomeJson(o, include_timing);
+    out += "}\n";
+    return out;
+}
+
+} // namespace
+
+std::string
+campaignJsonl(const campaign::CampaignReport &report,
+              bool include_timing)
+{
+    std::string out = jsonlHeaderLine(
+        report.name, report.rowLabels, report.colLabels,
+        report.expandedCount, report.uniqueCount, report.shardIndex,
+        report.shardCount);
+    for (const campaign::ScenarioOutcome &o : report.outcomes)
+        out += jsonlOutcomeLine(o, include_timing);
+    if (include_timing)
+        out += jsonlSummaryLine(report.executedCount,
+                                report.cacheHits, report.workers,
+                                report.wallMillis,
+                                report.scenariosPerSecond);
+    return out;
+}
+
+void
+OrderedStreamSink::begin(const campaign::CampaignHeader &header)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    seqOf_.clear();
+    seqOf_.reserve(header.gridIndices.size());
+    for (std::size_t i = 0; i < header.gridIndices.size(); ++i)
+        seqOf_.emplace(header.gridIndices[i], i);
+    pending_.clear();
+    next_ = 0;
+    total_ = header.gridIndices.size();
+    writeHeader(header);
+}
+
+void
+OrderedStreamSink::consume(const campaign::ScenarioOutcome &outcome)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = seqOf_.find(outcome.gridIndex);
+    if (it == seqOf_.end())
+        return; // not announced in begin(); drop
+    const std::size_t seq = it->second;
+    if (seq != next_) {
+        pending_.emplace(seq, outcome);
+        return;
+    }
+    // In order: release it and every consecutive buffered record.
+    writeOutcome(outcome);
+    ++next_;
+    for (auto hit = pending_.find(next_); hit != pending_.end();
+         hit = pending_.find(next_)) {
+        writeOutcome(hit->second);
+        pending_.erase(hit);
+        ++next_;
+    }
+}
+
+void
+OrderedStreamSink::end(const campaign::CampaignFooter &footer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Every announced record has been released (the engine emits
+    // each exactly once); flush any stragglers defensively so a
+    // buggy producer still yields a complete, ordered file.
+    while (next_ < total_ && !pending_.empty()) {
+        const auto hit = pending_.find(next_);
+        if (hit != pending_.end()) {
+            writeOutcome(hit->second);
+            pending_.erase(hit);
+        }
+        ++next_;
+    }
+    writeFooter(footer);
+}
+
+std::size_t
+OrderedStreamSink::bufferedNow() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.size();
+}
+
+void
+OrderedStreamSink::writeFooter(const campaign::CampaignFooter &)
+{
+}
+
+void
+CsvStreamSink::writeHeader(const campaign::CampaignHeader &)
+{
+    out_ << campaignCsvHeader(timing_);
+}
+
+void
+CsvStreamSink::writeOutcome(const campaign::ScenarioOutcome &o)
+{
+    out_ << campaignCsvRow(o, timing_);
+}
+
+void
+JsonlStreamSink::writeHeader(const campaign::CampaignHeader &h)
+{
+    workers_ = h.workers;
+    out_ << jsonlHeaderLine(h.name, h.rowLabels, h.colLabels,
+                            h.expandedCount, h.uniqueCount,
+                            h.shardIndex, h.shardCount);
+}
+
+void
+JsonlStreamSink::writeOutcome(const campaign::ScenarioOutcome &o)
+{
+    out_ << jsonlOutcomeLine(o, timing_);
+}
+
+void
+JsonlStreamSink::writeFooter(const campaign::CampaignFooter &f)
+{
+    if (timing_)
+        out_ << jsonlSummaryLine(f.executedCount, f.cacheHits,
+                                 workers_, f.wallMillis,
+                                 f.scenariosPerSecond);
+    out_ << std::flush;
+}
+
+} // namespace specsec::tool

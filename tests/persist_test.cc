@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for ResultCache disk persistence: a warm-loaded cache skips
+ * every cell with byte-identical exports, a stale model fingerprint
+ * invalidates the file, corrupt/truncated files are ignored
+ * gracefully (never fatal), and save files are deterministic and
+ * written atomically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "campaign/campaign.hh"
+#include "tool/report.hh"
+
+namespace
+{
+
+using namespace specsec;
+using namespace specsec::campaign;
+using core::AttackVariant;
+
+ScenarioSpec
+sampleSpec()
+{
+    ScenarioSpec spec;
+    spec.name = "persist-sample";
+    spec.variants = {AttackVariant::SpectreV1,
+                     AttackVariant::Meltdown};
+    spec.defenses = {{"baseline", nullptr},
+                     {"fence(1)",
+                      [](CpuConfig &c, AttackOptions &) {
+                          c.defense.fenceSpeculativeLoads = true;
+                      }}};
+    spec.permCheckLatencies = {10, 30};
+    return spec;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+TEST(Persist, WarmLoadSkipsEveryCellByteIdentically)
+{
+    const ScenarioSpec spec = sampleSpec();
+    const std::string path = tempPath("persist_warm.json");
+    const std::string fp = modelFingerprint();
+
+    ResultCache cold;
+    CampaignEngine::Options opts;
+    opts.workers = 2;
+    opts.cache = &cold;
+    const CampaignReport first = CampaignEngine(opts).run(spec);
+    EXPECT_EQ(first.executedCount, first.uniqueCount);
+    std::string error;
+    ASSERT_TRUE(cold.saveToFile(path, fp, &error)) << error;
+
+    ResultCache warm;
+    ASSERT_TRUE(warm.loadFromFile(path, fp, &error)) << error;
+    EXPECT_EQ(warm.size(), cold.size());
+    opts.cache = &warm;
+    const CampaignReport second = CampaignEngine(opts).run(spec);
+    EXPECT_EQ(second.executedCount, 0u);
+    EXPECT_EQ(second.cacheHits, second.uniqueCount);
+    EXPECT_EQ(tool::campaignJson(second, false),
+              tool::campaignJson(first, false));
+    EXPECT_EQ(tool::campaignCsv(second, false),
+              tool::campaignCsv(first, false));
+    EXPECT_EQ(second.successMatrixText(),
+              first.successMatrixText());
+}
+
+TEST(Persist, SaveIsDeterministic)
+{
+    const std::string a = tempPath("persist_det_a.json");
+    const std::string b = tempPath("persist_det_b.json");
+    const std::string fp = modelFingerprint();
+
+    ResultCache cache;
+    CampaignEngine::Options opts;
+    opts.workers = 4;
+    opts.cache = &cache;
+    CampaignEngine(opts).run(sampleSpec());
+    ASSERT_TRUE(cache.saveToFile(a, fp));
+    ASSERT_TRUE(cache.saveToFile(b, fp));
+    const std::string bytes = slurp(a);
+    EXPECT_FALSE(bytes.empty());
+    EXPECT_EQ(bytes, slurp(b));
+    // No temp file left behind by the atomic rename.
+    EXPECT_TRUE(slurp(a + ".tmp").empty());
+}
+
+TEST(Persist, StaleFingerprintInvalidatesTheFile)
+{
+    const std::string path = tempPath("persist_stale.json");
+    ResultCache cache;
+    CampaignEngine::Options opts;
+    opts.workers = 1;
+    opts.cache = &cache;
+    CampaignEngine(opts).run(sampleSpec());
+    ASSERT_TRUE(cache.saveToFile(path, modelFingerprint()));
+
+    ResultCache fresh;
+    std::string error;
+    EXPECT_FALSE(fresh.loadFromFile(
+        path, modelFingerprint() + "-changed", &error));
+    EXPECT_NE(error.find("stale"), std::string::npos);
+    EXPECT_EQ(fresh.size(), 0u);
+}
+
+TEST(Persist, CorruptOrTruncatedFilesAreIgnoredGracefully)
+{
+    const std::string fp = modelFingerprint();
+    ResultCache cache;
+    std::string error;
+
+    // Missing file.
+    EXPECT_FALSE(cache.loadFromFile(
+        tempPath("persist_missing.json"), fp, &error));
+    EXPECT_EQ(cache.size(), 0u);
+
+    // Garbage.
+    const std::string garbage = tempPath("persist_garbage.json");
+    {
+        std::ofstream f(garbage, std::ios::binary);
+        f << "!!! not json at all {{{";
+    }
+    EXPECT_FALSE(cache.loadFromFile(garbage, fp, &error));
+    EXPECT_EQ(cache.size(), 0u);
+
+    // Truncated valid file: nothing is loaded, not even the intact
+    // leading entries.
+    ResultCache full;
+    CampaignEngine::Options opts;
+    opts.workers = 1;
+    opts.cache = &full;
+    CampaignEngine(opts).run(sampleSpec());
+    const std::string whole = tempPath("persist_whole.json");
+    ASSERT_TRUE(full.saveToFile(whole, fp));
+    const std::string bytes = slurp(whole);
+    const std::string truncated =
+        tempPath("persist_truncated.json");
+    {
+        std::ofstream f(truncated, std::ios::binary);
+        f << bytes.substr(0, bytes.size() * 2 / 3);
+    }
+    EXPECT_FALSE(cache.loadFromFile(truncated, fp, &error));
+    EXPECT_EQ(cache.size(), 0u);
+
+    // And the cache still works after all the failed loads.
+    opts.cache = &cache;
+    const CampaignReport report =
+        CampaignEngine(opts).run(sampleSpec());
+    EXPECT_EQ(report.executedCount, report.uniqueCount);
+}
+
+TEST(Persist, LoadMergesUnderFirstWriteWins)
+{
+    // Entries already memoized in memory are not clobbered by a
+    // load; new keys from the file land alongside them.
+    const std::string path = tempPath("persist_merge.json");
+    const std::string fp = modelFingerprint();
+
+    ResultCache disk;
+    ResultCache::Entry entry;
+    entry.result.name = "from-disk";
+    entry.result.accuracy = 0.5;
+    disk.store("key-a;", entry);
+    ResultCache::Entry other = entry;
+    other.result.name = "disk-only";
+    disk.store("key-b;", other);
+    ASSERT_TRUE(disk.saveToFile(path, fp));
+
+    ResultCache cache;
+    ResultCache::Entry local;
+    local.result.name = "local";
+    cache.store("key-a;", local);
+    ASSERT_TRUE(cache.loadFromFile(path, fp));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.lookup("key-a;")->result.name, "local");
+    EXPECT_EQ(cache.lookup("key-b;")->result.name, "disk-only");
+}
+
+TEST(Persist, RoundTripPreservesResultAndStatsExactly)
+{
+    const std::string path = tempPath("persist_exact.json");
+    const std::string fp = modelFingerprint();
+
+    ResultCache cache;
+    ResultCache::Entry entry;
+    entry.result.name = "awkward \"name\"\nwith\tescapes";
+    entry.result.recovered = {-1, 0, 65, 255};
+    entry.result.expected = {0, 65, 255};
+    entry.result.accuracy = 0.3333333333333333;
+    entry.result.leaked = true;
+    entry.result.guestCycles = 123456789012345ull;
+    entry.result.transientForwards = 7;
+    entry.stats.cycles = 999999999999ull;
+    entry.stats.committed = 42;
+    entry.stats.memOrderViolations = 3;
+    entry.stats.speculativeFills = 5;
+    entry.stats.transientForwards = 6;
+    cache.store("exact-key;", entry);
+    ASSERT_TRUE(cache.saveToFile(path, fp));
+
+    ResultCache loaded;
+    std::string error;
+    ASSERT_TRUE(loaded.loadFromFile(path, fp, &error)) << error;
+    const auto hit = loaded.lookup("exact-key;");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->result.name, entry.result.name);
+    EXPECT_EQ(hit->result.recovered, entry.result.recovered);
+    EXPECT_EQ(hit->result.expected, entry.result.expected);
+    EXPECT_EQ(hit->result.accuracy, entry.result.accuracy);
+    EXPECT_EQ(hit->result.leaked, entry.result.leaked);
+    EXPECT_EQ(hit->result.guestCycles, entry.result.guestCycles);
+    EXPECT_EQ(hit->stats.cycles, entry.stats.cycles);
+    EXPECT_EQ(hit->stats.memOrderViolations,
+              entry.stats.memOrderViolations);
+    EXPECT_EQ(hit->stats.speculativeFills,
+              entry.stats.speculativeFills);
+    EXPECT_EQ(hit->stats.transientForwards,
+              entry.stats.transientForwards);
+}
+
+TEST(Persist, FingerprintCoversModelShape)
+{
+    const std::string fp = modelFingerprint();
+    EXPECT_FALSE(fp.empty());
+    EXPECT_EQ(fp, modelFingerprint());
+    // The fingerprint embeds the canonical default-scenario key, so
+    // it tracks every CpuConfig/AttackOptions field and default.
+    const std::string key = scenarioKey(
+        AttackVariant::SpectreV1, CpuConfig{}, AttackOptions{});
+    EXPECT_NE(fp.find(key), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the streaming sink pipeline: ReportSink reproduces the
+ * collect-then-report results, the ordered streaming exporters emit
+ * bytes identical to the batch exporters (JSONL and CSV) across
+ * worker counts and shards, the in-order release window reorders
+ * out-of-order arrivals, and ProgressSink observes every outcome.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "campaign/campaign.hh"
+#include "campaign/sink.hh"
+#include "tool/report.hh"
+#include "tool/stream_export.hh"
+
+namespace
+{
+
+using namespace specsec;
+using namespace specsec::campaign;
+using core::AttackVariant;
+
+ScenarioSpec
+sampleSpec()
+{
+    ScenarioSpec spec;
+    spec.name = "sink-sample";
+    spec.variants = {AttackVariant::SpectreV1,
+                     AttackVariant::Meltdown,
+                     AttackVariant::ZombieLoad};
+    spec.defenses = {{"baseline", nullptr},
+                     {"fence(1)",
+                      [](CpuConfig &c, AttackOptions &) {
+                          c.defense.fenceSpeculativeLoads = true;
+                      }}};
+    spec.permCheckLatencies = {10, 30};
+    return spec;
+}
+
+TEST(Sink, StreamedExportsMatchBatchExportersAcrossWorkers)
+{
+    const ScenarioSpec spec = sampleSpec();
+    for (const unsigned workers : {1u, 2u, 8u}) {
+        ReportSink report_sink;
+        std::ostringstream csv, jsonl;
+        tool::CsvStreamSink csv_sink(csv);
+        tool::JsonlStreamSink jsonl_sink(jsonl);
+        CampaignEngine(CampaignEngine::Options{workers})
+            .run(spec, {&report_sink, &csv_sink, &jsonl_sink});
+        const CampaignReport &report = report_sink.report();
+
+        EXPECT_EQ(csv.str(), tool::campaignCsv(report, false))
+            << "workers=" << workers;
+        EXPECT_EQ(jsonl.str(), tool::campaignJsonl(report, false))
+            << "workers=" << workers;
+        // The streaming run's report matches a plain run.
+        const CampaignReport direct =
+            CampaignEngine(CampaignEngine::Options{1}).run(spec);
+        EXPECT_EQ(tool::campaignJson(report, false),
+                  tool::campaignJson(direct, false));
+    }
+}
+
+TEST(Sink, StreamedShardExportsMatchShardReports)
+{
+    const ScenarioSpec spec = sampleSpec();
+    const CampaignEngine engine(CampaignEngine::Options{2});
+    for (const std::size_t i : {0UL, 1UL}) {
+        ReportSink report_sink;
+        std::ostringstream csv, jsonl;
+        tool::CsvStreamSink csv_sink(csv);
+        tool::JsonlStreamSink jsonl_sink(jsonl);
+        engine.run(spec, {&report_sink, &csv_sink, &jsonl_sink},
+                   ShardRange{i, 2});
+        const CampaignReport &report = report_sink.report();
+        EXPECT_TRUE(report.partial());
+        EXPECT_EQ(csv.str(), tool::campaignCsv(report, false));
+        EXPECT_EQ(jsonl.str(),
+                  tool::campaignJsonl(report, false));
+        // The JSONL header names the shard.
+        std::ostringstream needle;
+        needle << "\"shardIndex\": " << i
+               << ", \"shardCount\": 2";
+        EXPECT_NE(jsonl.str().find(needle.str()),
+                  std::string::npos);
+    }
+}
+
+TEST(Sink, TimedJsonlContainsSummaryRecord)
+{
+    const ScenarioSpec spec = sampleSpec();
+    ReportSink report_sink;
+    std::ostringstream jsonl;
+    tool::JsonlStreamSink jsonl_sink(jsonl, true);
+    CampaignEngine(CampaignEngine::Options{1})
+        .run(spec, {&report_sink, &jsonl_sink});
+    EXPECT_NE(jsonl.str().find("\"type\": \"summary\""),
+              std::string::npos);
+    EXPECT_NE(jsonl.str().find("\"executedCount\""),
+              std::string::npos);
+    // Timing-free streams have no summary record (determinism).
+    std::ostringstream plain;
+    tool::JsonlStreamSink plain_sink(plain);
+    CampaignEngine(CampaignEngine::Options{1})
+        .run(spec, {&plain_sink});
+    EXPECT_EQ(plain.str().find("\"type\": \"summary\""),
+              std::string::npos);
+}
+
+/** Hand-driven producer for the release-window unit test. */
+ScenarioOutcome
+outcomeAt(std::size_t gridIndex)
+{
+    ScenarioOutcome o;
+    o.gridIndex = gridIndex;
+    o.rowLabel = "row";
+    o.colLabel = "col";
+    return o;
+}
+
+TEST(Sink, OrderedWindowReleasesOutOfOrderArrivalsInGridOrder)
+{
+    CampaignHeader header;
+    header.name = "window";
+    header.rowLabels = {"row"};
+    header.colLabels = {"col"};
+    // A shard-like subset: non-contiguous grid indices.
+    header.gridIndices = {2, 5, 9};
+    header.expandedCount = 12;
+
+    std::ostringstream out;
+    tool::CsvStreamSink sink(out);
+    sink.begin(header);
+    const std::string headerOnly = out.str();
+
+    sink.consume(outcomeAt(9)); // early: buffered
+    sink.consume(outcomeAt(5)); // early: buffered
+    EXPECT_EQ(out.str(), headerOnly);
+    EXPECT_EQ(sink.bufferedNow(), 2u);
+
+    sink.consume(outcomeAt(2)); // head: releases all three
+    EXPECT_EQ(sink.bufferedNow(), 0u);
+    sink.end(CampaignFooter{});
+
+    // Rows came out in grid order 2, 5, 9.
+    const std::string bytes = out.str();
+    const std::size_t p2 = bytes.find("\n2,");
+    const std::size_t p5 = bytes.find("\n5,");
+    const std::size_t p9 = bytes.find("\n9,");
+    ASSERT_NE(p2, std::string::npos);
+    ASSERT_NE(p5, std::string::npos);
+    ASSERT_NE(p9, std::string::npos);
+    EXPECT_LT(p2, p5);
+    EXPECT_LT(p5, p9);
+}
+
+TEST(Sink, UnannouncedOutcomesAreDropped)
+{
+    CampaignHeader header;
+    header.gridIndices = {0, 1};
+    header.expandedCount = 2;
+    std::ostringstream out;
+    tool::CsvStreamSink sink(out);
+    sink.begin(header);
+    sink.consume(outcomeAt(7)); // never announced
+    sink.consume(outcomeAt(0));
+    sink.consume(outcomeAt(1));
+    sink.end(CampaignFooter{});
+    EXPECT_EQ(out.str().find("\n7,"), std::string::npos);
+}
+
+TEST(Sink, ReportSinkMatchesLegacyAggregation)
+{
+    // The collect-then-return API is itself a sink; its cell
+    // aggregates must match what the outcomes imply.
+    const ScenarioSpec spec = sampleSpec();
+    const CampaignReport report =
+        CampaignEngine(CampaignEngine::Options{4}).run(spec);
+    ASSERT_EQ(report.outcomes.size(), report.expandedCount);
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i)
+        EXPECT_EQ(report.outcomes[i].gridIndex, i);
+    std::vector<std::vector<unsigned>> runs(
+        report.rowLabels.size(),
+        std::vector<unsigned>(report.colLabels.size(), 0));
+    std::vector<std::vector<unsigned>> leaks = runs;
+    for (const ScenarioOutcome &o : report.outcomes) {
+        runs[o.row][o.col] += 1;
+        if (o.result.leaked)
+            leaks[o.row][o.col] += 1;
+    }
+    EXPECT_EQ(report.cellRuns, runs);
+    EXPECT_EQ(report.cellLeaks, leaks);
+}
+
+TEST(Sink, ProgressSinkObservesEveryOutcome)
+{
+    const ScenarioSpec spec = sampleSpec();
+    ProgressSink progress(nullptr, 3); // no output, count only
+    ReportSink report_sink;
+    CampaignEngine(CampaignEngine::Options{2})
+        .run(spec, {&report_sink, &progress});
+    EXPECT_EQ(progress.completed(),
+              report_sink.report().expandedCount);
+}
+
+} // namespace
