@@ -12,6 +12,15 @@
  *   campaign_cli --jsonl out.jsonl --progress  # incremental export
  *   campaign_cli --cache-file .campaign-cache.json   # warm reruns
  *
+ * Catalog introspection (the ScenarioCatalog registry):
+ *   campaign_cli list-attacks [--json]       # every registered attack
+ *   campaign_cli describe NAME [--json]      # one descriptor in full
+ *
+ * Attack names are resolved through the registry, so attacks
+ * registered at startup by out-of-tree code (see
+ * examples/custom_attack.cpp) sweep like built-ins; unknown names
+ * fail with "did you mean" suggestions.
+ *
  * Sharded operation (multi-process fan-out):
  *   campaign_cli --shard 0/2 --shard-report s0.json
  *   campaign_cli --shard 1/2 --shard-report s1.json
@@ -32,6 +41,7 @@
 
 #include "campaign/campaign.hh"
 #include "campaign/sink.hh"
+#include "core/catalog.hh"
 #include "tool/report.hh"
 #include "tool/report_io.hh"
 #include "tool/stream_export.hh"
@@ -78,6 +88,8 @@ usage(const char *prog)
         "usage: %s [options]\n"
         "       %s merge SHARD.json... [--json F] [--csv F] "
         "[--jsonl F] [--timing]\n"
+        "       %s list-attacks [--json]\n"
+        "       %s describe NAME [--json]\n"
         "  --workers N        worker threads (default: all cores)\n"
         "  --serial           shorthand for --workers 1\n"
         "  --variants a,b,c   variants by catalog name "
@@ -107,8 +119,141 @@ usage(const char *prog)
         "scenarios finish\n"
         "  --progress         live progress line on stderr\n"
         "  --timing           include wall-clock fields in exports\n",
-        prog, prog);
+        prog, prog, prog, prog);
     return 2;
+}
+
+std::string
+joinAliases(const std::vector<std::string> &aliases)
+{
+    std::string out;
+    for (const std::string &alias : aliases) {
+        if (!out.empty())
+            out += ", ";
+        out += alias;
+    }
+    return out;
+}
+
+/** One line of descriptor metadata for `list-attacks`. */
+void
+printAttackLine(const core::AttackDescriptor &d)
+{
+    std::printf("%-34s %-13s %-8s %-12s %s\n", d.name.c_str(),
+                core::attackClassName(d.klass),
+                d.paperSection.c_str(),
+                core::covertChannelName(d.defaultChannel),
+                joinAliases(d.aliases).c_str());
+}
+
+/** The JSON object both catalog subcommands emit per attack. */
+std::string
+attackDescriptorJson(const core::AttackDescriptor &d)
+{
+    std::ostringstream os;
+    os << "{\"name\": \"" << tool::jsonEscape(d.name)
+       << "\", \"aliases\": ";
+    os << tool::jsonStringArray(d.aliases);
+    os << ", \"class\": \"" << core::attackClassName(d.klass)
+       << "\", \"cve\": \"" << tool::jsonEscape(d.cve)
+       << "\", \"paperSection\": \""
+       << tool::jsonEscape(d.paperSection)
+       << "\", \"defaultChannel\": \""
+       << core::covertChannelName(d.defaultChannel)
+       << "\", \"builtin\": " << (d.isExtension() ? "false" : "true")
+       << ", \"executable\": " << (d.execute ? "true" : "false")
+       << ", \"hasGraph\": " << (d.buildGraph ? "true" : "false")
+       << "}";
+    return os.str();
+}
+
+/** `campaign_cli list-attacks [--json]`. */
+int
+listAttacksMain(int argc, char **argv)
+{
+    bool json = false;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else
+            return usage(argv[0]);
+    }
+    const auto attacks = core::ScenarioCatalog::instance().attacks();
+    if (json) {
+        std::printf("[\n");
+        for (std::size_t i = 0; i < attacks.size(); ++i)
+            std::printf("  %s%s\n",
+                        attackDescriptorJson(*attacks[i]).c_str(),
+                        i + 1 < attacks.size() ? "," : "");
+        std::printf("]\n");
+        return 0;
+    }
+    std::printf("%-34s %-13s %-8s %-12s %s\n", "name", "class",
+                "section", "channel", "aliases");
+    for (const core::AttackDescriptor *d : attacks)
+        printAttackLine(*d);
+    std::printf("\n%zu attacks registered; resolve any name or "
+                "alias with --variants or describe\n",
+                attacks.size());
+    return 0;
+}
+
+/** `campaign_cli describe NAME [--json]`. */
+int
+describeMain(int argc, char **argv)
+{
+    bool json = false;
+    std::string name;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else if (argv[i][0] == '-' || !name.empty())
+            return usage(argv[0]);
+        else
+            name = argv[i];
+    }
+    if (name.empty()) {
+        std::fprintf(stderr, "describe: no attack name given\n");
+        return 2;
+    }
+    const core::ScenarioCatalog &catalog =
+        core::ScenarioCatalog::instance();
+    const core::AttackDescriptor *d = catalog.findAttack(name);
+    if (d == nullptr) {
+        std::fprintf(stderr, "%s\n",
+                     core::unknownNameMessage(
+                         "attack", name,
+                         catalog.attackSuggestions(name))
+                         .c_str());
+        return 2;
+    }
+    if (json) {
+        std::printf("%s\n", attackDescriptorJson(*d).c_str());
+        return 0;
+    }
+    std::printf("name:            %s\n", d->name.c_str());
+    const std::string aliases = joinAliases(d->aliases);
+    std::printf("aliases:         %s\n",
+                aliases.empty() ? "-" : aliases.c_str());
+    std::printf("class:           %s\n",
+                core::attackClassName(d->klass));
+    std::printf("cve:             %s\n", d->cve.c_str());
+    std::printf("paper section:   %s\n", d->paperSection.c_str());
+    std::printf("default channel: %s\n",
+                core::covertChannelName(d->defaultChannel));
+    std::printf("registration:    %s\n",
+                d->isExtension() ? "extension (no enum slot)"
+                                 : "built-in");
+    std::printf("executable:      %s\n", d->execute ? "yes" : "no");
+    if (d->buildGraph) {
+        const core::AttackGraph g = d->buildGraph(d->defaultChannel);
+        std::printf("attack graph:    %zu operations, %zu "
+                    "dependencies\n",
+                    g.tsg().nodeCount(), g.tsg().edgeCount());
+    } else {
+        std::printf("attack graph:    none registered\n");
+    }
+    return 0;
 }
 
 void
@@ -237,6 +382,10 @@ main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "merge") == 0)
         return mergeMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "list-attacks") == 0)
+        return listAttacksMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "describe") == 0)
+        return describeMain(argc, argv);
 
     ScenarioSpec spec = ScenarioSpec::defenseMatrix();
     CampaignEngine::Options engine_opts;
@@ -269,15 +418,26 @@ main(int argc, char **argv)
         } else if (arg == "--serial") {
             engine_opts.workers = 1;
         } else if (arg == "--variants") {
+            // Rows resolve through the ScenarioCatalog, so names
+            // and aliases of registered out-of-tree attacks work
+            // exactly like built-in variants.
+            const core::ScenarioCatalog &catalog =
+                core::ScenarioCatalog::instance();
             spec.variants.clear();
+            spec.attackNames.clear();
             for (const std::string &name : splitCommas(value())) {
-                const auto v = core::findVariantByName(name);
-                if (!v) {
-                    std::fprintf(stderr, "unknown variant: %s\n",
-                                 name.c_str());
+                const core::AttackDescriptor *d =
+                    catalog.findAttack(name);
+                if (d == nullptr) {
+                    std::fprintf(
+                        stderr, "%s\n",
+                        core::unknownNameMessage(
+                            "attack", name,
+                            catalog.attackSuggestions(name))
+                            .c_str());
                     return 2;
                 }
-                spec.variants.push_back(*v);
+                spec.attackNames.push_back(d->name);
             }
         } else if (arg == "--rob") {
             spec.robSizes.clear();
@@ -322,27 +482,18 @@ main(int argc, char **argv)
         } else if (arg == "--mitigations") {
             spec.mitigations.clear();
             for (const std::string &n : splitCommas(value())) {
-                SoftwareMitigation m;
-                m.label = n;
-                if (n == "none")
-                    ;
-                else if (n == "kpti")
-                    m.kpti = true;
-                else if (n == "rsb-stuff")
-                    m.rsbStuffing = true;
-                else if (n == "lfence")
-                    m.softwareLfence = true;
-                else if (n == "addr-mask")
-                    m.addressMasking = true;
-                else if (n == "flush-l1")
-                    m.flushL1OnExit = true;
-                else {
-                    std::fprintf(stderr,
-                                 "unknown mitigation: %s\n",
-                                 n.c_str());
+                auto m = SoftwareMitigation::byName(n);
+                if (!m) {
+                    std::fprintf(
+                        stderr, "%s\n",
+                        core::unknownNameMessage(
+                            "mitigation", n,
+                            core::ScenarioCatalog::instance()
+                                .mitigationSuggestions(n))
+                            .c_str());
                     return 2;
                 }
-                spec.mitigations.push_back(std::move(m));
+                spec.mitigations.push_back(std::move(*m));
             }
         } else if (arg == "--vuln-ablate") {
             spec.vulnAblations.clear();

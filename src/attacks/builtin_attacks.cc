@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Registration of every built-in attack with the ScenarioCatalog:
+ * one block per attack binding its Table I/III metadata
+ * (core/variants.cc), its paper-figure graph builder, and its
+ * executable runner into a single AttackDescriptor.  This file is
+ * the only place that knows which runner and which graph shape
+ * belong to which variant — the `switch (variant)` ladders that used
+ * to encode that in runner.cc and variants.cc are gone.
+ *
+ * The composed v2 x LazyFP attack (composed.cc) registers here too,
+ * *without* an AttackVariant enumerator: it is the in-tree proof
+ * that the catalog's extension seam works (examples/
+ * custom_attack.cpp is the out-of-tree one).
+ */
+
+#include "composed.hh"
+#include "core/catalog.hh"
+#include "core/composer.hh"
+#include "runner.hh"
+
+namespace specsec::core::detail
+{
+
+namespace
+{
+
+using attacks::AttackOptions;
+using attacks::AttackResult;
+using attacks::statsCollectingExecute;
+using uarch::CpuConfig;
+
+/** Descriptor skeleton for an enum-backed attack: metadata from the
+ *  variant table, execute from the wrapped plain runner. */
+AttackDescriptor
+builtin(AttackVariant variant,
+        AttackResult (*run)(const CpuConfig &, const AttackOptions &))
+{
+    const VariantInfo &info = variantInfo(variant);
+    AttackDescriptor d;
+    d.name = info.name;
+    d.klass = info.klass;
+    d.cve = info.cve;
+    d.paperSection = info.figure;
+    d.variant = variant;
+    d.execute = statsCollectingExecute(run);
+    return d;
+}
+
+/** buildGraph hook for the Fig. 1 prediction-triggered shape. */
+AttackGraphFn
+predictionGraph(AttackVariant variant, const char *mistrain_label,
+                const char *trigger_label)
+{
+    return [variant, mistrain_label,
+            trigger_label](CovertChannelKind channel) {
+        return buildPredictionGraph(variantInfo(variant), channel,
+                                    mistrain_label, trigger_label);
+    };
+}
+
+/** buildGraph hook for the Fig. 3/4 faulting-access shape with the
+ *  variant's Table III illegal-access string as the one source. */
+AttackGraphFn
+faultingGraph(AttackVariant variant, const char *trigger_label,
+              const char *squash_label)
+{
+    return [variant, trigger_label,
+            squash_label](CovertChannelKind channel) {
+        const VariantInfo &info = variantInfo(variant);
+        return buildFaultingAccessGraph(info, channel, trigger_label,
+                                        {info.illegalAccess},
+                                        squash_label);
+    };
+}
+
+/** Same shape, one source node per VariantInfo::sources entry. */
+AttackGraphFn
+multiSourceGraph(AttackVariant variant, const char *trigger_label,
+                 const char *squash_label)
+{
+    return [variant, trigger_label,
+            squash_label](CovertChannelKind channel) {
+        const VariantInfo &info = variantInfo(variant);
+        std::vector<std::string> labels;
+        for (const SecretSource source : info.sources)
+            labels.push_back(secretSourceAccessLabel(source));
+        return buildFaultingAccessGraph(info, channel, trigger_label,
+                                        labels, squash_label);
+    };
+}
+
+} // anonymous namespace
+
+void
+registerBuiltinAttacks(ScenarioCatalog &catalog)
+{
+    using enum AttackVariant;
+
+    {
+        AttackDescriptor d = builtin(SpectreV1, attacks::runSpectreV1);
+        d.buildGraph = predictionGraph(
+            SpectreV1, "Mistrain branch predictor",
+            "Conditional branch instruction (bounds check)");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d =
+            builtin(SpectreV1_1, attacks::runSpectreV1_1);
+        d.buildGraph = predictionGraph(
+            SpectreV1_1, "Mistrain branch predictor",
+            "Conditional branch instruction (bounds check)");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d =
+            builtin(SpectreV1_2, attacks::runSpectreV1_2);
+        d.buildGraph = predictionGraph(
+            SpectreV1_2, "Mistrain branch predictor",
+            "Speculated store instruction (read-only page)");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d = builtin(SpectreV2, attacks::runSpectreV2);
+        d.aliases = {"branch-target-injection"};
+        d.buildGraph = predictionGraph(
+            SpectreV2, "Mistrain BTB (branch target injection)",
+            "Indirect branch instruction");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d = builtin(Meltdown, attacks::runMeltdown);
+        // The canonical name "Meltdown (Spectre v3)" folds with the
+        // parentheses; keep the short spellings working too.
+        d.aliases = {"meltdown", "spectre-v3"};
+        d.buildGraph = faultingGraph(
+            Meltdown, "Load instruction (kernel address)",
+            "Load exception: squash pipeline");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d =
+            builtin(MeltdownV3a, attacks::runMeltdownV3a);
+        d.aliases = {"meltdown-v3a", "spectre-v3a"};
+        d.buildGraph = faultingGraph(
+            MeltdownV3a, "RDMSR instruction",
+            "Privilege exception: squash pipeline");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d = builtin(SpectreV4, attacks::runSpectreV4);
+        d.aliases = {"speculative-store-bypass"};
+        // Bespoke Fig. 6 shape: the pending store feeds the
+        // disambiguation check, so the authorization has *two*
+        // address inputs and cannot reuse the faulting-access shape.
+        d.buildGraph = [](CovertChannelKind channel) {
+            const VariantInfo &info = variantInfo(SpectreV4);
+            AttackGraph g;
+            g.setName(info.name);
+            const ChannelNodes ch = addChannel(g, channel);
+            const NodeId store = g.addOperation(
+                "Store: overwrite stale secret S at address A",
+                NodeRole::Other, AttackStep::DelayedAuth);
+            const NodeId load = g.addOperation(
+                "Load instruction (address A)", NodeRole::Trigger,
+                AttackStep::DelayedAuth);
+            const NodeId disamb = g.addOperation(
+                info.authorization, NodeRole::Authorization,
+                AttackStep::DelayedAuth);
+            const NodeId access = g.addOperation(
+                info.illegalAccess, NodeRole::SecretAccess,
+                AttackStep::Access);
+            const NodeId squash = g.addOperation(
+                "Squash or commit", NodeRole::Squash,
+                AttackStep::DelayedAuth);
+            g.addDependency(store, disamb, EdgeKind::Address);
+            g.addDependency(load, disamb, EdgeKind::Address);
+            g.addDependency(load, access, EdgeKind::Data);
+            g.addDependency(access, ch.use, EdgeKind::Data);
+            g.addDependency(disamb, squash, EdgeKind::Control);
+            return g;
+        };
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d =
+            builtin(SpectreRsb, attacks::runSpectreRsb);
+        d.buildGraph = predictionGraph(
+            SpectreRsb, "Underfill / poison return stack buffer",
+            "Return instruction");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d =
+            builtin(Foreshadow, attacks::runForeshadow);
+        d.aliases = {"foreshadow", "l1tf", "l1-terminal-fault"};
+        d.buildGraph = faultingGraph(
+            Foreshadow,
+            "Load instruction (PTE not present / reserved bits)",
+            "Terminal fault: squash pipeline");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d =
+            builtin(ForeshadowOs, attacks::runForeshadowOs);
+        d.buildGraph = faultingGraph(
+            ForeshadowOs,
+            "Load instruction (PTE not present / reserved bits)",
+            "Terminal fault: squash pipeline");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d =
+            builtin(ForeshadowVmm, attacks::runForeshadowVmm);
+        d.buildGraph = faultingGraph(
+            ForeshadowVmm,
+            "Load instruction (PTE not present / reserved bits)",
+            "Terminal fault: squash pipeline");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d = builtin(LazyFp, attacks::runLazyFp);
+        d.buildGraph = [](CovertChannelKind channel) {
+            const VariantInfo &info = variantInfo(LazyFp);
+            AttackGraph g = buildFaultingAccessGraph(
+                info, channel,
+                "First FP instruction after context switch",
+                {info.illegalAccess}, "FPU fault: squash pipeline");
+            const NodeId lazy = g.addOperation(
+                "Context switch without FPU state save",
+                NodeRole::Setup, AttackStep::Setup);
+            const auto trigger = g.nodesWithRole(NodeRole::Trigger);
+            g.addDependency(lazy, trigger.front(),
+                            EdgeKind::Resource);
+            return g;
+        };
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d = builtin(Spoiler, attacks::runSpoiler);
+        d.buildGraph = [](CovertChannelKind) {
+            // Spoiler's channel is store-buffer timing itself; the
+            // cache-channel choice does not apply (Fig.-free shape).
+            const VariantInfo &info = variantInfo(Spoiler);
+            AttackGraph g;
+            g.setName(info.name);
+            const NodeId stores = g.addOperation(
+                "Repeated stores with 1MB-aliased addresses",
+                NodeRole::Other, AttackStep::Setup);
+            const NodeId load = g.addOperation(
+                "Load instruction (aliased address)",
+                NodeRole::Trigger, AttackStep::DelayedAuth);
+            const NodeId disamb = g.addOperation(
+                info.authorization, NodeRole::Authorization,
+                AttackStep::DelayedAuth);
+            const NodeId probe = g.addOperation(
+                info.illegalAccess, NodeRole::SecretAccess,
+                AttackStep::Access);
+            const NodeId stall = g.addOperation(
+                "Store-buffer dependency stall (timing state "
+                "change)",
+                NodeRole::Send, AttackStep::UseSend);
+            const NodeId measure = g.addOperation(
+                "Measure load latency", NodeRole::Receive,
+                AttackStep::Receive);
+            g.addDependency(stores, disamb, EdgeKind::Address);
+            g.addDependency(load, disamb, EdgeKind::Address);
+            g.addDependency(load, probe, EdgeKind::Data);
+            g.addDependency(probe, stall, EdgeKind::Data);
+            g.addDependency(stall, measure, EdgeKind::Data);
+            return g;
+        };
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d = builtin(Ridl, attacks::runRidl);
+        d.buildGraph = multiSourceGraph(
+            Ridl, "Faulting load instruction",
+            "Load exception: squash pipeline");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d =
+            builtin(ZombieLoad, attacks::runZombieLoad);
+        d.buildGraph = multiSourceGraph(
+            ZombieLoad, "Faulting load instruction",
+            "Load exception: squash pipeline");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d = builtin(Fallout, attacks::runFallout);
+        d.buildGraph = multiSourceGraph(
+            Fallout, "Faulting load instruction",
+            "Load exception: squash pipeline");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d = builtin(Lvi, attacks::runLvi);
+        d.aliases = {"load-value-injection"};
+        // Bespoke Fig. 7 shape: attacker-planted value M diverts the
+        // victim's transient flow into leaking the victim's secret.
+        d.buildGraph = [](CovertChannelKind channel) {
+            const VariantInfo &info = variantInfo(Lvi);
+            AttackGraph g;
+            g.setName(info.name);
+            const ChannelNodes ch = addChannel(g, channel);
+            const NodeId plant = g.addOperation(
+                "Place malicious value M in hardware buffers",
+                NodeRole::Setup, AttackStep::Setup);
+            const NodeId load = g.addOperation(
+                "Victim faulting load instruction",
+                NodeRole::Trigger, AttackStep::DelayedAuth);
+            const NodeId check = g.addOperation(
+                info.authorization, NodeRole::Authorization,
+                AttackStep::DelayedAuth);
+            const NodeId squash = g.addOperation(
+                "Load exception: squash pipeline", NodeRole::Squash,
+                AttackStep::DelayedAuth);
+            g.addDependency(load, check, EdgeKind::Data);
+            g.addDependency(check, squash, EdgeKind::Control);
+            const NodeId divert = g.addOperation(
+                "Victim's control or data flow diverted by M",
+                NodeRole::Use, AttackStep::Access);
+            for (const SecretSource source : info.sources) {
+                const std::string label =
+                    "Read M from " +
+                    std::string(secretSourceName(source));
+                const NodeId read_m = g.addOperation(
+                    label, NodeRole::SecretAccess,
+                    AttackStep::Access);
+                g.addDependency(plant, read_m, EdgeKind::Resource);
+                g.addDependency(load, read_m, EdgeKind::Data);
+                g.addDependency(read_m, divert, EdgeKind::Data);
+            }
+            const NodeId load_s = g.addOperation(
+                "Load S (victim secret at attacker-chosen location)",
+                NodeRole::SecretAccess, AttackStep::Access);
+            g.addDependency(divert, load_s, EdgeKind::Data);
+            g.addDependency(load_s, ch.use, EdgeKind::Data);
+            return g;
+        };
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d = builtin(Taa, attacks::runTaa);
+        d.aliases = {"tsx-asynchronous-abort"};
+        d.buildGraph = multiSourceGraph(
+            Taa, "TSX transaction load (asynchronous abort)",
+            "Transaction abort: roll back");
+        catalog.registerAttack(std::move(d));
+    }
+    {
+        AttackDescriptor d = builtin(Cacheout, attacks::runCacheout);
+        d.buildGraph = multiSourceGraph(
+            Cacheout, "TSX transaction load (asynchronous abort)",
+            "Transaction abort: roll back");
+        catalog.registerAttack(std::move(d));
+    }
+
+    // The Section V-A composed variant (indirect-branch trigger x
+    // stale-FPU source) has no AttackVariant enumerator: it takes
+    // the first extension slot, proving in-tree that the registry is
+    // the extension seam, not the enum.
+    {
+        AttackDescriptor d;
+        d.name = "Composed: v2 trigger x FPU source";
+        d.aliases = {"composed-v2-fpu", "v2xfpu"};
+        d.klass = AttackClass::SpectreType;
+        d.cve = "N/A (composed, Sec. V-A)";
+        d.paperSection = "Sec. V-A";
+        d.buildGraph = [](CovertChannelKind channel) {
+            return composeAttack({TriggerKind::IndirectBranch,
+                                  SecretSource::FpuRegister,
+                                  channel});
+        };
+        d.execute =
+            statsCollectingExecute(attacks::runComposedV2FpuGadget);
+        catalog.registerAttack(std::move(d));
+    }
+}
+
+} // namespace specsec::core::detail

@@ -1,74 +1,70 @@
 #include "runner.hh"
 
 #include <stdexcept>
+#include <utility>
 
 namespace specsec::attacks
 {
+
+namespace
+{
+
+const core::AttackDescriptor &
+descriptorOrThrow(core::AttackVariant variant)
+{
+    const core::AttackDescriptor *descriptor =
+        core::ScenarioCatalog::instance().findAttack(variant);
+    if (descriptor == nullptr)
+        throw std::invalid_argument("runVariant: unknown variant");
+    if (!descriptor->execute) {
+        throw std::invalid_argument(
+            "runVariant: attack '" + descriptor->name +
+            "' has no execute hook registered");
+    }
+    return *descriptor;
+}
+
+} // anonymous namespace
 
 AttackResult
 runVariant(core::AttackVariant variant, const CpuConfig &config,
            const AttackOptions &options)
 {
-    using core::AttackVariant;
-    switch (variant) {
-      case AttackVariant::SpectreV1:
-        return runSpectreV1(config, options);
-      case AttackVariant::SpectreV1_1:
-        return runSpectreV1_1(config, options);
-      case AttackVariant::SpectreV1_2:
-        return runSpectreV1_2(config, options);
-      case AttackVariant::SpectreV2:
-        return runSpectreV2(config, options);
-      case AttackVariant::Meltdown:
-        return runMeltdown(config, options);
-      case AttackVariant::MeltdownV3a:
-        return runMeltdownV3a(config, options);
-      case AttackVariant::SpectreV4:
-        return runSpectreV4(config, options);
-      case AttackVariant::SpectreRsb:
-        return runSpectreRsb(config, options);
-      case AttackVariant::Foreshadow:
-        return runForeshadow(config, options);
-      case AttackVariant::ForeshadowOs:
-        return runForeshadowOs(config, options);
-      case AttackVariant::ForeshadowVmm:
-        return runForeshadowVmm(config, options);
-      case AttackVariant::LazyFp:
-        return runLazyFp(config, options);
-      case AttackVariant::Spoiler:
-        return runSpoiler(config, options);
-      case AttackVariant::Ridl:
-        return runRidl(config, options);
-      case AttackVariant::ZombieLoad:
-        return runZombieLoad(config, options);
-      case AttackVariant::Fallout:
-        return runFallout(config, options);
-      case AttackVariant::Lvi:
-        return runLvi(config, options);
-      case AttackVariant::Taa:
-        return runTaa(config, options);
-      case AttackVariant::Cacheout:
-        return runCacheout(config, options);
-    }
-    throw std::invalid_argument("runVariant: unknown variant");
+    uarch::CpuStats ignored;
+    return descriptorOrThrow(variant).execute(config, options,
+                                              ignored);
 }
 
 AttackResult
 runVariant(core::AttackVariant variant, const CpuConfig &config,
            const AttackOptions &options, uarch::CpuStats &stats_out)
 {
-    const std::uint64_t deaths_before = scenarioDeathCount();
-    AttackResult result = runVariant(variant, config, options);
-    // lastScenarioStats() is only this run's counters if the runner
-    // owned exactly one Scenario; fail loudly instead of exporting
-    // another scenario's stats.
-    if (scenarioDeathCount() != deaths_before + 1) {
-        throw std::logic_error(
-            "runVariant: attack runner did not construct exactly "
-            "one Scenario; teach it to report CpuStats explicitly");
-    }
-    stats_out = lastScenarioStats();
-    return result;
+    return descriptorOrThrow(variant).execute(config, options,
+                                              stats_out);
+}
+
+core::AttackExecuteFn
+statsCollectingExecute(
+    std::function<AttackResult(const CpuConfig &,
+                               const AttackOptions &)> fn)
+{
+    return [fn = std::move(fn)](const CpuConfig &config,
+                                const AttackOptions &options,
+                                uarch::CpuStats &stats_out) {
+        const std::uint64_t deaths_before = scenarioDeathCount();
+        AttackResult result = fn(config, options);
+        // lastScenarioStats() is only this run's counters if the
+        // runner owned exactly one Scenario; fail loudly instead of
+        // exporting another scenario's stats.
+        if (scenarioDeathCount() != deaths_before + 1) {
+            throw std::logic_error(
+                "statsCollectingExecute: attack runner did not "
+                "construct exactly one Scenario; report CpuStats "
+                "explicitly from a custom execute hook instead");
+        }
+        stats_out = lastScenarioStats();
+        return result;
+    };
 }
 
 } // namespace specsec::attacks

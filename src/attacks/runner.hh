@@ -1,11 +1,18 @@
 /**
  * @file
  * Dispatcher: run any cataloged attack variant on a configured CPU.
+ *
+ * Since the ScenarioCatalog redesign this is a thin lookup: the
+ * variant's AttackDescriptor::execute hook (registered in
+ * builtin_attacks.cc, or by an out-of-tree extension) does the work,
+ * so registered attacks without an AttackVariant enumerator run
+ * through the same entry points.
  */
 
 #ifndef SPECSEC_ATTACKS_RUNNER_HH
 #define SPECSEC_ATTACKS_RUNNER_HH
 
+#include "core/catalog.hh"
 #include "core/variants.hh"
 #include "meltdown.hh"
 #include "mds.hh"
@@ -31,6 +38,21 @@ AttackResult runVariant(core::AttackVariant variant,
                         const CpuConfig &config,
                         const AttackOptions &options,
                         uarch::CpuStats &stats_out);
+
+/**
+ * Wrap a plain `(config, options) -> AttackResult` attack runner
+ * into the catalog's execute signature: run @p fn, then report the
+ * final CpuStats of the Scenario it owned via lastScenarioStats().
+ *
+ * The wrapper enforces the one-Scenario-per-run invariant that makes
+ * lastScenarioStats() this run's counters (scenarioDeathCount() must
+ * advance by exactly one), failing loudly otherwise.  Every built-in
+ * registration uses it; out-of-tree attacks built from attack_kit
+ * steps should too.
+ */
+core::AttackExecuteFn statsCollectingExecute(
+    std::function<AttackResult(const CpuConfig &,
+                               const AttackOptions &)> fn);
 
 } // namespace specsec::attacks
 

@@ -5,11 +5,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "attacks/runner.hh"
+#include "core/catalog.hh"
 #include "sink.hh"
 
 namespace specsec::campaign
@@ -18,12 +20,44 @@ namespace specsec::campaign
 namespace
 {
 
-std::vector<core::AttackVariant>
-resolveVariants(const ScenarioSpec &spec)
+/**
+ * The grid's rows as catalog descriptors: the enum-addressed
+ * `variants` first, then the name-addressed `attackNames` (the
+ * extension seam), defaulting to every enum-backed attack.  Throws
+ * std::invalid_argument — with did-you-mean suggestions — on names
+ * the catalog does not know, so a typo fails the campaign up front
+ * instead of producing a half-empty grid.
+ */
+std::vector<const core::AttackDescriptor *>
+resolveAttacks(const ScenarioSpec &spec)
 {
-    if (!spec.variants.empty())
-        return spec.variants;
-    return core::allVariants();
+    const core::ScenarioCatalog &catalog =
+        core::ScenarioCatalog::instance();
+    std::vector<const core::AttackDescriptor *> rows;
+    for (const core::AttackVariant v : spec.variants) {
+        const core::AttackDescriptor *d = catalog.findAttack(v);
+        if (d == nullptr) {
+            throw std::invalid_argument(
+                "campaign: spec names an unregistered attack "
+                "variant slot");
+        }
+        rows.push_back(d);
+    }
+    for (const std::string &name : spec.attackNames) {
+        const core::AttackDescriptor *d = catalog.findAttack(name);
+        if (d == nullptr) {
+            throw std::invalid_argument(core::unknownNameMessage(
+                "attack", name, catalog.attackSuggestions(name)));
+        }
+        rows.push_back(d);
+    }
+    if (rows.empty()) {
+        for (const core::AttackDescriptor *d : catalog.attacks()) {
+            if (d->variant)
+                rows.push_back(d);
+        }
+    }
+    return rows;
 }
 
 std::vector<DefenseAxis>
@@ -86,21 +120,31 @@ resolveCaches(const ScenarioSpec &spec)
 
 } // namespace
 
-void
-SoftwareMitigation::applyTo(AttackOptions &options) const
+SoftwareMitigation
+SoftwareMitigation::fromCatalog(
+    const core::MitigationDescriptor &descriptor)
 {
-    options.kpti |= kpti;
-    options.rsbStuffing |= rsbStuffing;
-    options.softwareLfence |= softwareLfence;
-    options.addressMasking |= addressMasking;
-    options.flushL1OnExit |= flushL1OnExit;
+    SoftwareMitigation m;
+    m.label = descriptor.name;
+    m.toggles = descriptor.toggles;
+    return m;
+}
+
+std::optional<SoftwareMitigation>
+SoftwareMitigation::byName(const std::string &name)
+{
+    const core::MitigationDescriptor *descriptor =
+        core::ScenarioCatalog::instance().findMitigation(name);
+    if (descriptor == nullptr)
+        return std::nullopt;
+    return fromCatalog(*descriptor);
 }
 
 std::size_t
 ScenarioSpec::gridSize() const
 {
     // Same resolution rules as expandGrid, so the two always agree.
-    return resolveVariants(*this).size() *
+    return resolveAttacks(*this).size() *
            resolveDefenses(*this).size() *
            resolveMitigations(*this).size() *
            resolveVulns(*this).size() * resolveCaches(*this).size() *
@@ -342,7 +386,7 @@ parseScenarioKey(const std::string &key,
 std::vector<Scenario>
 expandGrid(const ScenarioSpec &spec)
 {
-    const auto variants = resolveVariants(spec);
+    const auto attacks = resolveAttacks(spec);
     const auto defenses = resolveDefenses(spec);
     const auto mitigations = resolveMitigations(spec);
     const auto vulns = resolveVulns(spec);
@@ -355,10 +399,10 @@ expandGrid(const ScenarioSpec &spec)
         resolveKnob(spec.channels, spec.baseOptions.channel);
 
     std::vector<Scenario> grid;
-    grid.reserve(variants.size() * defenses.size() *
+    grid.reserve(attacks.size() * defenses.size() *
                  mitigations.size() * vulns.size() * caches.size() *
                  robs.size() * lats.size() * chans.size());
-    for (std::size_t vi = 0; vi < variants.size(); ++vi)
+    for (std::size_t vi = 0; vi < attacks.size(); ++vi)
     for (std::size_t di = 0; di < defenses.size(); ++di)
     for (const SoftwareMitigation &mit : mitigations)
     for (const VulnAblation &vuln : vulns)
@@ -367,7 +411,7 @@ expandGrid(const ScenarioSpec &spec)
     for (unsigned lat : lats)
     for (core::CovertChannelKind chan : chans) {
         Scenario s;
-        s.variant = variants[vi];
+        s.variant = attacks[vi]->id;
         s.config = spec.baseConfig;
         s.options = spec.baseOptions;
         s.config.vuln = vuln.vuln;
@@ -383,7 +427,7 @@ expandGrid(const ScenarioSpec &spec)
         s.row = vi;
         s.col = di;
         s.gridIndex = grid.size();
-        s.rowLabel = core::variantInfo(s.variant).name;
+        s.rowLabel = attacks[vi]->name;
         s.colLabel = defenses[di].label;
         s.key = scenarioKey(s.variant, s.config, s.options);
         grid.push_back(std::move(s));
@@ -679,8 +723,8 @@ CampaignEngine::run(const ScenarioSpec &spec,
 
     CampaignHeader header;
     header.name = spec.name;
-    for (core::AttackVariant v : resolveVariants(spec))
-        header.rowLabels.push_back(core::variantInfo(v).name);
+    for (const core::AttackDescriptor *attack : resolveAttacks(spec))
+        header.rowLabels.push_back(attack->name);
     for (const DefenseAxis &d : resolveDefenses(spec))
         header.colLabels.push_back(d.label);
     header.expandedCount = grid.expanded.size();

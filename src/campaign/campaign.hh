@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "attacks/attack_kit.hh"
+#include "core/catalog.hh"
 #include "core/variants.hh"
 
 namespace specsec::campaign
@@ -76,13 +77,26 @@ struct DefenseAxis
 struct SoftwareMitigation
 {
     std::string label = "none";
-    bool kpti = false;           ///< unmap kernel pages (Meltdown)
-    bool rsbStuffing = false;    ///< benign RSB refill (Spectre-RSB)
-    bool softwareLfence = false; ///< LFENCE after bounds checks
-    bool addressMasking = false; ///< index masking after bounds checks
-    bool flushL1OnExit = false;  ///< L1 flush on exit (Foreshadow)
 
-    void applyTo(AttackOptions &options) const;
+    /// The toggle set (core::MitigationToggles, the same data a
+    /// MitigationDescriptor carries — one definition of the sweep
+    /// semantics).
+    core::MitigationToggles toggles;
+
+    void applyTo(AttackOptions &options) const
+    {
+        toggles.applyTo(options);
+    }
+
+    /** Sweep value for a cataloged MitigationDescriptor: its name
+     *  becomes the label, its toggles copy over. */
+    static SoftwareMitigation
+    fromCatalog(const core::MitigationDescriptor &descriptor);
+
+    /** fromCatalog() by registry name/alias; nullopt when unknown
+     *  (callers print ScenarioCatalog::mitigationSuggestions). */
+    static std::optional<SoftwareMitigation>
+    byName(const std::string &name);
 };
 
 /**
@@ -108,8 +122,19 @@ struct ScenarioSpec
 {
     std::string name = "campaign";
 
-    /// Rows.  Empty means core::allVariants().
+    /// Rows by enum slot.  When both this and @c attackNames are
+    /// empty, the rows are every catalog attack with an enumerator
+    /// (== core::allVariants(); registered extensions only join a
+    /// grid that names them).
     std::vector<core::AttackVariant> variants;
+
+    /// Extra rows resolved from the ScenarioCatalog by name or
+    /// alias — the open extension seam: attacks registered at
+    /// startup (including out-of-tree ones with no AttackVariant
+    /// value) join the grid like any built-in.  Appended after
+    /// @c variants; unknown names make gridSize()/expandGrid()
+    /// throw std::invalid_argument with did-you-mean suggestions.
+    std::vector<std::string> attackNames;
 
     /// Columns.  Empty means a single baseline column.
     std::vector<DefenseAxis> defenses;

@@ -17,6 +17,7 @@
 #include <sstream>
 
 #include "campaign.hh"
+#include "core/catalog.hh"
 #include "tool/jsonio.hh"
 #include "tool/report.hh"
 #include "tool/report_io.hh"
@@ -54,8 +55,30 @@ modelFingerprint()
                   kModelVersion, sizeof(CpuConfig),
                   sizeof(AttackOptions), sizeof(AttackResult),
                   sizeof(CpuStats));
-    return buf + scenarioKey(core::AttackVariant::SpectreV1,
-                             CpuConfig{}, AttackOptions{});
+    std::string fingerprint =
+        buf + scenarioKey(core::AttackVariant::SpectreV1,
+                          CpuConfig{}, AttackOptions{});
+    // Extension attacks are keyed on catalog-assigned synthetic
+    // slots, and slot assignment follows registration order — which
+    // another binary (or a rebuild reordering static registrars) is
+    // free to change.  Pinning each slot -> name binding into the
+    // fingerprint makes a cache written under a different extension
+    // set load nothing instead of silently replaying one extension's
+    // results as another's.  Two binaries share caches exactly when
+    // they register the same extensions in the same order (every
+    // binary carries at least the built-in composed v2xFPU entry);
+    // a binary registering more, like custom_attack, keeps its own.
+    for (const core::AttackDescriptor *d :
+         core::ScenarioCatalog::instance().attacks()) {
+        if (!d->isExtension())
+            continue;
+        fingerprint += "ext";
+        fingerprint += std::to_string(static_cast<unsigned>(d->id));
+        fingerprint += "=";
+        fingerprint += d->name;
+        fingerprint += ";";
+    }
+    return fingerprint;
 }
 
 bool

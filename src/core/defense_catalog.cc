@@ -2,174 +2,19 @@
 
 #include <stdexcept>
 
+#include "catalog.hh"
+
 namespace specsec::core
 {
-
-namespace
-{
-
-using enum AttackVariant;
-using enum DefenseMechanism;
-using enum DefenseOrigin;
-using enum DefenseStrategy;
-
-/** Spectre bounds-bypass family (Table II row "address masking"). */
-const std::vector<AttackVariant> kBoundsFamily = {
-    SpectreV1, SpectreV1_1, SpectreV1_2};
-
-/** Branch-prediction-based family (Table II "prevent mis-training"). */
-const std::vector<AttackVariant> kPredictionFamily = {
-    SpectreV1, SpectreV1_1, SpectreV1_2, SpectreV2};
-
-/** Every variant that exfiltrates through the cache covert channel. */
-const std::vector<AttackVariant> kCacheChannelFamily = {
-    SpectreV1, SpectreV1_1, SpectreV1_2, SpectreV2, Meltdown,
-    MeltdownV3a, SpectreV4, SpectreRsb, Foreshadow, ForeshadowOs,
-    ForeshadowVmm, LazyFp, Ridl, ZombieLoad, Fallout, Lvi, Taa,
-    Cacheout};
-
-const std::vector<DefenseInfo> kDefenseTable = {
-    {LFence, "LFENCE", Industry, PreventAccess,
-     "Serializing fence: no younger load executes before the fence "
-     "retires, ordering the access after the authorization.",
-     kBoundsFamily},
-    {MFence, "MFENCE", Industry, PreventAccess,
-     "Full memory fence serializing loads and stores.",
-     kBoundsFamily},
-    {Kaiser, "KAISER", Industry, PreventAccess,
-     "Unmap kernel pages from user space so no transient access to "
-     "kernel data is possible before authorization.",
-     {Meltdown}},
-    {Kpti, "Kernel Page Table Isolation (KPTI)", Industry,
-     PreventAccess,
-     "Linux implementation of KAISER: separate user/kernel page "
-     "tables remove the secret from the attacker's address space.",
-     {Meltdown}},
-    {DisableBranchPrediction, "Disable branch prediction", Industry,
-     ClearPredictions,
-     "No prediction means no attacker-steered transient path.",
-     kPredictionFamily},
-    {Ibrs, "Indirect Branch Restricted Speculation (IBRS)", Industry,
-     ClearPredictions,
-     "Restricts indirect branch prediction from less privileged "
-     "mode's training.",
-     {SpectreV2}},
-    {Stibp, "Single Thread Indirect Branch Predictor (STIBP)",
-     Industry, ClearPredictions,
-     "Prevents sibling hyperthread from steering indirect branch "
-     "prediction.",
-     {SpectreV2}},
-    {Ibpb, "Indirect Branch Prediction Barrier (IBPB)", Industry,
-     ClearPredictions,
-     "Flushes indirect branch predictor state at the barrier so "
-     "earlier training cannot influence later branches.",
-     {SpectreV2}},
-    {InvalidatePredictorOnContextSwitch,
-     "Invalidate branch predictor / BTB on context switch", Industry,
-     ClearPredictions,
-     "AMD-style predictor invalidation between contexts.",
-     {SpectreV2}},
-    {Retpoline, "Retpoline", Industry, ClearPredictions,
-     "Replaces indirect branches (poisoned BTB) with returns that "
-     "use the return stack.",
-     {SpectreV2}},
-    {CoarseAddressMasking, "Coarse address masking", Industry,
-     PreventAccess,
-     "Force the accessed address into the legal range regardless of "
-     "the speculated index (V8 / Linux kernel).",
-     kBoundsFamily},
-    {DataDependentAddressMasking, "Data-dependent address masking",
-     Industry, PreventAccess,
-     "Mask computed from the bounds comparison, clamping "
-     "out-of-bounds speculative accesses.",
-     kBoundsFamily},
-    {Ssbb, "Speculative Store Bypass Barrier (SSBB)", Industry,
-     PreventAccess,
-     "ARM barrier: loads cannot bypass older stores' address "
-     "resolution across the barrier.",
-     {SpectreV4}},
-    {Ssbs, "Speculative Store Bypass Safe (SSBS)", Industry,
-     PreventAccess,
-     "Mode bit disabling speculative store bypass entirely.",
-     {SpectreV4}},
-    {RsbStuffing, "RSB stuffing", Industry, ClearPredictions,
-     "Refill the return stack buffer so returns never fall back to "
-     "the poisoned BTB or stale entries.",
-     {SpectreRsb}},
-    {ContextSensitiveFencing, "Context-sensitive fencing", Academia,
-     PreventAccess,
-     "Micro-op level fence injection between authorization and "
-     "protected access (Taram et al.).",
-     kPredictionFamily},
-    {Sabc, "Secure Automatic Bounds Checking (SABC)", Academia,
-     PreventAccess,
-     "Inserts arithmetic data dependencies between the bounds check "
-     "and the access (Ojogbo et al.).",
-     kBoundsFamily},
-    {SpectreGuard, "SpectreGuard", Academia, PreventUse,
-     "Software-marked secret regions; speculative loads of marked "
-     "data are not forwarded to dependents (Fustos et al.).",
-     kCacheChannelFamily},
-    {Nda, "NDA", Academia, PreventUse,
-     "No speculative data propagation: speculatively loaded values "
-     "are not forwarded until the load is safe (Weisse et al.).",
-     kCacheChannelFamily},
-    {ConTExT, "ConTExT", Academia, PreventUse,
-     "Secret memory marked non-transient; such values never enter "
-     "transient execution (Schwarz et al.).",
-     kCacheChannelFamily},
-    {SpecShield, "SpecShield", Academia, PreventUse,
-     "Shields speculative data from forwarding to potential covert "
-     "channels (Barber et al.).",
-     kCacheChannelFamily},
-    {SpecShieldErpPlus, "SpecShieldERP+", Academia, PreventSend,
-     "Blocks only loads whose address depends on speculative data "
-     "(Barber et al.).",
-     kCacheChannelFamily},
-    {Stt, "Speculative Taint Tracking (STT)", Academia, PreventSend,
-     "Taints speculative data and blocks tainted transmit "
-     "instructions until authorization (Yu et al.).",
-     kCacheChannelFamily},
-    {Dawg, "DAWG", Academia, PreventSend,
-     "Way-partitioned cache: the sender's state change is invisible "
-     "to receivers in other protection domains (Kiriansky et al.).",
-     kCacheChannelFamily},
-    {InvisiSpec, "InvisiSpec", Academia, PreventSend,
-     "Speculative loads fill a shadow buffer, not the cache; the "
-     "cache state change happens only after authorization (Yan et "
-     "al.).",
-     kCacheChannelFamily},
-    {SafeSpec, "SafeSpec", Academia, PreventSend,
-     "Shadow structures for speculative state, discarded on squash "
-     "(Khasawneh et al.).",
-     kCacheChannelFamily},
-    {ConditionalSpeculation, "Conditional Speculation", Academia,
-     PreventSend,
-     "Speculative loads that hit in the cache proceed (no state "
-     "change); misses wait for authorization (Li et al.).",
-     kCacheChannelFamily},
-    {EfficientInvisibleSpeculation,
-     "Efficient Invisible Speculative Execution", Academia,
-     PreventSend,
-     "Selective delay + value prediction for speculative loads "
-     "(Sakalis et al.).",
-     kCacheChannelFamily},
-    {CleanupSpec, "CleanupSpec", Academia, PreventSend,
-     "Allows speculative cache changes but undoes them on "
-     "mis-speculation (Saileshwar and Qureshi).",
-     kCacheChannelFamily},
-};
-
-} // anonymous namespace
 
 const DefenseInfo &
 defenseInfo(DefenseMechanism mechanism)
 {
-    for (const DefenseInfo &info : kDefenseTable) {
-        if (info.mechanism == mechanism)
-            return info;
-    }
-    throw std::invalid_argument("defenseInfo: unknown mechanism");
+    const DefenseDescriptor *descriptor =
+        ScenarioCatalog::instance().findDefense(mechanism);
+    if (descriptor == nullptr)
+        throw std::invalid_argument("defenseInfo: unknown mechanism");
+    return descriptor->info;
 }
 
 const std::vector<DefenseMechanism> &
@@ -177,8 +22,11 @@ allDefenseMechanisms()
 {
     static const std::vector<DefenseMechanism> all = [] {
         std::vector<DefenseMechanism> v;
-        for (const DefenseInfo &info : kDefenseTable)
-            v.push_back(info.mechanism);
+        for (const DefenseDescriptor *d :
+             ScenarioCatalog::instance().defenses()) {
+            if (d->mechanism)
+                v.push_back(*d->mechanism);
+        }
         return v;
     }();
     return all;

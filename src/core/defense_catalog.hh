@@ -5,6 +5,11 @@
  * one of the paper's four defense strategies.  This encodes the
  * paper's claim that "all currently proposed defenses, from both
  * industry and academia, can be modelled by our defense strategies".
+ *
+ * The entries live in the ScenarioCatalog (catalog.hh) as
+ * DefenseDescriptors, registered in defense/builtin_defenses.cc
+ * alongside their simulator realizations; the accessors here are
+ * thin views over the registry for enum-addressed callers.
  */
 
 #ifndef SPECSEC_CORE_DEFENSE_CATALOG_HH

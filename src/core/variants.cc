@@ -1,9 +1,9 @@
 #include "variants.hh"
 
-#include <cctype>
-#include <map>
 #include <stdexcept>
 #include <string>
+
+#include "catalog.hh"
 
 namespace specsec::core
 {
@@ -161,21 +161,8 @@ const std::vector<VariantInfo> kVariantTable = {
      false, true, false, true},
 };
 
-/** Channel vertices shared by every attack graph. */
-struct ChannelNodes
-{
-    NodeId setup = graph::kInvalidNode;   ///< flush / prime
-    NodeId use = graph::kInvalidNode;     ///< compute load address R
-    NodeId send = graph::kInvalidNode;    ///< load R to cache / evict
-    NodeId receive = graph::kInvalidNode; ///< reload / probe
-    NodeId measure = graph::kInvalidNode; ///< measure time
-};
+} // anonymous namespace
 
-/**
- * Add the covert-channel half (steps 1a, 4, 5) of an attack graph:
- * setup -> ... -> send -> receive -> measure, with the "use" node
- * (compute R) ready to be fed by the variant's secret access.
- */
 ChannelNodes
 addChannel(AttackGraph &g, CovertChannelKind kind)
 {
@@ -214,10 +201,6 @@ addChannel(AttackGraph &g, CovertChannelKind kind)
     return ch;
 }
 
-/**
- * Build a Fig. 1-shaped graph: misprediction-triggered attack where
- * the authorization is the (delayed) resolution of a prediction.
- */
 AttackGraph
 buildPredictionGraph(const VariantInfo &info, CovertChannelKind kind,
                      const char *mistrain_label,
@@ -251,11 +234,6 @@ buildPredictionGraph(const VariantInfo &info, CovertChannelKind kind,
     return g;
 }
 
-/**
- * Build a Fig. 3/4-shaped graph: a faulting access whose
- * authorization (permission/fault check) and secret access live in
- * the same instruction, possibly with several alternative sources.
- */
 AttackGraph
 buildFaultingAccessGraph(const VariantInfo &info, CovertChannelKind kind,
                          const char *trigger_label,
@@ -283,9 +261,8 @@ buildFaultingAccessGraph(const VariantInfo &info, CovertChannelKind kind,
     return g;
 }
 
-/** Source labels for the Fig. 4 style multi-source graphs. */
 std::string
-sourceLabel(SecretSource source)
+secretSourceAccessLabel(SecretSource source)
 {
     switch (source) {
       case Memory: return "Read S from memory";
@@ -300,8 +277,6 @@ sourceLabel(SecretSource source)
     }
     return "Read S";
 }
-
-} // anonymous namespace
 
 const VariantInfo &
 variantInfo(AttackVariant variant)
@@ -328,48 +303,11 @@ allVariants()
 std::optional<AttackVariant>
 findVariantByName(const std::string &name)
 {
-    const auto fold = [](const std::string &s) {
-        std::string out;
-        for (char c : s) {
-            if (std::isalnum(static_cast<unsigned char>(c)))
-                out += static_cast<char>(
-                    std::tolower(static_cast<unsigned char>(c)));
-        }
-        return out;
-    };
-    // Short spellings matching the AttackVariant enumerators, for
-    // CLI use where the catalog names are unwieldy.
-    static const std::pair<const char *, AttackVariant> kShort[] = {
-        {"SpectreV1", AttackVariant::SpectreV1},
-        {"SpectreV1_1", AttackVariant::SpectreV1_1},
-        {"SpectreV1_2", AttackVariant::SpectreV1_2},
-        {"SpectreV2", AttackVariant::SpectreV2},
-        {"Meltdown", AttackVariant::Meltdown},
-        {"MeltdownV3a", AttackVariant::MeltdownV3a},
-        {"SpectreV4", AttackVariant::SpectreV4},
-        {"SpectreRsb", AttackVariant::SpectreRsb},
-        {"Foreshadow", AttackVariant::Foreshadow},
-        {"ForeshadowOs", AttackVariant::ForeshadowOs},
-        {"ForeshadowVmm", AttackVariant::ForeshadowVmm},
-        {"LazyFp", AttackVariant::LazyFp},
-        {"Spoiler", AttackVariant::Spoiler},
-        {"Ridl", AttackVariant::Ridl},
-        {"ZombieLoad", AttackVariant::ZombieLoad},
-        {"Fallout", AttackVariant::Fallout},
-        {"Lvi", AttackVariant::Lvi},
-        {"Taa", AttackVariant::Taa},
-        {"Cacheout", AttackVariant::Cacheout},
-    };
-    const std::string wanted = fold(name);
-    for (const auto &[spelling, variant] : kShort) {
-        if (fold(spelling) == wanted)
-            return variant;
-    }
-    for (const VariantInfo &info : kVariantTable) {
-        if (fold(info.name) == wanted)
-            return info.variant;
-    }
-    return std::nullopt;
+    const AttackDescriptor *descriptor =
+        ScenarioCatalog::instance().findAttack(name);
+    if (descriptor == nullptr || !descriptor->variant)
+        return std::nullopt;
+    return *descriptor->variant;
 }
 
 std::vector<AttackVariant>
@@ -397,168 +335,12 @@ tableIVariants()
 AttackGraph
 buildAttackGraph(AttackVariant variant, CovertChannelKind channel)
 {
-    const VariantInfo &info = variantInfo(variant);
-    switch (variant) {
-      case SpectreV1:
-        return buildPredictionGraph(
-            info, channel, "Mistrain branch predictor",
-            "Conditional branch instruction (bounds check)");
-      case SpectreV1_1:
-        return buildPredictionGraph(
-            info, channel, "Mistrain branch predictor",
-            "Conditional branch instruction (bounds check)");
-      case SpectreV1_2:
-        return buildPredictionGraph(
-            info, channel, "Mistrain branch predictor",
-            "Speculated store instruction (read-only page)");
-      case SpectreV2:
-        return buildPredictionGraph(
-            info, channel, "Mistrain BTB (branch target injection)",
-            "Indirect branch instruction");
-      case SpectreRsb:
-        return buildPredictionGraph(
-            info, channel, "Underfill / poison return stack buffer",
-            "Return instruction");
-      case Meltdown:
-        return buildFaultingAccessGraph(
-            info, channel, "Load instruction (kernel address)",
-            {info.illegalAccess}, "Load exception: squash pipeline");
-      case MeltdownV3a:
-        return buildFaultingAccessGraph(
-            info, channel, "RDMSR instruction",
-            {info.illegalAccess},
-            "Privilege exception: squash pipeline");
-      case LazyFp: {
-        AttackGraph g = buildFaultingAccessGraph(
-            info, channel, "First FP instruction after context switch",
-            {info.illegalAccess}, "FPU fault: squash pipeline");
-        const NodeId lazy = g.addOperation(
-            "Context switch without FPU state save", NodeRole::Setup,
-            AttackStep::Setup);
-        const auto trigger = g.nodesWithRole(NodeRole::Trigger);
-        g.addDependency(lazy, trigger.front(), EdgeKind::Resource);
-        return g;
-      }
-      case Foreshadow:
-      case ForeshadowOs:
-      case ForeshadowVmm:
-        return buildFaultingAccessGraph(
-            info, channel,
-            "Load instruction (PTE not present / reserved bits)",
-            {info.illegalAccess}, "Terminal fault: squash pipeline");
-      case Ridl:
-      case ZombieLoad:
-      case Fallout: {
-        std::vector<std::string> labels;
-        for (SecretSource s : info.sources)
-            labels.push_back(sourceLabel(s));
-        return buildFaultingAccessGraph(
-            info, channel, "Faulting load instruction", labels,
-            "Load exception: squash pipeline");
-      }
-      case Taa:
-      case Cacheout: {
-        std::vector<std::string> labels;
-        for (SecretSource s : info.sources)
-            labels.push_back(sourceLabel(s));
-        return buildFaultingAccessGraph(
-            info, channel,
-            "TSX transaction load (asynchronous abort)", labels,
-            "Transaction abort: roll back");
-      }
-      case SpectreV4: {
-        AttackGraph g;
-        g.setName(info.name);
-        const ChannelNodes ch = addChannel(g, channel);
-        const NodeId store = g.addOperation(
-            "Store: overwrite stale secret S at address A",
-            NodeRole::Other, AttackStep::DelayedAuth);
-        const NodeId load = g.addOperation(
-            "Load instruction (address A)", NodeRole::Trigger,
-            AttackStep::DelayedAuth);
-        const NodeId disamb = g.addOperation(
-            info.authorization, NodeRole::Authorization,
-            AttackStep::DelayedAuth);
-        const NodeId access = g.addOperation(
-            info.illegalAccess, NodeRole::SecretAccess,
-            AttackStep::Access);
-        const NodeId squash = g.addOperation(
-            "Squash or commit", NodeRole::Squash,
-            AttackStep::DelayedAuth);
-        g.addDependency(store, disamb, EdgeKind::Address);
-        g.addDependency(load, disamb, EdgeKind::Address);
-        g.addDependency(load, access, EdgeKind::Data);
-        g.addDependency(access, ch.use, EdgeKind::Data);
-        g.addDependency(disamb, squash, EdgeKind::Control);
-        return g;
-      }
-      case Lvi: {
-        AttackGraph g;
-        g.setName(info.name);
-        const ChannelNodes ch = addChannel(g, channel);
-        const NodeId plant = g.addOperation(
-            "Place malicious value M in hardware buffers",
-            NodeRole::Setup, AttackStep::Setup);
-        const NodeId load = g.addOperation(
-            "Victim faulting load instruction", NodeRole::Trigger,
-            AttackStep::DelayedAuth);
-        const NodeId check = g.addOperation(
-            info.authorization, NodeRole::Authorization,
-            AttackStep::DelayedAuth);
-        const NodeId squash = g.addOperation(
-            "Load exception: squash pipeline", NodeRole::Squash,
-            AttackStep::DelayedAuth);
-        g.addDependency(load, check, EdgeKind::Data);
-        g.addDependency(check, squash, EdgeKind::Control);
-        const NodeId divert = g.addOperation(
-            "Victim's control or data flow diverted by M",
-            NodeRole::Use, AttackStep::Access);
-        for (SecretSource s : info.sources) {
-            const std::string label =
-                "Read M from " + std::string(secretSourceName(s));
-            const NodeId read_m = g.addOperation(
-                label, NodeRole::SecretAccess, AttackStep::Access);
-            g.addDependency(plant, read_m, EdgeKind::Resource);
-            g.addDependency(load, read_m, EdgeKind::Data);
-            g.addDependency(read_m, divert, EdgeKind::Data);
-        }
-        const NodeId load_s = g.addOperation(
-            "Load S (victim secret at attacker-chosen location)",
-            NodeRole::SecretAccess, AttackStep::Access);
-        g.addDependency(divert, load_s, EdgeKind::Data);
-        g.addDependency(load_s, ch.use, EdgeKind::Data);
-        return g;
-      }
-      case Spoiler: {
-        AttackGraph g;
-        g.setName(info.name);
-        const NodeId stores = g.addOperation(
-            "Repeated stores with 1MB-aliased addresses",
-            NodeRole::Other, AttackStep::Setup);
-        const NodeId load = g.addOperation(
-            "Load instruction (aliased address)", NodeRole::Trigger,
-            AttackStep::DelayedAuth);
-        const NodeId disamb = g.addOperation(
-            info.authorization, NodeRole::Authorization,
-            AttackStep::DelayedAuth);
-        const NodeId probe = g.addOperation(
-            info.illegalAccess, NodeRole::SecretAccess,
-            AttackStep::Access);
-        const NodeId stall = g.addOperation(
-            "Store-buffer dependency stall (timing state change)",
-            NodeRole::Send, AttackStep::UseSend);
-        const NodeId measure = g.addOperation(
-            "Measure load latency", NodeRole::Receive,
-            AttackStep::Receive);
-        g.addDependency(stores, disamb, EdgeKind::Address);
-        g.addDependency(load, disamb, EdgeKind::Address);
-        g.addDependency(load, probe, EdgeKind::Data);
-        g.addDependency(probe, stall, EdgeKind::Data);
-        g.addDependency(stall, measure, EdgeKind::Data);
-        return g;
-      }
-    }
-    throw std::invalid_argument("buildAttackGraph: unknown variant");
+    const AttackDescriptor *descriptor =
+        ScenarioCatalog::instance().findAttack(variant);
+    if (descriptor == nullptr || !descriptor->buildGraph)
+        throw std::invalid_argument(
+            "buildAttackGraph: unknown variant");
+    return descriptor->buildGraph(channel);
 }
 
 AttackGraph
@@ -567,8 +349,11 @@ buildFigure4Graph(CovertChannelKind channel)
     VariantInfo info = variantInfo(AttackVariant::Meltdown);
     info.name = "Meltdown/Foreshadow/MDS (Fig. 4)";
     std::vector<std::string> labels = {
-        sourceLabel(Memory), sourceLabel(Cache), sourceLabel(LoadPort),
-        sourceLabel(LineFillBuffer), sourceLabel(StoreBuffer)};
+        secretSourceAccessLabel(Memory),
+        secretSourceAccessLabel(Cache),
+        secretSourceAccessLabel(LoadPort),
+        secretSourceAccessLabel(LineFillBuffer),
+        secretSourceAccessLabel(StoreBuffer)};
     AttackGraph g = buildFaultingAccessGraph(
         info, channel, "Load instruction", labels,
         "Load exception: squash pipeline");

@@ -1,8 +1,14 @@
 /**
  * @file
- * The attack-variant catalog: metadata (Tables I and III) and attack
- * graph builders (Figs. 1, 3, 4, 5, 6, 7) for every speculative
- * execution attack the paper models.
+ * Attack-variant metadata (Tables I and III) and the reusable attack
+ * graph shapes (Figs. 1, 3, 4, 5, 6, 7) for the speculative
+ * execution attacks the paper models.
+ *
+ * Per-variant dispatch lives in the ScenarioCatalog (catalog.hh):
+ * each variant's AttackDescriptor binds this metadata to its graph
+ * builder and runner (registered in attacks/builtin_attacks.cc), and
+ * buildAttackGraph()/findVariantByName() here are thin catalog
+ * lookups kept for enum-addressed callers.
  */
 
 #ifndef SPECSEC_CORE_VARIANTS_HH
@@ -99,6 +105,9 @@ const std::vector<AttackVariant> &allVariants();
 /**
  * Case/punctuation-insensitive lookup of a variant by catalog name
  * (e.g. "spectre-v1", "Spectre v1", "zombieload"), for CLI drivers.
+ * A thin wrapper over ScenarioCatalog::findAttack (catalog.hh) that
+ * only reports attacks with an enum slot; prefer the catalog lookup
+ * directly, which also resolves registered out-of-tree attacks.
  */
 std::optional<AttackVariant> findVariantByName(const std::string &name);
 
@@ -123,10 +132,70 @@ const char *covertChannelName(CovertChannelKind kind);
  * figure for that variant (see VariantInfo::figure).  The graph
  * carries the Table III authorization/access strings as the labels
  * of the authorization and secret-access nodes.
+ *
+ * Dispatches through the variant's AttackDescriptor::buildGraph hook
+ * in the ScenarioCatalog (catalog.hh), so registered out-of-tree
+ * attacks resolve here too.
  */
 AttackGraph
 buildAttackGraph(AttackVariant variant,
                  CovertChannelKind channel = CovertChannelKind::FlushReload);
+
+/**
+ * @name Graph-shape builders
+ *
+ * The two figure shapes every cataloged attack graph instantiates,
+ * exposed so descriptor registrations (src/attacks/
+ * builtin_attacks.cc) and out-of-tree attacks can compose their
+ * AttackDescriptor::buildGraph hooks from the same pieces the
+ * paper's figures use.  Bespoke shapes (Spectre v4, LVI, Spoiler)
+ * build directly on AttackGraph.
+ * @{
+ */
+
+/** Channel vertices shared by every attack graph. */
+struct ChannelNodes
+{
+    NodeId setup = graph::kInvalidNode;   ///< flush / prime
+    NodeId use = graph::kInvalidNode;     ///< compute load address R
+    NodeId send = graph::kInvalidNode;    ///< load R to cache / evict
+    NodeId receive = graph::kInvalidNode; ///< reload / probe
+    NodeId measure = graph::kInvalidNode; ///< measure time
+};
+
+/**
+ * Add the covert-channel half (steps 1a, 4, 5) of an attack graph:
+ * setup -> ... -> send -> receive -> measure, with the "use" node
+ * (compute R) ready to be fed by the variant's secret access.
+ */
+ChannelNodes addChannel(AttackGraph &g, CovertChannelKind kind);
+
+/**
+ * A Fig. 1-shaped graph: misprediction-triggered attack where the
+ * authorization is the (delayed) resolution of a prediction.
+ * Mistraining setup is added when info.requiresMistraining.
+ */
+AttackGraph buildPredictionGraph(const VariantInfo &info,
+                                 CovertChannelKind channel,
+                                 const char *mistrain_label,
+                                 const char *trigger_label);
+
+/**
+ * A Fig. 3/4-shaped graph: a faulting access whose authorization
+ * (permission/fault check) and secret access live in the same
+ * instruction, possibly with several alternative sources.
+ */
+AttackGraph
+buildFaultingAccessGraph(const VariantInfo &info,
+                         CovertChannelKind channel,
+                         const char *trigger_label,
+                         const std::vector<std::string> &source_labels,
+                         const char *squash_label);
+
+/** The Fig. 4-style secret-access node label for @p source. */
+std::string secretSourceAccessLabel(SecretSource source);
+
+/// @}
 
 /**
  * Build the combined Meltdown/Foreshadow/MDS graph of Fig. 4 with all

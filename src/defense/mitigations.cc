@@ -1,5 +1,7 @@
 #include "mitigations.hh"
 
+#include "core/catalog.hh"
+
 namespace specsec::defense
 {
 
@@ -7,69 +9,12 @@ bool
 applyMitigation(DefenseMechanism mechanism, CpuConfig &config,
                 AttackOptions &options)
 {
-    using enum DefenseMechanism;
-    switch (mechanism) {
-      case LFence:
-      case MFence:
-      case Sabc:
-        options.softwareLfence = true;
-        return true;
-      case ContextSensitiveFencing:
-        config.defense.fenceSpeculativeLoads = true;
-        return true;
-      case Kaiser:
-      case Kpti:
-        options.kpti = true;
-        return true;
-      case DisableBranchPrediction:
-        config.defense.noBranchPrediction = true;
-        return true;
-      case Ibrs:
-      case Stibp:
-      case Ibpb:
-      case InvalidatePredictorOnContextSwitch:
-        config.defense.flushPredictorOnContextSwitch = true;
-        return true;
-      case Retpoline:
-        config.defense.noIndirectPrediction = true;
-        return true;
-      case CoarseAddressMasking:
-      case DataDependentAddressMasking:
-        options.addressMasking = true;
-        return true;
-      case Ssbb:
-      case Ssbs:
-        config.defense.safeStoreBypass = true;
-        return true;
-      case RsbStuffing:
-        options.rsbStuffing = true;
-        return true;
-      case SpectreGuard:
-      case Nda:
-      case ConTExT:
-      case SpecShield:
-        config.defense.blockSpeculativeForwarding = true;
-        return true;
-      case SpecShieldErpPlus:
-      case Stt:
-        config.defense.blockTaintedTransmit = true;
-        return true;
-      case Dawg:
-        config.defense.partitionedCache = true;
-        return true;
-      case InvisiSpec:
-      case SafeSpec:
-        config.defense.invisibleSpeculation = true;
-        return true;
-      case ConditionalSpeculation:
-      case EfficientInvisibleSpeculation:
-        config.defense.conditionalSpeculation = true;
-        return true;
-      case CleanupSpec:
-        config.defense.cleanupSpec = true;
-        return true;
-    }
-    return false;
+    const core::DefenseDescriptor *descriptor =
+        core::ScenarioCatalog::instance().findDefense(mechanism);
+    if (descriptor == nullptr || !descriptor->apply)
+        return false;
+    descriptor->apply(config, options);
+    return true;
 }
 
 std::size_t

@@ -28,10 +28,11 @@ using uarch::Program;
 
 /**
  * Apply a cataloged defense mechanism to a CPU configuration and
- * the scenario options.
+ * the scenario options, via the mechanism's DefenseDescriptor in
+ * the ScenarioCatalog (registered in builtin_defenses.cc).
  *
- * @return false if the mechanism has no simulator realization (none
- *         currently; reserved for future mechanisms).
+ * @return false if no registered descriptor realizes the mechanism
+ *         (every built-in has one).
  */
 bool applyMitigation(DefenseMechanism mechanism, CpuConfig &config,
                      AttackOptions &options);

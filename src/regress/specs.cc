@@ -1,7 +1,9 @@
 #include "specs.hh"
 
 #include <cstdio>
+#include <stdexcept>
 
+#include "core/catalog.hh"
 #include "core/defense_catalog.hh"
 #include "defense/mitigations.hh"
 
@@ -19,15 +21,17 @@ using core::DefenseMechanism;
 namespace
 {
 
-/** A defense column realizing a cataloged mechanism. */
+/** A defense column realizing a cataloged mechanism: the
+ *  descriptor's canonical name over its apply hook. */
 DefenseAxis
 mechanismAxis(DefenseMechanism mechanism)
 {
-    return {core::defenseInfo(mechanism).name,
-            [mechanism](uarch::CpuConfig &config,
-                        attacks::AttackOptions &options) {
-                defense::applyMitigation(mechanism, config, options);
-            }};
+    const core::DefenseDescriptor *descriptor =
+        core::ScenarioCatalog::instance().findDefense(mechanism);
+    if (descriptor == nullptr)
+        throw std::logic_error(
+            "regress spec names an unregistered defense mechanism");
+    return {descriptor->info.name, descriptor->apply};
 }
 
 /** Baseline column plus one column per mechanism. */
@@ -187,23 +191,17 @@ mitigationMatrixSpec()
                      AttackVariant::SpectreRsb,
                      AttackVariant::Meltdown,
                      AttackVariant::Foreshadow};
-    SoftwareMitigation none;
-    SoftwareMitigation kpti;
-    kpti.label = "kpti";
-    kpti.kpti = true;
-    SoftwareMitigation rsb;
-    rsb.label = "rsb-stuff";
-    rsb.rsbStuffing = true;
-    SoftwareMitigation lfence;
-    lfence.label = "lfence";
-    lfence.softwareLfence = true;
-    SoftwareMitigation mask;
-    mask.label = "addr-mask";
-    mask.addressMasking = true;
-    SoftwareMitigation flush;
-    flush.label = "flush-l1";
-    flush.flushL1OnExit = true;
-    spec.mitigations = {none, kpti, rsb, lfence, mask, flush};
+    // The sweep values come from the registry, so this spec and the
+    // CLI's --mitigations parse the same catalog.
+    for (const char *name :
+         {"none", "kpti", "rsb-stuff", "lfence", "addr-mask",
+          "flush-l1"}) {
+        const auto m = SoftwareMitigation::byName(name);
+        if (!m)
+            throw std::logic_error(
+                "regress spec names an unregistered mitigation");
+        spec.mitigations.push_back(*m);
+    }
     return spec;
 }
 

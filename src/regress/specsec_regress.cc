@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "core/catalog.hh"
 #include "regress/golden.hh"
 #include "regress/specs.hh"
 #include "tool/report.hh"
@@ -383,8 +384,16 @@ main(int argc, char **argv)
         if (only_spec.empty() || named.name == only_spec)
             selected.push_back(named);
     if (selected.empty()) {
-        std::fprintf(stderr, "no registered spec named '%s'\n",
-                     only_spec.c_str());
+        // One near-miss helper for the whole tree: the same
+        // suggestion list the catalog lookups print.
+        std::vector<std::string> names;
+        for (const NamedSpec &named : registeredSpecs())
+            names.push_back(named.name);
+        std::fprintf(stderr, "%s\n",
+                     core::unknownNameMessage(
+                         "spec", only_spec,
+                         core::suggestNames(names, only_spec))
+                         .c_str());
         return 2;
     }
 

@@ -113,7 +113,7 @@ TEST(Grid, NewDimensionsMultiplyTheGrid)
     spec.variants = {AttackVariant::SpectreV1};
     SoftwareMitigation kpti;
     kpti.label = "kpti";
-    kpti.kpti = true;
+    kpti.toggles.kpti = true;
     spec.mitigations = {SoftwareMitigation{}, kpti};
     uarch::VulnConfig noMds;
     noMds.mds = false;

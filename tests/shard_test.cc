@@ -103,7 +103,7 @@ TEST(Shard, ScenarioKeyRoundTrips)
     ScenarioSpec spec = sampleSpec();
     SoftwareMitigation kpti;
     kpti.label = "kpti";
-    kpti.kpti = true;
+    kpti.toggles.kpti = true;
     spec.mitigations = {SoftwareMitigation{}, kpti};
     CacheGeometry small;
     small.label = "small";
