@@ -11,6 +11,8 @@
  *   campaign_cli --perm-lat 10,30,50 --channels fr,pp
  *   campaign_cli --jsonl out.jsonl --progress  # incremental export
  *   campaign_cli --cache-file .campaign-cache.json   # warm reruns
+ *   campaign_cli export out.csv                # format by extension
+ *   campaign_cli export out.dat --format jsonl # explicit override
  *
  * Catalog introspection (the ScenarioCatalog registry):
  *   campaign_cli list-attacks [--json]       # every registered attack
@@ -44,6 +46,7 @@
 #include "core/catalog.hh"
 #include "tool/report.hh"
 #include "tool/report_io.hh"
+#include "tool/schema.hh"
 #include "tool/stream_export.hh"
 
 using namespace specsec;
@@ -86,6 +89,10 @@ usage(const char *prog)
     std::fprintf(
         stderr,
         "usage: %s [options]\n"
+        "       %s export FILE [--format json|csv|jsonl] "
+        "[options]\n"
+        "         (format inferred from FILE's extension unless "
+        "--format is given)\n"
         "       %s merge SHARD.json... [--json F] [--csv F] "
         "[--jsonl F] [--timing]\n"
         "       %s list-attacks [--json]\n"
@@ -119,7 +126,7 @@ usage(const char *prog)
         "scenarios finish\n"
         "  --progress         live progress line on stderr\n"
         "  --timing           include wall-clock fields in exports\n",
-        prog, prog, prog, prog);
+        prog, prog, prog, prog, prog);
     return 2;
 }
 
@@ -146,26 +153,11 @@ printAttackLine(const core::AttackDescriptor &d)
                 joinAliases(d.aliases).c_str());
 }
 
-/** The JSON object both catalog subcommands emit per attack. */
-std::string
-attackDescriptorJson(const core::AttackDescriptor &d)
-{
-    std::ostringstream os;
-    os << "{\"name\": \"" << tool::jsonEscape(d.name)
-       << "\", \"aliases\": ";
-    os << tool::jsonStringArray(d.aliases);
-    os << ", \"class\": \"" << core::attackClassName(d.klass)
-       << "\", \"cve\": \"" << tool::jsonEscape(d.cve)
-       << "\", \"paperSection\": \""
-       << tool::jsonEscape(d.paperSection)
-       << "\", \"defaultChannel\": \""
-       << core::covertChannelName(d.defaultChannel)
-       << "\", \"builtin\": " << (d.isExtension() ? "false" : "true")
-       << ", \"executable\": " << (d.execute ? "true" : "false")
-       << ", \"hasGraph\": " << (d.buildGraph ? "true" : "false")
-       << "}";
-    return os.str();
-}
+// The per-attack JSON object lives in the library
+// (tool::attackDescriptorJson, schema.cc) so its escaping of every
+// string field — including registered alias names — is covered by
+// tests/schema_test.cc rather than buried in this CLI.
+using tool::attackDescriptorJson;
 
 /** `campaign_cli list-attacks [--json]`. */
 int
@@ -387,6 +379,23 @@ main(int argc, char **argv)
     if (argc > 1 && std::strcmp(argv[1], "describe") == 0)
         return describeMain(argc, argv);
 
+    // `export FILE`: one output whose format is inferred from the
+    // file extension (overridable with --format); every other
+    // campaign option still applies.
+    bool export_mode = false;
+    std::string export_path;
+    std::string export_format;
+    int first_arg = 1;
+    if (argc > 1 && std::strcmp(argv[1], "export") == 0) {
+        export_mode = true;
+        if (argc < 3 || argv[2][0] == '-') {
+            std::fprintf(stderr, "export: no output file given\n");
+            return 2;
+        }
+        export_path = argv[2];
+        first_arg = 3;
+    }
+
     ScenarioSpec spec = ScenarioSpec::defenseMatrix();
     CampaignEngine::Options engine_opts;
     std::string json_path;
@@ -398,7 +407,7 @@ main(int argc, char **argv)
     bool progress = false;
     bool timing = false;
 
-    for (int i = 1; i < argc; ++i) {
+    for (int i = first_arg; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto value = [&]() -> const char * {
             if (i + 1 >= argc) {
@@ -408,7 +417,9 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
-        if (arg == "--workers") {
+        if (export_mode && arg == "--format") {
+            export_format = value();
+        } else if (arg == "--workers") {
             unsigned long n = 0;
             if (!parseUnsigned(value(), n)) {
                 std::fprintf(stderr, "--workers: not a number\n");
@@ -583,6 +594,60 @@ main(int argc, char **argv)
         } else {
             return usage(argv[0]);
         }
+    }
+
+    if (export_mode) {
+        if (export_format.empty()) {
+            export_format =
+                tool::exportFormatFromPath(export_path);
+            if (export_format.empty()) {
+                // Suggest against the extension when there is one
+                // ("out.jsnl" -> "did you mean jsonl?"); only dots
+                // in the filename itself count, not directory names.
+                const std::size_t slash =
+                    export_path.find_last_of("/\\");
+                const std::string file =
+                    slash == std::string::npos
+                        ? export_path
+                        : export_path.substr(slash + 1);
+                const std::size_t dot = file.rfind('.');
+                const std::string ext =
+                    dot == std::string::npos ? file
+                                             : file.substr(dot + 1);
+                std::fprintf(
+                    stderr,
+                    "export: cannot infer a format from '%s'; %s\n",
+                    export_path.c_str(),
+                    core::unknownNameMessage(
+                        "export format", ext,
+                        core::suggestNames(
+                            tool::exportFormatNames(), ext))
+                        .c_str());
+                return 2;
+            }
+        } else {
+            // Normalize case like extension inference does
+            // (--format JSON == export OUT.JSON).
+            const std::string normalized =
+                tool::exportFormatFromPath("x." + export_format);
+            if (normalized.empty()) {
+                std::fprintf(stderr, "%s\n",
+                             core::unknownNameMessage(
+                                 "export format", export_format,
+                                 core::suggestNames(
+                                     tool::exportFormatNames(),
+                                     export_format))
+                                 .c_str());
+                return 2;
+            }
+            export_format = normalized;
+        }
+        if (export_format == "json")
+            json_path = export_path;
+        else if (export_format == "csv")
+            csv_path = export_path;
+        else
+            jsonl_path = export_path;
     }
 
     ResultCache cache;

@@ -4,7 +4,9 @@
  *
  * The cache file is versioned JSON: a fingerprint of the simulated
  * model and one entry per memoized scenario, keyed on the canonical
- * scenarioKey().  Loading trusts entries only under an exact
+ * scenarioKey().  The result/stats record bodies are the schema-
+ * derived wire fragments of tool/report_io.cc (tool/schema.hh), so
+ * the cache format tracks the field registry automatically.  Loading trusts entries only under an exact
  * fingerprint match; anything else (stale fingerprint, corrupt or
  * truncated file, missing file, bad version) loads nothing and
  * reports false without raising — a persistent cache must never be

@@ -1,11 +1,13 @@
 #include "golden.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <sstream>
 
 #include "tool/jsonio.hh"
 #include "tool/report.hh"
+#include "tool/schema.hh"
 
 namespace specsec::regress
 {
@@ -17,6 +19,15 @@ namespace
 // tree-wide cursor shared by every persisted-artifact parser.
 using tool::json::Cursor;
 using tool::json::parseStringArray;
+
+/** True when @p name is a kAccuracy field of the outcome schema —
+ *  the only extra keys a golden cell may carry. */
+bool
+isAccuracyField(const std::string &name)
+{
+    const auto *field = tool::outcomeSchema().find(name);
+    return field != nullptr && (field->flags & tool::kAccuracy);
+}
 
 GoldenCell
 parseCell(Cursor &cur)
@@ -34,7 +45,19 @@ parseCell(Cursor &cur)
             cell.leaks = cur.parseUnsigned();
         else if (key == "pattern")
             cell.pattern = cur.parseString();
-        else {
+        else if (isAccuracyField(key)) {
+            std::vector<double> values;
+            if (!cur.expect('['))
+                return cell;
+            if (!cur.peekConsume(']')) {
+                do {
+                    values.push_back(cur.parseDouble());
+                } while (!cur.failed() && cur.peekConsume(','));
+                if (!cur.expect(']'))
+                    return cell;
+            }
+            cell.accuracy.emplace(key, std::move(values));
+        } else {
             cur.fail("unknown cell key '" + key + "'");
             return cell;
         }
@@ -60,12 +83,14 @@ describeCell(const std::optional<GoldenCell> &cell)
 } // namespace
 
 GoldenMatrix
-GoldenMatrix::fromReport(const campaign::CampaignReport &report)
+GoldenMatrix::fromReport(const campaign::CampaignReport &report,
+                         bool with_accuracy)
 {
     GoldenMatrix m;
     m.spec = report.name;
     m.rows = report.rowLabels;
     m.cols = report.colLabels;
+    m.hasAccuracy = with_accuracy;
     m.cells.resize(m.rows.size());
     for (std::size_t r = 0; r < m.rows.size(); ++r) {
         m.cells[r].resize(m.cols.size());
@@ -75,11 +100,19 @@ GoldenMatrix::fromReport(const campaign::CampaignReport &report)
         }
     }
     // Outcomes are in deterministic grid-expansion order, so the
-    // per-cell patterns are a stable fingerprint of which knob
-    // values leaked.
-    for (const campaign::ScenarioOutcome &o : report.outcomes)
-        m.cells[o.row][o.col].pattern +=
-            o.result.leaked ? '1' : '0';
+    // per-cell patterns (and accuracy arrays) are a stable
+    // fingerprint of which knob values leaked, and how well.
+    for (const campaign::ScenarioOutcome &o : report.outcomes) {
+        GoldenCell &cell = m.cells[o.row][o.col];
+        cell.pattern += o.result.leaked ? '1' : '0';
+        if (!with_accuracy)
+            continue;
+        for (const auto &field : tool::outcomeSchema().fields()) {
+            if (!(field.flags & tool::kAccuracy))
+                continue;
+            cell.accuracy[field.name].push_back(field.get(o).d);
+        }
+    }
     return m;
 }
 
@@ -89,6 +122,9 @@ goldenJson(const GoldenMatrix &matrix)
     std::ostringstream os;
     os << "{\n  \"spec\": \"" << tool::jsonEscape(matrix.spec)
        << "\",\n";
+    if (matrix.hasAccuracy)
+        os << "  \"absEps\": "
+           << tool::shortestExactDouble(matrix.absEps) << ",\n";
     os << "  \"cols\": [";
     for (std::size_t c = 0; c < matrix.cols.size(); ++c)
         os << (c ? ", " : "") << "\""
@@ -105,7 +141,15 @@ goldenJson(const GoldenMatrix &matrix)
             os << (c ? ", " : "") << "{\"runs\": " << cell.runs
                << ", \"leaks\": " << cell.leaks
                << ", \"pattern\": \""
-               << tool::jsonEscape(cell.pattern) << "\"}";
+               << tool::jsonEscape(cell.pattern) << "\"";
+            for (const auto &[name, values] : cell.accuracy) {
+                os << ", \"" << tool::jsonEscape(name) << "\": [";
+                for (std::size_t i = 0; i < values.size(); ++i)
+                    os << (i ? ", " : "")
+                       << tool::shortestExactDouble(values[i]);
+                os << "]";
+            }
+            os << "}";
         }
         os << "]";
     }
@@ -133,6 +177,9 @@ parseGoldenJson(const std::string &text, std::string *error)
             return failed();
         if (key == "spec") {
             m.spec = cur.parseString();
+        } else if (key == "absEps") {
+            m.absEps = cur.parseDouble();
+            m.hasAccuracy = true;
         } else if (key == "cols") {
             m.cols = parseStringArray(cur);
         } else if (key == "rows") {
@@ -182,6 +229,24 @@ parseGoldenJson(const std::string &text, std::string *error)
         if (row.size() != m.cols.size()) {
             cur.fail("cells column count does not match cols");
             return failed();
+        }
+    }
+    for (const auto &row : m.cells) {
+        for (const GoldenCell &cell : row) {
+            if (!m.hasAccuracy && !cell.accuracy.empty()) {
+                cur.fail("cell has accuracy values but the golden "
+                         "declares no absEps tolerance");
+                return failed();
+            }
+            for (const auto &[name, values] : cell.accuracy) {
+                if (values.size() != cell.runs) {
+                    cur.fail("cell " + name + " array has " +
+                             std::to_string(values.size()) +
+                             " values for " +
+                             std::to_string(cell.runs) + " runs");
+                    return failed();
+                }
+            }
         }
     }
     return m;
@@ -240,15 +305,75 @@ compareGolden(const GoldenMatrix &golden, const GoldenMatrix &actual)
         if (!goldenCols.count(col))
             colUnion.push_back(col);
 
+    // Accuracy values compare under the golden's recorded
+    // tolerance, every other cell field exactly.  Each violation
+    // becomes a note naming the field, the grid point within the
+    // cell, both values and the delta.
+    const auto accuracyDrift = [&golden](const GoldenCell &g,
+                                         const GoldenCell &a) {
+        std::vector<std::string> notes;
+        if (!golden.hasAccuracy)
+            return notes;
+        const double eps = golden.absEps;
+        for (const auto &[name, expected] : g.accuracy) {
+            const auto hit = a.accuracy.find(name);
+            if (hit == a.accuracy.end()) {
+                notes.push_back(name + ": missing from actual");
+                continue;
+            }
+            const std::vector<double> &got = hit->second;
+            if (got.size() != expected.size()) {
+                notes.push_back(
+                    name + ": golden has " +
+                    std::to_string(expected.size()) +
+                    " values, actual " +
+                    std::to_string(got.size()));
+                continue;
+            }
+            for (std::size_t i = 0; i < expected.size(); ++i) {
+                const double delta =
+                    std::fabs(expected[i] - got[i]);
+                if (delta <= eps)
+                    continue;
+                char buf[160];
+                std::snprintf(
+                    buf, sizeof buf,
+                    "%s[%zu]: golden %s -> actual %s "
+                    "(|delta| %s > absEps %s)",
+                    name.c_str(), i,
+                    tool::shortestExactDouble(expected[i]).c_str(),
+                    tool::shortestExactDouble(got[i]).c_str(),
+                    tool::shortestExactDouble(delta).c_str(),
+                    tool::shortestExactDouble(eps).c_str());
+                notes.push_back(buf);
+            }
+        }
+        for (const auto &[name, values] : a.accuracy)
+            if (!g.accuracy.count(name))
+                notes.push_back(name + ": missing from golden");
+        return notes;
+    };
+
     for (const std::string &row : rowUnion) {
         for (const std::string &col : colUnion) {
             const auto g =
                 cellAt(golden, goldenRows, goldenCols, row, col);
             const auto a =
                 cellAt(actual, actualRows, actualCols, row, col);
-            if (g == a)
+            if (!g && !a)
                 continue;
-            diff.cells.push_back({row, col, g, a});
+            if (g && a) {
+                const bool exact_equal = g->runs == a->runs &&
+                                         g->leaks == a->leaks &&
+                                         g->pattern == a->pattern;
+                auto notes = accuracyDrift(*g, *a);
+                if (exact_equal && notes.empty())
+                    continue;
+                diff.cells.push_back(
+                    {row, col, g, a, std::move(notes)});
+                continue;
+            }
+            diff.cells.push_back({row, col, g, a, {}});
         }
     }
     return diff;
@@ -266,6 +391,8 @@ renderDiff(const MatrixDiff &diff)
         os << "  [cell] (" << cell.row << " x " << cell.col
            << "): golden " << describeCell(cell.golden)
            << " -> actual " << describeCell(cell.actual) << "\n";
+        for (const std::string &note : cell.accuracyNotes)
+            os << "         " << note << "\n";
     }
     return os.str();
 }

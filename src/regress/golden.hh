@@ -9,11 +9,20 @@
  * pins its matrix as a golden JSON file under golden/.  The gate
  * re-runs the spec, compares cell-by-cell, and renders a
  * human-readable diff naming every changed (variant, defense) cell.
+ *
+ * Goldens recorded with `--record --with-accuracy` additionally pin
+ * every schema-declared kAccuracy field (tool/schema.hh) per grid
+ * point, compared under an explicit absolute tolerance (absEps)
+ * recorded in the golden file — accuracy drift beyond the tolerance
+ * fails the gate with a line naming the field, the grid point, both
+ * values and the delta.  Legacy goldens (no accuracy arrays)
+ * compare exactly as before.
  */
 
 #ifndef SPECSEC_REGRESS_GOLDEN_HH
 #define SPECSEC_REGRESS_GOLDEN_HH
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +44,15 @@ struct GoldenCell
     /// the total would pass.  The pattern pins the full shape.
     std::string pattern;
 
+    /// Per-grid-point values of every schema-declared kAccuracy
+    /// field (tool::outcomeSchema()), expansion order, keyed by
+    /// field name — parallel to @c pattern.  Empty in goldens
+    /// recorded before the accuracy migration; such files compare
+    /// exactly as they always did.  Populated cells are compared
+    /// under the matrix's explicit absEps tolerance, so partially-
+    /// leaking cells pin their accuracy *values*, not just counts.
+    std::map<std::string, std::vector<double>> accuracy;
+
     bool operator==(const GoldenCell &) const = default;
 };
 
@@ -47,8 +65,25 @@ struct GoldenMatrix
     /// cells[r][c] pairs rows[r] with cols[c].
     std::vector<std::vector<GoldenCell>> cells;
 
+    /// True when this golden pins accuracy values; recorded via an
+    /// explicit `specsec_regress --record --with-accuracy`
+    /// migration, never implicitly.
+    bool hasAccuracy = false;
+
+    /// Absolute tolerance for accuracy comparisons, recorded in the
+    /// golden file itself ("absEps") so the gate's contract is
+    /// explicit and per-spec.
+    double absEps = 0.0;
+
+    /**
+     * Build from a report; @p with_accuracy additionally captures
+     * every kAccuracy outcome field per grid point (the caller
+     * sets absEps — typically inherited from the golden being
+     * checked or re-recorded).
+     */
     static GoldenMatrix
-    fromReport(const campaign::CampaignReport &report);
+    fromReport(const campaign::CampaignReport &report,
+               bool with_accuracy = false);
 };
 
 /**
@@ -73,6 +108,11 @@ struct CellDiff
     std::string col;
     std::optional<GoldenCell> golden; ///< nullopt: cell is new
     std::optional<GoldenCell> actual; ///< nullopt: cell disappeared
+
+    /// Human-readable accuracy drift, one line per out-of-tolerance
+    /// value, naming the field, grid point, both values, the delta
+    /// and the tolerance it exceeded.
+    std::vector<std::string> accuracyNotes;
 };
 
 /** Everything that changed between a golden and a fresh run. */
@@ -92,6 +132,10 @@ struct MatrixDiff
  * Cell-by-cell comparison.  Rows/columns are matched by label (not
  * index) so a pure reordering reports no cell drift; labels present
  * on only one side become structural notes plus per-cell entries.
+ * Runs/leaks/patterns compare exactly; when @p golden pins accuracy
+ * values they compare under its absEps (|golden - actual| <= eps
+ * per grid point), and each violation is named in the cell's
+ * accuracyNotes.
  */
 MatrixDiff compareGolden(const GoldenMatrix &golden,
                          const GoldenMatrix &actual);

@@ -36,6 +36,7 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -91,6 +92,22 @@ usage(const char *prog)
         "running, save\n"
         "                     (atomically) after; stale/corrupt "
         "files are ignored\n"
+        "  --with-accuracy    with --record: also pin every "
+        "schema-declared\n"
+        "                     accuracy field per grid point "
+        "(compared under\n"
+        "                     the golden's absEps tolerance)\n"
+        "  --accuracy-eps E   absolute tolerance recorded into "
+        "accuracy goldens\n"
+        "                     (implies --with-accuracy)\n"
+        "  --format-from DIR  with --record: inherit each spec's "
+        "golden format\n"
+        "                     (accuracy fields + absEps) from the "
+        "goldens in DIR\n"
+        "                     (default: --golden-dir), so "
+        "re-recording into a\n"
+        "                     scratch dir reproduces committed "
+        "files byte-for-byte\n"
         "  --flip-vuln PATH   drift self-test: disable a forwarding "
         "path (meltdown,\n"
         "                     l1tf, mds, lazyfp, store-bypass, msr, "
@@ -158,7 +175,6 @@ checkAgainstGolden(const NamedSpec &named,
                    const std::string &artifact_dir,
                    GateStatus &status)
 {
-    const GoldenMatrix actual = GoldenMatrix::fromReport(report);
     const std::string golden_path =
         golden_dir + "/" + named.name + ".json";
 
@@ -180,6 +196,13 @@ checkAgainstGolden(const NamedSpec &named,
         status.io_error = true;
         return;
     }
+
+    // The golden dictates the comparison contract: accuracy values
+    // are captured and checked (under its absEps) only when the
+    // golden pins them.
+    GoldenMatrix actual =
+        GoldenMatrix::fromReport(report, golden->hasAccuracy);
+    actual.absEps = golden->absEps;
 
     const MatrixDiff diff = compareGolden(*golden, actual);
     if (diff.empty()) {
@@ -291,6 +314,9 @@ main(int argc, char **argv)
     std::string shard_dir = "regress-shards";
     std::string cache_file;
     std::string flip;
+    std::string format_from;
+    bool with_accuracy = false;
+    std::optional<double> accuracy_eps;
     campaign::ShardRange shard;
     bool sharded = false;
     campaign::CampaignEngine::Options engine_opts;
@@ -323,6 +349,23 @@ main(int argc, char **argv)
             shard_dir = value();
         else if (arg == "--cache-file")
             cache_file = value();
+        else if (arg == "--with-accuracy")
+            with_accuracy = true;
+        else if (arg == "--accuracy-eps") {
+            const char *v = value();
+            char *end = nullptr;
+            const double eps = std::strtod(v, &end);
+            if (*v == '\0' || end == nullptr || *end != '\0' ||
+                !std::isfinite(eps) || eps < 0.0) {
+                std::fprintf(stderr,
+                             "--accuracy-eps: '%s' is not a "
+                             "non-negative number\n",
+                             v);
+                return 2;
+            }
+            accuracy_eps = eps;
+        } else if (arg == "--format-from")
+            format_from = value();
         else if (arg == "--shard") {
             if (!campaign::parseShardRange(value(), shard)) {
                 std::fprintf(stderr,
@@ -370,6 +413,16 @@ main(int argc, char **argv)
                      "merges need the whole grid)\n");
         return 2;
     }
+    if (mode != Mode::Record &&
+        (with_accuracy || accuracy_eps || !format_from.empty())) {
+        std::fprintf(stderr,
+                     "--with-accuracy / --accuracy-eps / "
+                     "--format-from only apply to --record (--check "
+                     "follows the committed golden's format)\n");
+        return 2;
+    }
+    if (format_from.empty())
+        format_from = golden_dir;
 
     if (mode == Mode::List) {
         for (const NamedSpec &named : registeredSpecs())
@@ -469,8 +522,30 @@ main(int argc, char **argv)
         }
 
         if (mode == Mode::Record) {
-            const GoldenMatrix actual =
-                GoldenMatrix::fromReport(report);
+            // The recorded format: explicit flags win; otherwise
+            // each spec inherits the shape (accuracy fields +
+            // absEps) of its golden under --format-from, so a
+            // re-record into a scratch directory reproduces the
+            // committed files byte-for-byte (the CI schema-drift
+            // job relies on this).
+            bool record_accuracy =
+                with_accuracy || accuracy_eps.has_value();
+            double eps = accuracy_eps.value_or(0.0);
+            std::string prior_text;
+            if (tool::readTextFile(format_from + "/" + named.name +
+                                       ".json",
+                                   prior_text)) {
+                if (const auto prior =
+                        parseGoldenJson(prior_text)) {
+                    if (!with_accuracy && !accuracy_eps)
+                        record_accuracy = prior->hasAccuracy;
+                    if (!accuracy_eps && prior->hasAccuracy)
+                        eps = prior->absEps;
+                }
+            }
+            GoldenMatrix actual =
+                GoldenMatrix::fromReport(report, record_accuracy);
+            actual.absEps = eps;
             const std::string golden_path =
                 golden_dir + "/" + named.name + ".json";
             if (!tool::writeTextFile(golden_path,

@@ -6,6 +6,7 @@
 
 #include "campaign/campaign.hh"
 #include "core/security_dependency.hh"
+#include "schema.hh"
 
 namespace specsec::tool
 {
@@ -78,63 +79,7 @@ namespace
 std::string
 num(double value)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.4f", value);
-    return buf;
-}
-
-/** Compact "kpti+lfence" summary of the software toggles, "-" when
- *  none are set. */
-std::string
-mitigationSummary(const attacks::AttackOptions &o)
-{
-    std::string out;
-    const auto add = [&out](bool on, const char *name) {
-        if (!on)
-            return;
-        if (!out.empty())
-            out += '+';
-        out += name;
-    };
-    add(o.kpti, "kpti");
-    add(o.rsbStuffing, "rsb-stuff");
-    add(o.softwareLfence, "lfence");
-    add(o.addressMasking, "addr-mask");
-    add(o.flushL1OnExit, "flush-l1");
-    return out.empty() ? "-" : out;
-}
-
-/** "256x4/64@4:200" cache-geometry summary. */
-std::string
-cacheSummary(const uarch::CacheConfig &c)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%zux%zu/%zu@%u:%u", c.sets,
-                  c.ways, c.lineSize, c.hitLatency, c.missLatency);
-    return buf;
-}
-
-/** "all" or "no-mds+no-taa": disabled forwarding paths. */
-std::string
-vulnSummary(const uarch::VulnConfig &v)
-{
-    std::string out;
-    const auto add = [&out](bool enabled, const char *name) {
-        if (enabled)
-            return;
-        if (!out.empty())
-            out += '+';
-        out += "no-";
-        out += name;
-    };
-    add(v.meltdown, "meltdown");
-    add(v.l1tf, "l1tf");
-    add(v.mds, "mds");
-    add(v.lazyFp, "lazyfp");
-    add(v.storeBypass, "store-bypass");
-    add(v.msr, "msr");
-    add(v.taa, "taa");
-    return out.empty() ? "all" : out;
+    return formatDouble(value, DoubleStyle::Fixed4);
 }
 
 } // namespace
@@ -239,67 +184,22 @@ campaignJson(const campaign::CampaignReport &report,
 std::string
 outcomeJson(const campaign::ScenarioOutcome &o, bool include_timing)
 {
-    std::ostringstream os;
-    os << "{\"gridIndex\": " << o.gridIndex << ", \"variant\": \""
-       << jsonEscape(o.rowLabel) << "\", \"defense\": \""
-       << jsonEscape(o.colLabel)
-       << "\", \"robSize\": " << o.config.robSize
-       << ", \"permCheckLatency\": " << o.config.permCheckLatency
-       << ", \"channel\": \""
-       << core::covertChannelName(o.options.channel)
-       << "\", \"mitigations\": \"" << mitigationSummary(o.options)
-       << "\", \"vulns\": \"" << vulnSummary(o.config.vuln)
-       << "\", \"cache\": \"" << cacheSummary(o.config.cache)
-       << "\", \"leaked\": " << (o.result.leaked ? "true" : "false")
-       << ", \"accuracy\": " << num(o.result.accuracy)
-       << ", \"guestCycles\": " << o.result.guestCycles
-       << ", \"transientForwards\": " << o.result.transientForwards
-       << ", \"cycles\": " << o.stats.cycles
-       << ", \"committed\": " << o.stats.committed
-       << ", \"squashed\": " << o.stats.squashed
-       << ", \"branchMispredicts\": " << o.stats.branchMispredicts
-       << ", \"exceptions\": " << o.stats.exceptions;
-    if (include_timing)
-        os << ", \"wallMillis\": " << num(o.wallMillis);
-    os << "}";
-    return os.str();
+    return outcomeSchema().jsonObject(o, include_timing,
+                                      DoubleStyle::Fixed4);
 }
 
 std::string
 campaignCsvHeader(bool include_timing)
 {
-    std::string out =
-        "gridIndex,variant,defense,robSize,permCheckLatency,"
-        "channel,mitigations,vulns,cache,leaked,accuracy,"
-        "guestCycles,transientForwards,cycles,committed,squashed,"
-        "branchMispredicts,exceptions";
-    if (include_timing)
-        out += ",wallMillis";
-    out += "\n";
-    return out;
+    return outcomeSchema().csvHeader(include_timing);
 }
 
 std::string
 campaignCsvRow(const campaign::ScenarioOutcome &o,
                bool include_timing)
 {
-    std::ostringstream os;
-    os << o.gridIndex << "," << csvField(o.rowLabel) << ","
-       << csvField(o.colLabel) << "," << o.config.robSize << ","
-       << o.config.permCheckLatency << ","
-       << core::covertChannelName(o.options.channel) << ","
-       << mitigationSummary(o.options) << ","
-       << vulnSummary(o.config.vuln) << ","
-       << cacheSummary(o.config.cache) << ","
-       << (o.result.leaked ? 1 : 0) << "," << num(o.result.accuracy)
-       << "," << o.result.guestCycles << ","
-       << o.result.transientForwards << "," << o.stats.cycles << ","
-       << o.stats.committed << "," << o.stats.squashed << ","
-       << o.stats.branchMispredicts << "," << o.stats.exceptions;
-    if (include_timing)
-        os << "," << num(o.wallMillis);
-    os << "\n";
-    return os.str();
+    return outcomeSchema().csvRow(o, include_timing,
+                                  DoubleStyle::Fixed4);
 }
 
 std::string

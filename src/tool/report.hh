@@ -59,7 +59,10 @@ std::string campaignCsv(const campaign::CampaignReport &report,
  * @name Per-record formatters shared by the batch exporters above
  * and the streaming sinks (stream_export.hh).  One formatter per
  * format keeps "stream then concatenate" byte-identical to "collect
- * then export" by construction.
+ * then export" by construction.  All three are thin wrappers over
+ * tool::outcomeSchema() (schema.hh): the field list, order, types
+ * and flags live in one declaration, and these derive JSON and CSV
+ * from it by iteration.
  * @{
  */
 

@@ -1,9 +1,9 @@
 #include "report_io.hh"
 
-#include <cstdio>
 #include <sstream>
 
 #include "report.hh"
+#include "schema.hh"
 
 namespace specsec::tool
 {
@@ -15,9 +15,7 @@ namespace
 std::string
 exactNum(double value)
 {
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", value);
-    return buf;
+    return formatDouble(value, DoubleStyle::Exact17);
 }
 
 } // namespace
@@ -25,97 +23,27 @@ exactNum(double value)
 std::string
 attackResultJson(const attacks::AttackResult &r)
 {
-    std::ostringstream os;
-    os << "{\"name\": \"" << jsonEscape(r.name)
-       << "\", \"recovered\": [";
-    for (std::size_t i = 0; i < r.recovered.size(); ++i)
-        os << (i ? ", " : "") << r.recovered[i];
-    os << "], \"expected\": [";
-    for (std::size_t i = 0; i < r.expected.size(); ++i)
-        os << (i ? ", " : "")
-           << static_cast<unsigned>(r.expected[i]);
-    os << "], \"accuracy\": " << exactNum(r.accuracy)
-       << ", \"leaked\": " << (r.leaked ? "true" : "false")
-       << ", \"guestCycles\": " << r.guestCycles
-       << ", \"transientForwards\": " << r.transientForwards << "}";
-    return os.str();
+    return attackResultSchema().jsonObject(r, true,
+                                           DoubleStyle::Exact17);
 }
 
 std::string
 cpuStatsJson(const uarch::CpuStats &s)
 {
-    std::ostringstream os;
-    os << "[" << s.cycles << ", " << s.committed << ", "
-       << s.squashed << ", " << s.branchMispredicts << ", "
-       << s.exceptions << ", " << s.memOrderViolations << ", "
-       << s.speculativeFills << ", " << s.transientForwards << "]";
-    return os.str();
+    return cpuStatsSchema().jsonArray(s, DoubleStyle::Exact17);
 }
 
 bool
 parseAttackResultJson(json::Cursor &cur,
                       attacks::AttackResult &r)
 {
-    if (!cur.expect('{'))
-        return false;
-    do {
-        const std::string key = cur.parseString();
-        if (cur.failed() || !cur.expect(':'))
-            return false;
-        if (key == "name") {
-            r.name = cur.parseString();
-        } else if (key == "recovered") {
-            r.recovered.clear();
-            for (const std::int64_t v : json::parseIntArray(cur))
-                r.recovered.push_back(static_cast<int>(v));
-        } else if (key == "expected") {
-            r.expected.clear();
-            for (const std::int64_t v : json::parseIntArray(cur))
-                r.expected.push_back(
-                    static_cast<std::uint8_t>(v));
-        } else if (key == "accuracy") {
-            r.accuracy = cur.parseDouble();
-        } else if (key == "leaked") {
-            r.leaked = cur.parseBool();
-        } else if (key == "guestCycles") {
-            r.guestCycles = cur.parseU64();
-        } else if (key == "transientForwards") {
-            r.transientForwards = cur.parseU64();
-        } else {
-            return cur.fail("unknown result key '" + key + "'");
-        }
-    } while (!cur.failed() && cur.peekConsume(','));
-    return cur.expect('}');
+    return attackResultSchema().parseJsonObject(cur, r);
 }
 
 bool
 parseCpuStatsJson(json::Cursor &cur, uarch::CpuStats &s)
 {
-    if (!cur.expect('['))
-        return false;
-    s.cycles = cur.parseU64();
-    if (!cur.expect(','))
-        return false;
-    s.committed = cur.parseU64();
-    if (!cur.expect(','))
-        return false;
-    s.squashed = cur.parseU64();
-    if (!cur.expect(','))
-        return false;
-    s.branchMispredicts = cur.parseU64();
-    if (!cur.expect(','))
-        return false;
-    s.exceptions = cur.parseU64();
-    if (!cur.expect(','))
-        return false;
-    s.memOrderViolations = cur.parseU64();
-    if (!cur.expect(','))
-        return false;
-    s.speculativeFills = cur.parseU64();
-    if (!cur.expect(','))
-        return false;
-    s.transientForwards = cur.parseU64();
-    return cur.expect(']');
+    return cpuStatsSchema().parseJsonArray(cur, s);
 }
 
 std::string
@@ -123,6 +51,12 @@ shardReportJson(const campaign::CampaignReport &report)
 {
     std::ostringstream os;
     os << "{\n\"version\": " << kReportIoVersion << ",\n";
+    // The schema-version tag: which field lists produced this file.
+    // A consumer whose schemas differ rejects the file at parse
+    // time, so CampaignReport::merge never folds misparsed outcomes
+    // from a binary with a different field registry.
+    os << "\"schema\": \"" << jsonEscape(wireSchemaTag())
+       << "\",\n";
     os << "\"name\": \"" << jsonEscape(report.name) << "\",\n";
     os << "\"rows\": " << jsonStringArray(report.rowLabels)
        << ",\n";
@@ -181,6 +115,17 @@ parseShardReportJson(const std::string &text, std::string *error)
             version = cur.parseUnsigned();
             if (version != kReportIoVersion) {
                 cur.fail("unsupported shard report version");
+                return failed();
+            }
+        } else if (key == "schema") {
+            // Absent in files from pre-tag producers, whose field
+            // lists were exactly the current ones; when present it
+            // must match ours or the outcomes would misparse.
+            const std::string found = cur.parseString();
+            if (!cur.failed() && found != wireSchemaTag()) {
+                cur.fail("schema mismatch: file has '" + found +
+                         "', this binary expects '" +
+                         wireSchemaTag() + "'");
                 return failed();
             }
         } else if (key == "name") {

@@ -15,6 +15,12 @@
  * The AttackResult/CpuStats fragment helpers are shared with the
  * persistent ResultCache (src/campaign/persist.cc) — one wire
  * encoding for "what a scenario execution produced" everywhere.
+ * Both fragments (emit and parse) are derived from the typed field
+ * registries in schema.hh, and every shard report carries
+ * tool::wireSchemaTag() so a consumer with a different field list
+ * rejects the file instead of misparsing it (files from pre-tag
+ * producers, whose field lists match the tagless-era schemas,
+ * still load).
  */
 
 #ifndef SPECSEC_TOOL_REPORT_IO_HH

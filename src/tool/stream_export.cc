@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "report.hh"
+#include "schema.hh"
 
 namespace specsec::tool
 {
@@ -13,9 +14,7 @@ namespace
 std::string
 num(double value)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.4f", value);
-    return buf;
+    return formatDouble(value, DoubleStyle::Fixed4);
 }
 
 /** The JSONL header record, shared by stream and batch writers. */

@@ -27,8 +27,8 @@ sampleMatrix()
     m.spec = "sample";
     m.rows = {"Spectre v1", "Meltdown"};
     m.cols = {"baseline", "fence(1)"};
-    m.cells = {{{1, 1, "1"}, {1, 0, "0"}},
-               {{1, 1, "1"}, {2, 1, "10"}}};
+    m.cells = {{{1, 1, "1", {}}, {1, 0, "0", {}}},
+               {{1, 1, "1", {}}, {2, 1, "10", {}}}};
     return m;
 }
 
@@ -82,7 +82,7 @@ TEST(Golden, CompareDetectsCellDrift)
     const GoldenMatrix golden = sampleMatrix();
     GoldenMatrix actual = golden;
     // Meltdown x baseline stops leaking.
-    actual.cells[1][0] = {1, 0, "0"};
+    actual.cells[1][0] = {1, 0, "0", {}};
 
     const MatrixDiff diff = compareGolden(golden, actual);
     EXPECT_TRUE(diff.structural.empty());
@@ -125,8 +125,8 @@ TEST(Golden, CompareIgnoresPureReordering)
     actual.spec = golden.spec;
     actual.rows = {"Meltdown", "Spectre v1"};
     actual.cols = {"fence(1)", "baseline"};
-    actual.cells = {{{2, 1, "10"}, {1, 1, "1"}},
-                    {{1, 0, "0"}, {1, 1, "1"}}};
+    actual.cells = {{{2, 1, "10", {}}, {1, 1, "1", {}}},
+                    {{1, 0, "0", {}}, {1, 1, "1", {}}}};
     EXPECT_TRUE(compareGolden(golden, actual).empty());
 }
 
@@ -147,6 +147,136 @@ TEST(Golden, PatternDriftCaughtWhenLeakCountsMatch)
     const std::string rendered = renderDiff(diff);
     EXPECT_NE(rendered.find("[10]"), std::string::npos);
     EXPECT_NE(rendered.find("[01]"), std::string::npos);
+}
+
+/** sampleMatrix() with accuracy values pinned under @p eps. */
+GoldenMatrix
+accuracyMatrix(double eps)
+{
+    GoldenMatrix m = sampleMatrix();
+    m.hasAccuracy = true;
+    m.absEps = eps;
+    m.cells[0][0].accuracy = {{"accuracy", {1.0}}};
+    m.cells[0][1].accuracy = {{"accuracy", {0.0}}};
+    m.cells[1][0].accuracy = {{"accuracy", {1.0}}};
+    m.cells[1][1].accuracy = {{"accuracy", {0.75, 0.25}}};
+    return m;
+}
+
+TEST(GoldenAccuracy, JsonRoundTripKeepsToleranceAndValues)
+{
+    const GoldenMatrix m = accuracyMatrix(0.005);
+    const std::string json = goldenJson(m);
+    EXPECT_NE(json.find("\"absEps\": 0.005"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"accuracy\": [0.75, 0.25]"),
+              std::string::npos)
+        << json;
+    std::string error;
+    const auto parsed = parseGoldenJson(json, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_TRUE(parsed->hasAccuracy);
+    EXPECT_EQ(parsed->absEps, 0.005);
+    EXPECT_EQ(parsed->cells, m.cells);
+    EXPECT_EQ(goldenJson(*parsed), json);
+}
+
+TEST(GoldenAccuracy, DriftWithinToleranceIsNotDrift)
+{
+    const GoldenMatrix golden = accuracyMatrix(0.01);
+    GoldenMatrix actual = golden;
+    actual.cells[1][1].accuracy["accuracy"] = {0.7501, 0.2499};
+    EXPECT_TRUE(compareGolden(golden, actual).empty());
+}
+
+TEST(GoldenAccuracy, DriftBeyondToleranceNamesFieldAndDelta)
+{
+    // Leak counts and patterns unchanged — only an accuracy value
+    // moved beyond the tolerance.  The pre-accuracy gate was blind
+    // to exactly this.
+    const GoldenMatrix golden = accuracyMatrix(0.005);
+    GoldenMatrix actual = golden;
+    actual.cells[1][1].accuracy["accuracy"] = {0.75, 0.5};
+
+    const MatrixDiff diff = compareGolden(golden, actual);
+    ASSERT_EQ(diff.cells.size(), 1u);
+    EXPECT_EQ(diff.cells[0].row, "Meltdown");
+    EXPECT_EQ(diff.cells[0].col, "fence(1)");
+    ASSERT_EQ(diff.cells[0].accuracyNotes.size(), 1u);
+    const std::string rendered = renderDiff(diff);
+    // The diff names the field, the grid point, both values, the
+    // delta and the tolerance it exceeded.
+    EXPECT_NE(rendered.find("accuracy[1]"), std::string::npos)
+        << rendered;
+    EXPECT_NE(rendered.find("0.25"), std::string::npos) << rendered;
+    EXPECT_NE(rendered.find("absEps 0.005"), std::string::npos)
+        << rendered;
+}
+
+TEST(GoldenAccuracy, LegacyGoldensIgnoreAccuracyEntirely)
+{
+    // A golden recorded before the migration (hasAccuracy false)
+    // compares exactly as it always did, even against an actual
+    // matrix that carries accuracy values.
+    const GoldenMatrix golden = sampleMatrix();
+    GoldenMatrix actual = accuracyMatrix(0.0);
+    EXPECT_TRUE(compareGolden(golden, actual).empty());
+}
+
+TEST(GoldenAccuracy, ParserRejectsAccuracyWithoutTolerance)
+{
+    GoldenMatrix m = accuracyMatrix(0.005);
+    std::string json = goldenJson(m);
+    // Strip the absEps line: values without a declared tolerance
+    // would make the comparison contract ambiguous.
+    const std::string line = "  \"absEps\": 0.005,\n";
+    const std::size_t at = json.find(line);
+    ASSERT_NE(at, std::string::npos);
+    json.erase(at, line.size());
+    std::string error;
+    EXPECT_FALSE(parseGoldenJson(json, &error).has_value());
+    EXPECT_NE(error.find("absEps"), std::string::npos) << error;
+}
+
+TEST(GoldenAccuracy, ParserRejectsWrongArity)
+{
+    // Each accuracy array must carry exactly one value per run.
+    const std::string json = goldenJson(accuracyMatrix(0.005));
+    std::string broken = json;
+    const std::string needle = "\"accuracy\": [0.75, 0.25]";
+    const std::size_t at = broken.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    broken.replace(at, needle.size(), "\"accuracy\": [0.75]");
+    std::string error;
+    EXPECT_FALSE(parseGoldenJson(broken, &error).has_value());
+    EXPECT_NE(error.find("values for"), std::string::npos) << error;
+}
+
+TEST(GoldenAccuracy, FromReportCapturesSchemaAccuracyFields)
+{
+    campaign::ScenarioSpec spec;
+    spec.variants = {AttackVariant::SpectreV1,
+                     AttackVariant::Meltdown};
+    const campaign::CampaignReport report =
+        campaign::CampaignEngine(
+            campaign::CampaignEngine::Options{1})
+            .run(spec);
+    GoldenMatrix with = GoldenMatrix::fromReport(report, true);
+    with.absEps = 0.001;
+    EXPECT_TRUE(with.hasAccuracy);
+    for (const auto &row : with.cells)
+        for (const GoldenCell &cell : row) {
+            ASSERT_EQ(cell.accuracy.count("accuracy"), 1u);
+            EXPECT_EQ(cell.accuracy.at("accuracy").size(),
+                      cell.runs);
+        }
+    // Self-comparison under any tolerance is clean, and the
+    // accuracy-bearing golden round-trips byte-identically.
+    const std::string json = goldenJson(with);
+    const auto parsed = parseGoldenJson(json);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(compareGolden(*parsed, with).empty());
+    EXPECT_EQ(goldenJson(*parsed), json);
 }
 
 TEST(Specs, RegistryMatchesTheCtestSuite)
