@@ -3,7 +3,10 @@
  * Campaign engine throughput: the full variant x defense matrix
  * (the paper's Table II-style sweep) executed serially and across
  * the worker pool, reporting scenarios/sec and the speedup, and
- * verifying the success matrices are identical.
+ * verifying the success matrices are identical.  Also times the
+ * same sweep submitted to an in-process campaign daemon (cold and
+ * cache-warm) against the offline engine, and writes the headline
+ * numbers to BENCH_campaign.json for CI artifact upload.
  */
 
 #include <algorithm>
@@ -17,6 +20,8 @@
 #include "bench_util.hh"
 #include "campaign/campaign.hh"
 #include "campaign/sink.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "tool/report.hh"
 #include "tool/stream_export.hh"
 
@@ -28,8 +33,12 @@ main(int argc, char **argv)
 {
     unsigned parallel_workers =
         std::max(4u, std::thread::hardware_concurrency());
+    std::string json_path = "BENCH_campaign.json";
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--workers") == 0 &&
+                   i + 1 < argc) {
             char *end = nullptr;
             const unsigned long n =
                 std::strtoul(argv[++i], &end, 10);
@@ -125,6 +134,99 @@ main(int argc, char **argv)
     std::printf("streamed exports match batch exporters: %s\n",
                 stream_ok ? "yes" : "NO — BUG");
     if (!stream_ok)
+        return 1;
+
+    // Server mode: the identical sweep submitted to an in-process
+    // daemon.  Cold pays one execution per unique cell plus the
+    // wire round trips; warm is pure protocol + shared-cache cost,
+    // the latency a second CI client actually sees.
+    bench::header("server mode: offline vs. remote submit");
+    serve::Server::Options server_options;
+    server_options.workers = parallel_workers;
+    serve::Server server(server_options);
+    std::string error;
+    double coldMs = 0.0, warmMs = 0.0;
+    double warm_hit_rate = 0.0;
+    bool remote_ok = false;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return 1;
+    }
+    std::thread serving([&server] { server.serveForever(); });
+    {
+        serve::Client client;
+        if (!client.connect({"127.0.0.1", server.port()},
+                            &error)) {
+            std::fprintf(stderr, "connect: %s\n", error.c_str());
+            server.stop();
+            serving.join();
+            return 1;
+        }
+        ReportSink cold_sink;
+        auto t0 = std::chrono::steady_clock::now();
+        bool ok = client.run(spec, {&cold_sink}, {}, &error);
+        coldMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+        ReportSink warm_sink;
+        t0 = std::chrono::steady_clock::now();
+        ok = ok && client.run(spec, {&warm_sink}, {}, &error);
+        warmMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+        const CampaignReport cold_report = cold_sink.takeReport();
+        const CampaignReport warm = warm_sink.takeReport();
+        if (!ok)
+            std::fprintf(stderr, "remote run: %s\n",
+                         error.c_str());
+        warm_hit_rate =
+            warm.uniqueCount
+                ? static_cast<double>(warm.cacheHits) /
+                      static_cast<double>(warm.uniqueCount)
+                : 0.0;
+        remote_ok =
+            ok &&
+            tool::campaignJson(cold_report, false) ==
+                tool::campaignJson(parallel, false) &&
+            warm.executedCount == 0;
+    }
+    server.stop();
+    serving.join();
+
+    std::printf("%-22s %12s %14s\n", "mode", "wall (ms)",
+                "cache hits");
+    std::printf("%-22s %12.1f %14s\n", "offline (report)",
+                collectMs, "-");
+    std::printf("%-22s %12.1f %14s\n", "remote cold", coldMs, "0%");
+    std::printf("%-22s %12.1f %13.0f%%\n", "remote warm", warmMs,
+                100.0 * warm_hit_rate);
+    std::printf("remote overhead (cold vs. offline): %+.1f%%\n",
+                collectMs > 0.0
+                    ? 100.0 * (coldMs - collectMs) / collectMs
+                    : 0.0);
+    std::printf("remote byte-identical, warm fully cached: %s\n",
+                remote_ok ? "yes" : "NO — BUG");
+    if (!remote_ok)
+        return 1;
+
+    bench::BenchJson out;
+    out.set("bench", std::string("campaign"));
+    out.set("grid_scenarios",
+            static_cast<double>(spec.gridSize()));
+    out.set("serial_scenarios_per_sec",
+            serial.scenariosPerSecond);
+    out.set("parallel_scenarios_per_sec",
+            parallel.scenariosPerSecond);
+    out.set("parallel_speedup", speedup);
+    out.set("streaming_overhead_pct",
+            collectMs > 0.0
+                ? 100.0 * (streamMs - collectMs) / collectMs
+                : 0.0);
+    out.set("offline_wall_ms", collectMs);
+    out.set("serve_cold_wall_ms", coldMs);
+    out.set("serve_warm_wall_ms", warmMs);
+    out.set("serve_warm_cache_hit_rate", warm_hit_rate);
+    if (!out.save(json_path))
         return 1;
 
     std::printf("\n%s", parallel.successMatrixText().c_str());

@@ -8,11 +8,13 @@
  * specsec_regress --shard/--merge runs, minus the process spawns.
  * Verifies the merged exports are byte-identical to the unsharded
  * run and reports the partition/serialize/merge overhead a CI
- * fan-out pays.
+ * fan-out pays.  Headline numbers land in BENCH_shard.json for CI
+ * artifact upload.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.hh"
 #include "campaign/campaign.hh"
@@ -37,8 +39,13 @@ millisSince(std::chrono::steady_clock::time_point start)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path = "BENCH_shard.json";
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+
     bench::header("sharded campaign: 1 process vs. shard+merge");
     const regress::NamedSpec *named =
         regress::findSpec("table3-baseline");
@@ -72,6 +79,12 @@ main()
                 fullMs, "-", "-");
 
     bool all_match = true;
+    bench::BenchJson out;
+    out.set("bench", std::string("shard"));
+    out.set("grid_scenarios",
+            static_cast<double>(spec.gridSize()));
+    out.set("full_wall_ms", fullMs);
+    out.set("full_scenarios_per_sec", full.scenariosPerSecond);
     for (const std::size_t n : {2UL, 4UL, 8UL}) {
         // Run every shard (sequentially; CI runs them as parallel
         // jobs) and round-trip each report through the wire format.
@@ -111,9 +124,19 @@ main()
         std::snprintf(mode, sizeof mode, "shard+merge");
         std::printf("%-16s %8zu %12.1f %12.2f %8s\n", mode, n,
                     runMs, mergeMs, match ? "yes" : "NO");
+
+        char key[32];
+        std::snprintf(key, sizeof key, "shard%zu_run_ms", n);
+        out.set(key, runMs);
+        std::snprintf(key, sizeof key, "shard%zu_merge_ms", n);
+        out.set(key, mergeMs);
     }
 
     std::printf("merged exports byte-identical to 1-process run: "
                 "%s\n", all_match ? "yes" : "NO — BUG");
+    out.set("merged_byte_identical",
+            all_match ? 1.0 : 0.0);
+    if (!out.save(json_path))
+        return 1;
     return all_match ? 0 : 1;
 }

@@ -9,9 +9,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/attack_graph.hh"
 #include "graph/race.hh"
+#include "tool/report.hh"
 
 namespace specsec::bench
 {
@@ -27,6 +30,54 @@ rule()
 {
     std::printf("%s\n", std::string(78, '-').c_str());
 }
+
+/**
+ * Flat machine-readable bench results: insertion-ordered key ->
+ * number/string pairs saved as one JSON object (BENCH_*.json), so
+ * CI can upload throughput/latency trends as artifacts without
+ * scraping the human-readable tables.
+ */
+class BenchJson
+{
+  public:
+    void
+    set(const std::string &key, double value)
+    {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        fields_.emplace_back(key, buf);
+    }
+
+    void
+    set(const std::string &key, const std::string &value)
+    {
+        std::string quoted = "\"";
+        quoted += tool::jsonEscape(value);
+        quoted += "\"";
+        fields_.emplace_back(key, std::move(quoted));
+    }
+
+    bool
+    save(const std::string &path) const
+    {
+        std::string text = "{\n";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            text += "  \"" + tool::jsonEscape(fields_[i].first) +
+                    "\": " + fields_[i].second;
+            text += (i + 1 < fields_.size()) ? ",\n" : "\n";
+        }
+        text += "}\n";
+        if (!tool::writeTextFile(path, text)) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::printf("bench results -> %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /** Print an attack graph's nodes, edges and race analysis. */
 inline void

@@ -30,6 +30,19 @@
  *
  * The merged run is byte-identical, in every timing-free export, to
  * an unsharded run of the same spec.
+ *
+ * Server mode (one shared ResultCache for many clients):
+ *   campaign_cli serve --port 9917 --cache-file fleet-cache.json
+ *   campaign_cli submit --connect 127.0.0.1:9917 --jsonl out.jsonl
+ *   campaign_cli submit --connect 127.0.0.1:9917 --jsonl out.jsonl \
+ *                --resume       # after a killed submit
+ *   campaign_cli stats --connect 127.0.0.1:9917
+ *   campaign_cli shutdown --connect 127.0.0.1:9917
+ *
+ * A remote submit produces byte-identical timing-free exports to a
+ * local run of the same spec: the client expands/dedups the grid
+ * itself and only the canonical scenario keys and schema-derived
+ * result fragments cross the wire (see src/serve/protocol.hh).
  */
 
 #include <cstdio>
@@ -44,6 +57,8 @@
 #include "campaign/campaign.hh"
 #include "campaign/sink.hh"
 #include "core/catalog.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "tool/report.hh"
 #include "tool/report_io.hh"
 #include "tool/schema.hh"
@@ -97,6 +112,11 @@ usage(const char *prog)
         "[--jsonl F] [--timing]\n"
         "       %s list-attacks [--json]\n"
         "       %s describe NAME [--json]\n"
+        "       %s serve [--host H] [--port P] [--workers N] "
+        "[--cache-file F]\n"
+        "       %s submit --connect HOST:P [--resume] [options]\n"
+        "       %s stats --connect HOST:P\n"
+        "       %s shutdown --connect HOST:P\n"
         "  --workers N        worker threads (default: all cores)\n"
         "  --serial           shorthand for --workers 1\n"
         "  --variants a,b,c   variants by catalog name "
@@ -125,8 +145,14 @@ usage(const char *prog)
         "  --jsonl FILE       export as JSONL, streamed as "
         "scenarios finish\n"
         "  --progress         live progress line on stderr\n"
-        "  --timing           include wall-clock fields in exports\n",
-        prog, prog, prog, prog, prog);
+        "  --timing           include wall-clock fields in exports\n"
+        "  --connect HOST:P   run the sweep on a campaign_cli "
+        "serve daemon\n"
+        "  --resume           with --connect and --jsonl: keep a "
+        "killed run's\n"
+        "                     valid JSONL prefix and fetch only "
+        "the missing cells\n",
+        prog, prog, prog, prog, prog, prog, prog, prog, prog);
     return 2;
 }
 
@@ -367,6 +393,135 @@ mergeMain(int argc, char **argv)
                : 1;
 }
 
+/** `campaign_cli serve`: the campaign daemon. */
+int
+serveMain(int argc, char **argv)
+{
+    serve::Server::Options opts;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--host")
+            opts.host = value();
+        else if (arg == "--port") {
+            unsigned long port = 0;
+            if (!parseUnsigned(value(), port) || port > 65535) {
+                std::fprintf(stderr,
+                             "--port: not a port number\n");
+                return 2;
+            }
+            opts.port = static_cast<std::uint16_t>(port);
+        } else if (arg == "--workers") {
+            unsigned long n = 0;
+            if (!parseUnsigned(value(), n)) {
+                std::fprintf(stderr, "--workers: not a number\n");
+                return 2;
+            }
+            opts.workers = static_cast<unsigned>(n);
+        } else if (arg == "--cache-file")
+            opts.cachePath = value();
+        else
+            return usage(argv[0]);
+    }
+
+    serve::Server server(opts);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return 1;
+    }
+    // One parseable line for wrappers polling readiness (the CI
+    // e2e job greps it for the bound port).
+    std::printf("serving on %s:%u (schema %s)\n",
+                opts.host.c_str(), server.port(),
+                tool::wireSchemaTag().c_str());
+    std::fflush(stdout);
+    server.serveForever();
+    std::printf("serve: drained, exiting\n");
+    return 0;
+}
+
+/** Shared --connect parsing for submit/stats/shutdown. */
+bool
+connectFromArg(const std::string &endpoint_text,
+               serve::Client &client)
+{
+    serve::net::Endpoint endpoint;
+    std::string error;
+    if (endpoint_text.empty()) {
+        std::fprintf(stderr, "--connect HOST:PORT is required\n");
+        return false;
+    }
+    if (!serve::net::parseEndpoint(endpoint_text, endpoint,
+                                   &error) ||
+        !client.connect(endpoint, &error)) {
+        std::fprintf(stderr, "connect %s: %s\n",
+                     endpoint_text.c_str(), error.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** `campaign_cli stats --connect HOST:P`. */
+int
+statsMain(int argc, char **argv)
+{
+    std::string endpoint;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--connect") == 0 &&
+            i + 1 < argc)
+            endpoint = argv[++i];
+        else
+            return usage(argv[0]);
+    }
+    serve::Client client;
+    if (!connectFromArg(endpoint, client))
+        return 1;
+    serve::StatsMsg stats;
+    std::string error;
+    if (!client.serverStats(stats, &error)) {
+        std::fprintf(stderr, "stats: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("connections: %zu\nrequests:    %zu\n"
+                "executed:    %zu\ncacheHits:   %zu\n"
+                "cacheSize:   %zu\n",
+                stats.connections, stats.requests, stats.executed,
+                stats.cacheHits, stats.cacheSize);
+    return 0;
+}
+
+/** `campaign_cli shutdown --connect HOST:P`. */
+int
+shutdownMain(int argc, char **argv)
+{
+    std::string endpoint;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--connect") == 0 &&
+            i + 1 < argc)
+            endpoint = argv[++i];
+        else
+            return usage(argv[0]);
+    }
+    serve::Client client;
+    if (!connectFromArg(endpoint, client))
+        return 1;
+    std::string error;
+    if (!client.requestShutdown(&error)) {
+        std::fprintf(stderr, "shutdown: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("server draining\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -374,6 +529,12 @@ main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "merge") == 0)
         return mergeMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+        return serveMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "stats") == 0)
+        return statsMain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "shutdown") == 0)
+        return shutdownMain(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "list-attacks") == 0)
         return listAttacksMain(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "describe") == 0)
@@ -383,6 +544,7 @@ main(int argc, char **argv)
     // file extension (overridable with --format); every other
     // campaign option still applies.
     bool export_mode = false;
+    bool submit_mode = false;
     std::string export_path;
     std::string export_format;
     int first_arg = 1;
@@ -394,6 +556,11 @@ main(int argc, char **argv)
         }
         export_path = argv[2];
         first_arg = 3;
+    } else if (argc > 1 && std::strcmp(argv[1], "submit") == 0) {
+        // `submit` is the campaign run pointed at a daemon: the
+        // same spec/export flags, execution via --connect.
+        submit_mode = true;
+        first_arg = 2;
     }
 
     ScenarioSpec spec = ScenarioSpec::defenseMatrix();
@@ -406,6 +573,8 @@ main(int argc, char **argv)
     ShardRange shard;
     bool progress = false;
     bool timing = false;
+    std::string connect_endpoint;
+    bool resume = false;
 
     for (int i = first_arg; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -591,9 +760,41 @@ main(int argc, char **argv)
             progress = true;
         } else if (arg == "--timing") {
             timing = true;
+        } else if (arg == "--connect") {
+            connect_endpoint = value();
+        } else if (arg == "--resume") {
+            resume = true;
         } else {
             return usage(argv[0]);
         }
+    }
+
+    if (submit_mode && connect_endpoint.empty()) {
+        std::fprintf(stderr,
+                     "submit: --connect HOST:PORT is required\n");
+        return 2;
+    }
+    if (resume) {
+        if (connect_endpoint.empty() || jsonl_path.empty()) {
+            std::fprintf(stderr,
+                         "--resume needs --connect and --jsonl "
+                         "(it completes a killed remote JSONL "
+                         "export)\n");
+            return 2;
+        }
+        if (timing) {
+            std::fprintf(stderr,
+                         "--resume is timing-free only (timing "
+                         "output embeds machine-local wall "
+                         "times)\n");
+            return 2;
+        }
+    }
+    if (!connect_endpoint.empty() && !cache_path.empty()) {
+        std::fprintf(stderr,
+                     "--cache-file does not apply to remote runs; "
+                     "give it to `campaign_cli serve` instead\n");
+        return 2;
     }
 
     if (export_mode) {
@@ -660,12 +861,96 @@ main(int argc, char **argv)
                         cache.size(), cache_path.c_str());
     }
 
+    // --resume completes a killed remote run's JSONL export in
+    // place: keep the file's valid prefix (header + outcome lines
+    // in grid order), fetch only the missing gridIndices from the
+    // daemon, and append them through a header-suppressed stream
+    // sink.  The finished file is byte-identical to an
+    // uninterrupted run; report/CSV/JSON exports don't apply (the
+    // already-covered prefix is never re-fetched).
+    if (resume) {
+        serve::Client client;
+        if (!connectFromArg(connect_endpoint, client))
+            return 1;
+        const ExpandedGrid grid = dedupGrid(spec);
+        const CampaignHeader header = serve::headerForGrid(
+            spec, grid, shard, client.serverWorkers());
+        std::string existing;
+        tool::readTextFile(jsonl_path, existing); // absent = fresh
+        serve::ResumePlan plan;
+        std::string error;
+        if (!serve::planJsonlResume(header, existing, plan,
+                                    &error)) {
+            std::fprintf(stderr, "resume: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("resume %s: %zu of %zu outcomes already "
+                    "valid, %zu missing\n",
+                    jsonl_path.c_str(), plan.covered,
+                    header.gridIndices.size(),
+                    plan.missing.size());
+        const std::string keep =
+            plan.keepText.empty()
+                ? tool::jsonlHeaderRecord(header)
+                : plan.keepText;
+        if (!tool::writeTextFile(jsonl_path, keep)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         jsonl_path.c_str());
+            return 1;
+        }
+        if (plan.missing.empty()) {
+            std::printf("%s is already complete\n",
+                        jsonl_path.c_str());
+            return 0;
+        }
+        std::ofstream append_stream(
+            jsonl_path, std::ios::binary | std::ios::app);
+        if (!append_stream) {
+            std::fprintf(stderr, "cannot append to %s\n",
+                         jsonl_path.c_str());
+            return 1;
+        }
+        tool::JsonlStreamSink jsonl_resume_sink(
+            append_stream, false, /*suppress_header=*/true);
+        std::vector<OutcomeSink *> resume_sinks{
+            &jsonl_resume_sink};
+        std::optional<ProgressSink> resume_progress;
+        if (progress) {
+            resume_progress.emplace(stderr);
+            resume_sinks.push_back(&*resume_progress);
+        }
+        CampaignHeader sub = header;
+        sub.gridIndices = plan.missing;
+        if (!client.runSubset(grid, sub, plan.missing,
+                              resume_sinks, &error)) {
+            std::fprintf(stderr, "resume run failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        append_stream.flush();
+        if (!append_stream.good()) {
+            std::fprintf(stderr, "write failed on %s\n",
+                         jsonl_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", jsonl_path.c_str());
+        return 0;
+    }
+
+    serve::Client client;
+    if (!connect_endpoint.empty() &&
+        !connectFromArg(connect_endpoint, client))
+        return 1;
+
     const CampaignEngine engine(engine_opts);
     std::printf("campaign %s: %zu grid points, %u workers",
                 spec.name.c_str(), spec.gridSize(),
-                engine.workers());
+                connect_endpoint.empty() ? engine.workers()
+                                         : client.serverWorkers());
     if (shard.count > 1)
         std::printf(", shard %zu/%zu", shard.index, shard.count);
+    if (!connect_endpoint.empty())
+        std::printf(", remote via %s", connect_endpoint.c_str());
     std::printf("\n");
 
     // The engine is a thin driver over sinks: the report, the
@@ -704,7 +989,16 @@ main(int argc, char **argv)
         sinks.push_back(&*progress_sink);
     }
 
-    engine.run(spec, sinks, shard);
+    if (connect_endpoint.empty()) {
+        engine.run(spec, sinks, shard);
+    } else {
+        std::string error;
+        if (!client.run(spec, sinks, shard, &error)) {
+            std::fprintf(stderr, "remote run failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+    }
     const CampaignReport report = report_sink.takeReport();
     bool ok = true;
     // A stream that went bad mid-run (disk full, deleted dir) left

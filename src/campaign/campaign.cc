@@ -620,6 +620,46 @@ CampaignReport::recomputeCells()
     }
 }
 
+namespace
+{
+
+/**
+ * Do two outcomes for the same gridIndex agree on everything except
+ * wall time?  Heterogeneous-shard merges accept overlapping cells
+ * exactly when this holds.  Configuration is compared through the
+ * canonical key (one definition of "the same experiment"); result
+ * and stats field-by-field.
+ */
+bool
+sameTimingFreeOutcome(const ScenarioOutcome &a,
+                      const ScenarioOutcome &b)
+{
+    return a.gridIndex == b.gridIndex && a.row == b.row &&
+           a.col == b.col && a.rowLabel == b.rowLabel &&
+           a.colLabel == b.colLabel &&
+           scenarioKey(a.variant, a.config, a.options) ==
+               scenarioKey(b.variant, b.config, b.options) &&
+           a.result.name == b.result.name &&
+           a.result.recovered == b.result.recovered &&
+           a.result.expected == b.result.expected &&
+           a.result.accuracy == b.result.accuracy &&
+           a.result.leaked == b.result.leaked &&
+           a.result.guestCycles == b.result.guestCycles &&
+           a.result.transientForwards ==
+               b.result.transientForwards &&
+           a.stats.cycles == b.stats.cycles &&
+           a.stats.committed == b.stats.committed &&
+           a.stats.squashed == b.stats.squashed &&
+           a.stats.branchMispredicts == b.stats.branchMispredicts &&
+           a.stats.exceptions == b.stats.exceptions &&
+           a.stats.memOrderViolations ==
+               b.stats.memOrderViolations &&
+           a.stats.speculativeFills == b.stats.speculativeFills &&
+           a.stats.transientForwards == b.stats.transientForwards;
+}
+
+} // namespace
+
 bool
 CampaignReport::merge(const CampaignReport &other,
                       std::string *error)
@@ -646,10 +686,16 @@ CampaignReport::merge(const CampaignReport &other,
                       uniqueCount, other.uniqueCount);
         return fail(buf);
     }
-    std::unordered_set<std::size_t> present;
+    std::unordered_map<std::size_t, const ScenarioOutcome *> present;
     present.reserve(outcomes.size());
     for (const ScenarioOutcome &o : outcomes)
-        present.insert(o.gridIndex);
+        present.emplace(o.gridIndex, &o);
+    // Overlap is legal exactly when the two reports agree on the
+    // cell (heterogeneous shard counts re-execute cells, and every
+    // timing-free field is a pure function of the configuration);
+    // a disagreeing overlap is a genuine conflict.
+    std::vector<const ScenarioOutcome *> fresh;
+    fresh.reserve(other.outcomes.size());
     for (const ScenarioOutcome &o : other.outcomes) {
         if (o.gridIndex >= expandedCount) {
             char buf[64];
@@ -658,18 +704,23 @@ CampaignReport::merge(const CampaignReport &other,
                           o.gridIndex, expandedCount);
             return fail(buf);
         }
-        if (present.count(o.gridIndex)) {
-            char buf[80];
+        const auto it = present.find(o.gridIndex);
+        if (it == present.end()) {
+            fresh.push_back(&o);
+            continue;
+        }
+        if (!sameTimingFreeOutcome(*it->second, o)) {
+            char buf[96];
             std::snprintf(buf, sizeof buf,
-                          "overlapping shards: gridIndex %zu "
-                          "present in both reports",
+                          "conflicting shards: gridIndex %zu has "
+                          "different results in the two reports",
                           o.gridIndex);
             return fail(buf);
         }
     }
 
-    outcomes.insert(outcomes.end(), other.outcomes.begin(),
-                    other.outcomes.end());
+    for (const ScenarioOutcome *o : fresh)
+        outcomes.push_back(*o);
     std::sort(outcomes.begin(), outcomes.end(),
               [](const ScenarioOutcome &a, const ScenarioOutcome &b) {
                   return a.gridIndex < b.gridIndex;
@@ -690,6 +741,86 @@ CampaignReport::merge(const CampaignReport &other,
         // Complete again: indistinguishable from a 1-process run.
         shardIndex = 0;
         shardCount = 1;
+    }
+    return true;
+}
+
+bool
+executeKeyBatch(
+    const std::vector<std::string> &keys, unsigned workers,
+    ResultCache *cache,
+    const std::function<bool(std::size_t, const KeyBatchItem &)>
+        &emit,
+    std::string *error)
+{
+    // Validate the whole batch before executing any of it: a
+    // malformed key is a protocol/caller bug, not a per-cell
+    // failure, and half-executed batches are hard to reason about.
+    struct Parsed
+    {
+        core::AttackVariant variant{};
+        CpuConfig config;
+        AttackOptions options;
+    };
+    std::vector<Parsed> parsed(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (!parseScenarioKey(keys[i], parsed[i].variant,
+                              parsed[i].config,
+                              parsed[i].options)) {
+            if (error)
+                *error = "malformed scenario key at index " +
+                         std::to_string(i);
+            return false;
+        }
+    }
+
+    if (workers == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = hw > 0 ? hw : 1;
+    }
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    const auto worker = [&]() {
+        for (;;) {
+            if (cancelled.load(std::memory_order_relaxed))
+                return;
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= keys.size())
+                return;
+            KeyBatchItem item;
+            if (cache) {
+                if (const auto hit = cache->lookup(keys[i])) {
+                    item.result = hit->result;
+                    item.stats = hit->stats;
+                    item.cached = true;
+                }
+            }
+            if (!item.cached) {
+                const auto t0 = std::chrono::steady_clock::now();
+                item.result = attacks::runVariant(
+                    parsed[i].variant, parsed[i].config,
+                    parsed[i].options, item.stats);
+                item.wallMillis = millisSince(t0);
+                if (cache)
+                    cache->store(keys[i],
+                                 {item.result, item.stats});
+            }
+            if (!emit(i, item))
+                cancelled.store(true, std::memory_order_relaxed);
+        }
+    };
+    if (workers <= 1 || keys.size() <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        const unsigned n = std::min<std::size_t>(
+            workers, keys.size());
+        pool.reserve(n);
+        for (unsigned w = 0; w < n; ++w)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
     }
     return true;
 }

@@ -345,6 +345,53 @@ class ResultCache
  */
 std::string modelFingerprint();
 
+/**
+ * @name Key-batch execution: the engine entry the campaign service
+ * is built on.
+ *
+ * A batch is a list of canonical scenarioKey() strings — the wire
+ * encoding of "which experiments to run" (src/serve/protocol.hh) —
+ * executed across a worker pool against an externally-owned
+ * ResultCache.  Results stream into the caller's callback from
+ * worker threads as they complete; the caller owns all aggregation,
+ * exactly like OutcomeSinks do for CampaignEngine::run.
+ * @{
+ */
+
+/** One completed key of a batch. */
+struct KeyBatchItem
+{
+    AttackResult result;
+    CpuStats stats;
+    /// Served from @p cache instead of executed.
+    bool cached = false;
+    /// Wall time of the execution (0 when cached).  Machine- and
+    /// load-dependent; excluded from deterministic outputs.
+    double wallMillis = 0.0;
+};
+
+/**
+ * Execute every key of @p keys on @p workers threads (0 = hardware
+ * concurrency), consulting and filling @p cache (may be null) and
+ * invoking @p emit(index, item) from worker threads as each key
+ * completes, in completion order.  @p emit must be thread-safe;
+ * returning false from it cancels the rest of the batch (workers
+ * drain without starting new keys — how the server stops burning
+ * cycles for a vanished client).
+ *
+ * Every key is validated with parseScenarioKey() up front: a
+ * malformed key fails the whole batch (@return false with a message
+ * in @p error naming the key index) before anything executes.
+ */
+bool executeKeyBatch(
+    const std::vector<std::string> &keys, unsigned workers,
+    ResultCache *cache,
+    const std::function<bool(std::size_t, const KeyBatchItem &)>
+        &emit,
+    std::string *error = nullptr);
+
+/// @}
+
 /** Outcome of one grid cell. */
 struct ScenarioOutcome
 {
@@ -412,9 +459,18 @@ struct CampaignReport
      * byte-identical in every timing-free export — from a
      * single-process run of the whole spec.
      *
+     * Shard counts may be heterogeneous: a 3-shard and a 2-shard run
+     * of the same spec cover overlapping gridIndices, and every
+     * timing-free result field is a pure function of the cell's
+     * configuration, so an outcome present in both reports is
+     * accepted (first occurrence kept) when the two agree on
+     * everything but wall time.  Provenance counters still sum, so
+     * executedCount can exceed uniqueCount after an overlapping
+     * merge — the overlap really was executed twice.
+     *
      * Conflicts are detected, not absorbed: mismatched spec name,
-     * row/column labels or grid shape, and overlapping shards (two
-     * reports claiming the same gridIndex) fail the merge with a
+     * row/column labels or grid shape, and two reports claiming the
+     * same gridIndex with *different* results fail the merge with a
      * message in @p error and leave this report unchanged.
      */
     bool merge(const CampaignReport &other,

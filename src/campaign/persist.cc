@@ -11,12 +11,21 @@
  * truncated file, missing file, bad version) loads nothing and
  * reports false without raising — a persistent cache must never be
  * able to fail a run, only to stop accelerating it.  Saving is
- * atomic: write a sibling temp file, then rename over the target.
+ * atomic (sibling temp file + rename) and concurrent-writer safe:
+ * each save load-merge-saves under a sibling ".lock" flock, so two
+ * processes persisting to one path union their entries instead of
+ * the last writer dropping the first writer's work.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
+#include <unordered_map>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 #include "campaign.hh"
 #include "core/catalog.hh"
@@ -40,6 +49,142 @@ loadFail(std::string *error, const std::string &message)
     if (error)
         *error = message;
     return false;
+}
+
+/**
+ * Holds flock(LOCK_EX) on @p path's sibling ".lock" file for its
+ * lifetime.  The lock file itself is created once and never
+ * unlinked (removing it would race a waiter locking the dead
+ * inode); it is zero bytes of permanent scaffolding next to the
+ * cache.  Lock failure degrades to lockless operation — like
+ * every other cache-persistence failure, contention may cost
+ * entries but can never fail a run.
+ */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path)
+        : fd_(::open((path + ".lock").c_str(),
+                     O_CREAT | O_RDWR | O_CLOEXEC, 0644))
+    {
+        if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+    ~FileLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * The parsing core shared by loadFromFile and the save-side
+ * merge: validate @p text as a cache file written under
+ * @p fingerprint and append its entries to @p loaded.  All-or-
+ * nothing — any failure leaves @p loaded untouched.
+ */
+bool
+parseCacheFile(const std::string &text,
+               const std::string &fingerprint,
+               std::vector<std::pair<std::string,
+                                     ResultCache::Entry>> &loaded,
+               std::string *error)
+{
+    tool::json::Cursor cur(text);
+    unsigned version = 0;
+    bool fingerprintOk = false;
+    std::vector<std::pair<std::string, ResultCache::Entry>> parsed;
+
+    if (!cur.expect('{'))
+        return loadFail(error, cur.error());
+    do {
+        const std::string key = cur.parseString();
+        if (cur.failed() || !cur.expect(':'))
+            return loadFail(error, cur.error());
+        if (key == "version") {
+            version = cur.parseUnsigned();
+            if (version != tool::kReportIoVersion)
+                return loadFail(error,
+                                "unsupported cache version");
+        } else if (key == "fingerprint") {
+            const std::string found = cur.parseString();
+            if (found != fingerprint)
+                return loadFail(
+                    error,
+                    "stale fingerprint (model changed); "
+                    "ignoring cache");
+            fingerprintOk = true;
+        } else if (key == "entries") {
+            if (!fingerprintOk || version == 0)
+                return loadFail(error,
+                                "entries before fingerprint/"
+                                "version; ignoring cache");
+            if (!cur.expect('['))
+                return loadFail(error, cur.error());
+            if (!cur.peekConsume(']')) {
+                do {
+                    std::string entry_key;
+                    ResultCache::Entry entry;
+                    if (!cur.expect('{'))
+                        return loadFail(error, cur.error());
+                    do {
+                        const std::string field =
+                            cur.parseString();
+                        if (cur.failed() || !cur.expect(':'))
+                            return loadFail(error, cur.error());
+                        if (field == "key")
+                            entry_key = cur.parseString();
+                        else if (field == "result") {
+                            if (!tool::parseAttackResultJson(
+                                    cur, entry.result))
+                                return loadFail(error,
+                                                cur.error());
+                        } else if (field == "stats") {
+                            if (!tool::parseCpuStatsJson(
+                                    cur, entry.stats))
+                                return loadFail(error,
+                                                cur.error());
+                        } else
+                            return loadFail(
+                                error,
+                                "unknown cache entry key '" +
+                                    field + "'");
+                    } while (!cur.failed() &&
+                             cur.peekConsume(','));
+                    if (!cur.expect('}'))
+                        return loadFail(error, cur.error());
+                    if (entry_key.empty())
+                        return loadFail(error,
+                                        "cache entry without key");
+                    parsed.emplace_back(std::move(entry_key),
+                                        std::move(entry));
+                } while (!cur.failed() && cur.peekConsume(','));
+                if (!cur.expect(']'))
+                    return loadFail(error, cur.error());
+            }
+        } else {
+            return loadFail(error,
+                            "unknown cache key '" + key + "'");
+        }
+    } while (!cur.failed() && cur.peekConsume(','));
+    if (cur.failed() || !cur.expect('}') || !cur.atEnd())
+        return loadFail(error, cur.error().empty()
+                                   ? "trailing content"
+                                   : cur.error());
+    if (version == 0 || !fingerprintOk)
+        return loadFail(error, "cache missing version/fingerprint");
+    for (auto &kv : parsed)
+        loaded.push_back(std::move(kv));
+    return true;
 }
 
 } // namespace
@@ -92,89 +237,9 @@ ResultCache::loadFromFile(const std::string &path,
     if (!tool::readTextFile(path, text))
         return loadFail(error, "cannot read " + path);
 
-    tool::json::Cursor cur(text);
-    unsigned version = 0;
-    bool fingerprintOk = false;
     std::vector<std::pair<std::string, Entry>> loaded;
-
-    if (!cur.expect('{'))
-        return loadFail(error, cur.error());
-    do {
-        const std::string key = cur.parseString();
-        if (cur.failed() || !cur.expect(':'))
-            return loadFail(error, cur.error());
-        if (key == "version") {
-            version = cur.parseUnsigned();
-            if (version != tool::kReportIoVersion)
-                return loadFail(error,
-                                "unsupported cache version");
-        } else if (key == "fingerprint") {
-            const std::string found = cur.parseString();
-            if (found != fingerprint)
-                return loadFail(
-                    error,
-                    "stale fingerprint (model changed); "
-                    "ignoring cache");
-            fingerprintOk = true;
-        } else if (key == "entries") {
-            if (!fingerprintOk || version == 0)
-                return loadFail(error,
-                                "entries before fingerprint/"
-                                "version; ignoring cache");
-            if (!cur.expect('['))
-                return loadFail(error, cur.error());
-            if (!cur.peekConsume(']')) {
-                do {
-                    std::string entry_key;
-                    Entry entry;
-                    if (!cur.expect('{'))
-                        return loadFail(error, cur.error());
-                    do {
-                        const std::string field =
-                            cur.parseString();
-                        if (cur.failed() || !cur.expect(':'))
-                            return loadFail(error, cur.error());
-                        if (field == "key")
-                            entry_key = cur.parseString();
-                        else if (field == "result") {
-                            if (!tool::parseAttackResultJson(
-                                    cur, entry.result))
-                                return loadFail(error,
-                                                cur.error());
-                        } else if (field == "stats") {
-                            if (!tool::parseCpuStatsJson(
-                                    cur, entry.stats))
-                                return loadFail(error,
-                                                cur.error());
-                        } else
-                            return loadFail(
-                                error,
-                                "unknown cache entry key '" +
-                                    field + "'");
-                    } while (!cur.failed() &&
-                             cur.peekConsume(','));
-                    if (!cur.expect('}'))
-                        return loadFail(error, cur.error());
-                    if (entry_key.empty())
-                        return loadFail(error,
-                                        "cache entry without key");
-                    loaded.emplace_back(std::move(entry_key),
-                                        std::move(entry));
-                } while (!cur.failed() && cur.peekConsume(','));
-                if (!cur.expect(']'))
-                    return loadFail(error, cur.error());
-            }
-        } else {
-            return loadFail(error,
-                            "unknown cache key '" + key + "'");
-        }
-    } while (!cur.failed() && cur.peekConsume(','));
-    if (cur.failed() || !cur.expect('}') || !cur.atEnd())
-        return loadFail(error, cur.error().empty()
-                                   ? "trailing content"
-                                   : cur.error());
-    if (version == 0 || !fingerprintOk)
-        return loadFail(error, "cache missing version/fingerprint");
+    if (!parseCacheFile(text, fingerprint, loaded, error))
+        return false;
 
     // Only a fully validated file mutates the cache: a truncated
     // tail can't leave half a file's entries behind.
@@ -190,19 +255,52 @@ ResultCache::saveToFile(const std::string &path,
                         const std::string &fingerprint,
                         std::string *error) const
 {
+    // Load-merge-save under a lock file: two processes saving the
+    // same path concurrently used to last-writer-win, dropping the
+    // loser's fresh entries.  Under the lock each writer first
+    // folds in whatever a concurrent writer already persisted, so
+    // saves compose; entries are pure functions of their key, so
+    // merge order cannot change any value (our snapshot wins on
+    // the — necessarily identical — overlaps).
+    const FileLock lock(path);
+
+    auto merged = snapshot();
+    {
+        std::unordered_map<std::string, bool> ours;
+        ours.reserve(merged.size());
+        for (const auto &kv : merged)
+            ours.emplace(kv.first, true);
+        std::string existing;
+        std::vector<std::pair<std::string, Entry>> on_disk;
+        if (tool::readTextFile(path, existing) &&
+            parseCacheFile(existing, fingerprint, on_disk,
+                           nullptr)) {
+            for (auto &kv : on_disk)
+                if (ours.find(kv.first) == ours.end())
+                    merged.push_back(std::move(kv));
+        }
+        // An unreadable / stale / corrupt existing file merges
+        // nothing and is simply overwritten, as before.
+    }
+    // snapshot() is key-sorted; keep the file deterministic after
+    // appending the other writer's entries.
+    std::sort(merged.begin(), merged.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+
     std::ostringstream os;
     os << "{\n\"version\": " << tool::kReportIoVersion << ",\n";
     os << "\"fingerprint\": \"" << tool::jsonEscape(fingerprint)
        << "\",\n";
     os << "\"entries\": [";
-    const auto entries = snapshot();
-    for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t i = 0; i < merged.size(); ++i) {
         os << (i ? ",\n" : "\n");
-        os << "{\"key\": \"" << tool::jsonEscape(entries[i].first)
+        os << "{\"key\": \"" << tool::jsonEscape(merged[i].first)
            << "\", \"result\": "
-           << tool::attackResultJson(entries[i].second.result)
+           << tool::attackResultJson(merged[i].second.result)
            << ", \"stats\": "
-           << tool::cpuStatsJson(entries[i].second.stats) << "}";
+           << tool::cpuStatsJson(merged[i].second.stats) << "}";
     }
     os << "\n]\n}\n";
 

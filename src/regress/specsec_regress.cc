@@ -47,9 +47,11 @@
 #include <string>
 #include <vector>
 
+#include "campaign/sink.hh"
 #include "core/catalog.hh"
 #include "regress/golden.hh"
 #include "regress/specs.hh"
+#include "serve/client.hh"
 #include "tool/report.hh"
 #include "tool/report_io.hh"
 
@@ -92,6 +94,12 @@ usage(const char *prog)
         "running, save\n"
         "                     (atomically) after; stale/corrupt "
         "files are ignored\n"
+        "  --connect HOST:P   with --check: execute every spec on "
+        "a running\n"
+        "                     `campaign_cli serve` daemon (shared "
+        "cache fleet)\n"
+        "                     instead of in-process; results are "
+        "byte-identical\n"
         "  --with-accuracy    with --record: also pin every "
         "schema-declared\n"
         "                     accuracy field per grid point "
@@ -313,6 +321,7 @@ main(int argc, char **argv)
     std::string artifact_dir = "regress-artifacts";
     std::string shard_dir = "regress-shards";
     std::string cache_file;
+    std::string connect_endpoint;
     std::string flip;
     std::string format_from;
     bool with_accuracy = false;
@@ -349,6 +358,8 @@ main(int argc, char **argv)
             shard_dir = value();
         else if (arg == "--cache-file")
             cache_file = value();
+        else if (arg == "--connect")
+            connect_endpoint = value();
         else if (arg == "--with-accuracy")
             with_accuracy = true;
         else if (arg == "--accuracy-eps") {
@@ -413,6 +424,25 @@ main(int argc, char **argv)
                      "merges need the whole grid)\n");
         return 2;
     }
+    if (!connect_endpoint.empty()) {
+        if (mode != Mode::Check) {
+            std::fprintf(stderr,
+                         "--connect only applies to --check "
+                         "(goldens are recorded from the local "
+                         "model)\n");
+            return 2;
+        }
+        if (sharded || !cache_file.empty()) {
+            // Remote runs already share the daemon's cache and
+            // its worker pool; client-side shards and caches
+            // would only obscure whose results a check used.
+            std::fprintf(stderr,
+                         "--connect cannot be combined with "
+                         "--shard or --cache-file (the daemon "
+                         "owns both concerns)\n");
+            return 2;
+        }
+    }
     if (mode != Mode::Record &&
         (with_accuracy || accuracy_eps || !format_from.empty())) {
         std::fprintf(stderr,
@@ -454,6 +484,21 @@ main(int argc, char **argv)
     engine_opts.cache = &cache;
     const campaign::CampaignEngine engine(engine_opts);
     const std::string fingerprint = campaign::modelFingerprint();
+    serve::Client client;
+    if (!connect_endpoint.empty()) {
+        serve::net::Endpoint endpoint;
+        std::string error;
+        if (!serve::net::parseEndpoint(connect_endpoint, endpoint,
+                                       &error) ||
+            !client.connect(endpoint, &error)) {
+            std::fprintf(stderr, "connect %s: %s\n",
+                         connect_endpoint.c_str(), error.c_str());
+            return 2;
+        }
+        std::printf("connected to %s (%u server workers)\n",
+                    connect_endpoint.c_str(),
+                    client.serverWorkers());
+    }
     if (!cache_file.empty() && mode != Mode::Merge) {
         std::string error;
         if (cache.loadFromFile(cache_file, fingerprint, &error))
@@ -495,8 +540,24 @@ main(int argc, char **argv)
             continue;
         }
 
-        const campaign::CampaignReport report =
-            engine.run(named.spec, shard);
+        campaign::CampaignReport report;
+        if (connect_endpoint.empty()) {
+            report = engine.run(named.spec, shard);
+        } else {
+            // The remote path drives the same ReportSink the
+            // engine's collect API is built on, so the report —
+            // and every golden comparison below — is
+            // byte-identical to the offline run by construction.
+            campaign::ReportSink sink;
+            std::string error;
+            if (!client.run(named.spec, {&sink}, shard, &error)) {
+                std::fprintf(stderr, "%s: remote run failed: %s\n",
+                             named.name.c_str(), error.c_str());
+                status.io_error = true;
+                continue;
+            }
+            report = sink.takeReport();
+        }
 
         if (sharded) {
             const std::string path =

@@ -1,0 +1,320 @@
+#include "client.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "tool/stream_export.hh"
+
+namespace specsec::serve
+{
+
+namespace
+{
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+campaign::CampaignHeader
+headerForGrid(const campaign::ScenarioSpec &spec,
+              const campaign::ExpandedGrid &grid,
+              campaign::ShardRange shard, unsigned workers)
+{
+    const std::size_t count = shard.count == 0 ? 1 : shard.count;
+    const campaign::ShardSelection sel =
+        grid.shard(shard.index, count);
+
+    campaign::CampaignHeader header;
+    header.name = spec.name;
+    // Every (row, col) of the grid appears in the expansion, so
+    // the label axes are recoverable without the engine's private
+    // catalog resolvers — a remote header is byte-identical to a
+    // local one.
+    for (const campaign::Scenario &s : grid.expanded) {
+        if (s.row >= header.rowLabels.size())
+            header.rowLabels.resize(s.row + 1);
+        if (s.col >= header.colLabels.size())
+            header.colLabels.resize(s.col + 1);
+        header.rowLabels[s.row] = s.rowLabel;
+        header.colLabels[s.col] = s.colLabel;
+    }
+    header.expandedCount = grid.expanded.size();
+    header.uniqueCount = grid.uniqueIndices.size();
+    header.gridIndices = sel.expandedIndices;
+    header.shardUniqueCount = sel.uniquePositions.size();
+    header.shardIndex = shard.index;
+    header.shardCount = count;
+    header.workers = workers;
+    return header;
+}
+
+bool
+Client::connect(const net::Endpoint &endpoint, std::string *error)
+{
+    conn_ = net::dial(endpoint, error);
+    if (!conn_.valid())
+        return false;
+    if (!conn_.writeLine(helloLine(localHello(), false)))
+        return fail(error, "connection lost during handshake");
+    std::string line;
+    if (!conn_.readLine(line))
+        return fail(error, "server closed during handshake");
+    const ParsedMsg reply = parseLine(line);
+    if (reply.type == MsgType::Error)
+        return fail(error, reply.error);
+    if (reply.type != MsgType::Hello)
+        return fail(error, "handshake failed: unexpected reply");
+    std::string mismatch;
+    if (!checkHello(reply.hello, &mismatch))
+        return fail(error, "handshake rejected: " + mismatch);
+    serverWorkers_ =
+        reply.hello.workers == 0 ? 1 : reply.hello.workers;
+    return true;
+}
+
+bool
+Client::run(const campaign::ScenarioSpec &spec,
+            const std::vector<campaign::OutcomeSink *> &sinks,
+            campaign::ShardRange shard, std::string *error)
+{
+    const campaign::ExpandedGrid grid = campaign::dedupGrid(spec);
+    const campaign::CampaignHeader header =
+        headerForGrid(spec, grid, shard, serverWorkers_);
+    return runSubset(grid, header, header.gridIndices, sinks,
+                     error);
+}
+
+bool
+Client::runSubset(
+    const campaign::ExpandedGrid &grid,
+    const campaign::CampaignHeader &header,
+    const std::vector<std::size_t> &expandedIndices,
+    const std::vector<campaign::OutcomeSink *> &sinks,
+    std::string *error)
+{
+    if (!conn_.valid())
+        return fail(error, "not connected");
+
+    // The unique executions backing the wanted grid points, in
+    // first-appearance order; each fans back out to every wanted
+    // duplicate when its result arrives.
+    std::map<std::size_t, std::vector<std::size_t>> backedBy;
+    for (const std::size_t e : expandedIndices)
+        backedBy[grid.dupOf[e]].push_back(e);
+    SubmitMsg submit;
+    submit.name = header.name;
+    std::vector<std::size_t> uniquePositions;
+    for (const auto &kv : backedBy) {
+        uniquePositions.push_back(kv.first);
+        submit.keys.push_back(
+            grid.expanded[grid.uniqueIndices[kv.first]].key);
+    }
+
+    for (campaign::OutcomeSink *sink : sinks)
+        sink->begin(header);
+
+    if (!conn_.writeLine(submitLine(submit)))
+        return fail(error, "connection lost sending submit");
+
+    std::size_t received = 0;
+    std::string line;
+    while (conn_.readLine(line)) {
+        const ParsedMsg msg = parseLine(line);
+        if (msg.type == MsgType::Error)
+            return fail(error, "server: " + msg.error);
+        if (msg.type == MsgType::Done) {
+            if (received != submit.keys.size())
+                return fail(error,
+                            "server finished early: " +
+                                std::to_string(received) + " of " +
+                                std::to_string(
+                                    submit.keys.size()) +
+                                " results");
+            campaign::CampaignFooter footer;
+            footer.executedCount = msg.done.executed;
+            footer.cacheHits = msg.done.cacheHits;
+            footer.wallMillis = msg.done.wallMillis;
+            footer.scenariosPerSecond =
+                msg.done.wallMillis > 0.0
+                    ? 1000.0 *
+                          static_cast<double>(msg.done.executed) /
+                          msg.done.wallMillis
+                    : 0.0;
+            for (campaign::OutcomeSink *sink : sinks)
+                sink->end(footer);
+            return true;
+        }
+        if (msg.type != MsgType::Result)
+            return fail(error,
+                        "unexpected mid-stream message: " +
+                            (msg.type == MsgType::Invalid
+                                 ? msg.error
+                                 : line));
+        if (msg.result.index >= uniquePositions.size())
+            return fail(error, "result index out of range");
+        ++received;
+        const std::size_t pos = uniquePositions[msg.result.index];
+        for (const std::size_t e : backedBy.at(pos)) {
+            const campaign::Scenario &dup = grid.expanded[e];
+            campaign::ScenarioOutcome o;
+            o.variant = dup.variant;
+            o.row = dup.row;
+            o.col = dup.col;
+            o.gridIndex = dup.gridIndex;
+            o.rowLabel = dup.rowLabel;
+            o.colLabel = dup.colLabel;
+            o.config = dup.config;
+            o.options = dup.options;
+            o.result = msg.result.result;
+            o.stats = msg.result.stats;
+            o.wallMillis = msg.result.wallMillis;
+            for (campaign::OutcomeSink *sink : sinks)
+                sink->consume(o);
+        }
+    }
+    return fail(error, "connection lost mid-stream");
+}
+
+bool
+Client::cacheGet(const std::vector<std::string> &keys,
+                 std::vector<CacheEntryMsg> &entries,
+                 std::string *error)
+{
+    if (!conn_.writeLine(cacheGetLine(keys)))
+        return fail(error, "connection lost");
+    std::string line;
+    if (!conn_.readLine(line))
+        return fail(error, "connection lost");
+    ParsedMsg msg = parseLine(line);
+    if (msg.type == MsgType::Error)
+        return fail(error, "server: " + msg.error);
+    if (msg.type != MsgType::CacheEntries)
+        return fail(error, "unexpected cache-get reply");
+    entries = std::move(msg.cache.entries);
+    return true;
+}
+
+bool
+Client::cachePut(const std::vector<CacheEntryMsg> &entries,
+                 std::size_t *stored, std::string *error)
+{
+    if (!conn_.writeLine(cachePutLine(entries)))
+        return fail(error, "connection lost");
+    std::string line;
+    if (!conn_.readLine(line))
+        return fail(error, "connection lost");
+    const ParsedMsg msg = parseLine(line);
+    if (msg.type == MsgType::Error)
+        return fail(error, "server: " + msg.error);
+    if (msg.type != MsgType::Ok)
+        return fail(error, "unexpected cache-put reply");
+    if (stored)
+        *stored = msg.ok.count;
+    return true;
+}
+
+bool
+Client::serverStats(StatsMsg &stats, std::string *error)
+{
+    if (!conn_.writeLine(statsRequestLine()))
+        return fail(error, "connection lost");
+    std::string line;
+    if (!conn_.readLine(line))
+        return fail(error, "connection lost");
+    const ParsedMsg msg = parseLine(line);
+    if (msg.type == MsgType::Error)
+        return fail(error, "server: " + msg.error);
+    if (msg.type != MsgType::Stats)
+        return fail(error, "unexpected stats reply");
+    stats = msg.stats;
+    return true;
+}
+
+bool
+Client::requestShutdown(std::string *error)
+{
+    if (!conn_.writeLine(shutdownLine()))
+        return fail(error, "connection lost");
+    std::string line;
+    if (!conn_.readLine(line))
+        return fail(error, "connection lost");
+    const ParsedMsg msg = parseLine(line);
+    if (msg.type == MsgType::Error)
+        return fail(error, "server: " + msg.error);
+    if (msg.type != MsgType::Ok)
+        return fail(error, "unexpected shutdown reply");
+    return true;
+}
+
+bool
+planJsonlResume(const campaign::CampaignHeader &header,
+                const std::string &existingText, ResumePlan &plan,
+                std::string *error)
+{
+    plan = ResumePlan();
+    plan.missing = header.gridIndices;
+    if (existingText.empty())
+        return true; // nothing survived; a fresh run is the plan
+
+    const std::string expected_header =
+        tool::jsonlHeaderRecord(header);
+    if (existingText.size() < expected_header.size() ||
+        existingText.compare(0, expected_header.size(),
+                             expected_header) != 0) {
+        // A complete-but-different header is another run's file —
+        // resuming over it would corrupt that export.  A torn
+        // header line (no newline yet) is resumable from scratch.
+        if (existingText.find('\n') == std::string::npos)
+            return true;
+        return fail(error,
+                    "existing JSONL header does not match this "
+                    "spec/shard; refusing to resume over it");
+    }
+
+    plan.keepText = expected_header;
+    std::size_t pos = expected_header.size();
+    while (plan.covered < header.gridIndices.size()) {
+        const std::size_t nl = existingText.find('\n', pos);
+        if (nl == std::string::npos)
+            break; // torn tail line: drop it, re-fetch that cell
+        const std::string line =
+            existingText.substr(pos, nl + 1 - pos);
+        // Outcome lines open with their gridIndex (the record's
+        // first schema field); the prefix is valid exactly while
+        // the indices follow the announced grid order.
+        const std::string want =
+            "{\"type\": \"outcome\", \"record\": {\"gridIndex\": " +
+            std::to_string(header.gridIndices[plan.covered]) +
+            ", ";
+        if (line.compare(0, want.size(), want) != 0)
+            return fail(error,
+                        "existing JSONL line " +
+                            std::to_string(plan.covered + 1) +
+                            " is not the expected outcome for "
+                            "gridIndex " +
+                            std::to_string(
+                                header.gridIndices[plan.covered]) +
+                            "; refusing to resume");
+        plan.keepText += line;
+        ++plan.covered;
+        pos = nl + 1;
+    }
+    if (plan.covered == header.gridIndices.size() &&
+        pos < existingText.size())
+        return fail(error,
+                    "existing JSONL has trailing bytes after a "
+                    "complete run; nothing to resume");
+    plan.missing.assign(header.gridIndices.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                plan.covered),
+                        header.gridIndices.end());
+    return true;
+}
+
+} // namespace specsec::serve

@@ -64,6 +64,21 @@ jsonlOutcomeLine(const campaign::ScenarioOutcome &o,
 } // namespace
 
 std::string
+jsonlHeaderRecord(const campaign::CampaignHeader &h)
+{
+    return jsonlHeaderLine(h.name, h.rowLabels, h.colLabels,
+                           h.expandedCount, h.uniqueCount,
+                           h.shardIndex, h.shardCount);
+}
+
+std::string
+jsonlOutcomeRecord(const campaign::ScenarioOutcome &o,
+                   bool include_timing)
+{
+    return jsonlOutcomeLine(o, include_timing);
+}
+
+std::string
 campaignJsonl(const campaign::CampaignReport &report,
               bool include_timing)
 {
@@ -164,9 +179,10 @@ void
 JsonlStreamSink::writeHeader(const campaign::CampaignHeader &h)
 {
     workers_ = h.workers;
-    out_ << jsonlHeaderLine(h.name, h.rowLabels, h.colLabels,
-                            h.expandedCount, h.uniqueCount,
-                            h.shardIndex, h.shardCount);
+    if (!suppress_header_)
+        out_ << jsonlHeaderLine(h.name, h.rowLabels, h.colLabels,
+                                h.expandedCount, h.uniqueCount,
+                                h.shardIndex, h.shardCount);
 }
 
 void

@@ -45,6 +45,20 @@ std::string campaignJsonl(const campaign::CampaignReport &report,
                           bool include_timing = false);
 
 /**
+ * @name Single JSONL lines.
+ * The exact bytes (trailing '\n' included) JsonlStreamSink and
+ * campaignJsonl() write for one header / one outcome — exposed so
+ * a resuming client (src/serve/client.hh) can validate a killed
+ * run's replayed prefix against what a fresh run would have
+ * written, byte for byte.
+ * @{
+ */
+std::string jsonlHeaderRecord(const campaign::CampaignHeader &h);
+std::string jsonlOutcomeRecord(const campaign::ScenarioOutcome &o,
+                               bool include_timing = false);
+/// @}
+
+/**
  * Grid-order release window shared by the streaming exporters:
  * subclasses only say how to render a header, one outcome, and a
  * footer; arrival-order buffering and in-order release live here.
@@ -101,9 +115,17 @@ class CsvStreamSink final : public OrderedStreamSink
 class JsonlStreamSink final : public OrderedStreamSink
 {
   public:
+    /**
+     * @p suppress_header skips the header line: a resumed run
+     * appends to a file whose header (and outcome prefix) already
+     * exist, announcing only the still-missing gridIndices in its
+     * begin() header.
+     */
     explicit JsonlStreamSink(std::ostream &out,
-                             bool include_timing = false)
-        : out_(out), timing_(include_timing)
+                             bool include_timing = false,
+                             bool suppress_header = false)
+        : out_(out), timing_(include_timing),
+          suppress_header_(suppress_header)
     {
     }
 
@@ -115,6 +137,7 @@ class JsonlStreamSink final : public OrderedStreamSink
   private:
     std::ostream &out_;
     bool timing_;
+    bool suppress_header_ = false;
     unsigned workers_ = 1; ///< from the header, for the summary line
 };
 

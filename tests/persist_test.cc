@@ -3,14 +3,18 @@
  * Tests for ResultCache disk persistence: a warm-loaded cache skips
  * every cell with byte-identical exports, a stale model fingerprint
  * invalidates the file, corrupt/truncated files are ignored
- * gracefully (never fatal), and save files are deterministic and
- * written atomically.
+ * gracefully (never fatal), save files are deterministic and
+ * written atomically, and concurrent savers to one path union
+ * their entries under the lock file instead of last-writer-wins.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "campaign/campaign.hh"
 #include "tool/report.hh"
@@ -101,6 +105,90 @@ TEST(Persist, SaveIsDeterministic)
     EXPECT_EQ(bytes, slurp(b));
     // No temp file left behind by the atomic rename.
     EXPECT_TRUE(slurp(a + ".tmp").empty());
+}
+
+TEST(Persist, ConcurrentSavesUnionInsteadOfLastWriterWins)
+{
+    // Two caches with disjoint entries saving to one path: each
+    // save load-merge-saves under the lock file, so the second
+    // writer folds in the first writer's entries instead of
+    // clobbering them.
+    const std::string path = tempPath("persist_union.json");
+    std::remove(path.c_str());
+    const std::string fp = modelFingerprint();
+
+    ScenarioSpec specA = sampleSpec();
+    specA.variants = {AttackVariant::SpectreV1};
+    ScenarioSpec specB = sampleSpec();
+    specB.variants = {AttackVariant::Meltdown};
+
+    ResultCache a, b;
+    CampaignEngine::Options opts;
+    opts.workers = 2;
+    opts.cache = &a;
+    CampaignEngine(opts).run(specA);
+    opts.cache = &b;
+    CampaignEngine(opts).run(specB);
+    ASSERT_GT(a.size(), 0u);
+    ASSERT_GT(b.size(), 0u);
+
+    std::string error;
+    ASSERT_TRUE(a.saveToFile(path, fp, &error)) << error;
+    ASSERT_TRUE(b.saveToFile(path, fp, &error)) << error;
+
+    ResultCache merged;
+    ASSERT_TRUE(merged.loadFromFile(path, fp, &error)) << error;
+    EXPECT_EQ(merged.size(), a.size() + b.size());
+
+    // And truly concurrent savers (many threads, one path) still
+    // land every entry: the flock serializes load-merge-save.
+    const std::string contended =
+        tempPath("persist_contended.json");
+    std::remove(contended.c_str());
+    std::vector<std::thread> savers;
+    for (int i = 0; i < 4; ++i)
+        savers.emplace_back([&, i] {
+            const ResultCache &mine = (i % 2 == 0) ? a : b;
+            ASSERT_TRUE(mine.saveToFile(contended, fp));
+        });
+    for (std::thread &t : savers)
+        t.join();
+    ResultCache after;
+    ASSERT_TRUE(after.loadFromFile(contended, fp, &error))
+        << error;
+    EXPECT_EQ(after.size(), a.size() + b.size());
+}
+
+TEST(Persist, SaveMergePreservesDeterminism)
+{
+    // Save A-then-B and B-then-A into two paths: the merged files
+    // must be byte-identical (entries are key-sorted after the
+    // merge, and every entry is a pure function of its key).
+    const std::string ab = tempPath("persist_merge_ab.json");
+    const std::string ba = tempPath("persist_merge_ba.json");
+    std::remove(ab.c_str());
+    std::remove(ba.c_str());
+    const std::string fp = modelFingerprint();
+
+    ScenarioSpec specA = sampleSpec();
+    specA.variants = {AttackVariant::SpectreV1};
+    ScenarioSpec specB = sampleSpec();
+    specB.variants = {AttackVariant::Meltdown};
+    ResultCache a, b;
+    CampaignEngine::Options opts;
+    opts.workers = 1;
+    opts.cache = &a;
+    CampaignEngine(opts).run(specA);
+    opts.cache = &b;
+    CampaignEngine(opts).run(specB);
+
+    ASSERT_TRUE(a.saveToFile(ab, fp));
+    ASSERT_TRUE(b.saveToFile(ab, fp));
+    ASSERT_TRUE(b.saveToFile(ba, fp));
+    ASSERT_TRUE(a.saveToFile(ba, fp));
+    const std::string bytes = slurp(ab);
+    EXPECT_FALSE(bytes.empty());
+    EXPECT_EQ(bytes, slurp(ba));
 }
 
 TEST(Persist, StaleFingerprintInvalidatesTheFile)

@@ -4,8 +4,10 @@
  * deterministic, dedup-stable, disjoint and complete; the scenario
  * key round-trips through parseScenarioKey; a sharded-then-merged
  * report is byte-identical (JSON, CSV, success matrix, golden JSON)
- * to the unsharded report across worker counts 1/2/8; and merge
- * conflicts (overlapping shards, mismatched specs) are detected.
+ * to the unsharded report across worker counts 1/2/8; overlapping
+ * shard sets (heterogeneous fleet sizes) merge cleanly when they
+ * agree; and merge conflicts (cells with different results,
+ * mismatched specs) are detected.
  */
 
 #include <gtest/gtest.h>
@@ -222,17 +224,75 @@ TEST(Shard, MergeIsOrderIndependent)
               tool::campaignCsv(backward, false));
 }
 
-TEST(Shard, MergeDetectsOverlappingShards)
+TEST(Shard, MergeAcceptsAgreeingOverlap)
 {
+    // Every timing-free result field is a pure function of the
+    // cell's configuration, so two runs covering the same
+    // gridIndex agree by construction — merging a shard into
+    // itself is a no-op on outcomes with summed provenance.
     const ScenarioSpec spec = sampleSpec();
     const CampaignEngine engine(CampaignEngine::Options{1});
     const CampaignReport s0 = engine.run(spec, ShardRange{0, 2});
 
     CampaignReport merged = s0;
     std::string error;
-    EXPECT_FALSE(merged.merge(s0, &error));
-    EXPECT_NE(error.find("overlapping"), std::string::npos);
-    // The failed merge left the report unchanged.
+    EXPECT_TRUE(merged.merge(s0, &error)) << error;
+    EXPECT_EQ(merged.outcomes.size(), s0.outcomes.size());
+    EXPECT_EQ(tool::campaignCsv(merged, false),
+              tool::campaignCsv(s0, false));
+    // The overlap really was executed twice; provenance says so.
+    EXPECT_EQ(merged.executedCount + merged.cacheHits,
+              2 * (s0.executedCount + s0.cacheHits));
+}
+
+TEST(Shard, HeterogeneousShardCountsMergeCleanly)
+{
+    // A 3-shard and a 2-shard fleet of the same spec overlap in
+    // arbitrary ways; their union must still equal the unsharded
+    // run byte-for-byte in every timing-free export.
+    const ScenarioSpec spec = sampleSpec();
+    const CampaignEngine engine(CampaignEngine::Options{2});
+    const CampaignReport whole = engine.run(spec);
+
+    CampaignReport merged = engine.run(spec, ShardRange{0, 3});
+    std::string error;
+    ASSERT_TRUE(
+        merged.merge(engine.run(spec, ShardRange{1, 3}), &error))
+        << error;
+    ASSERT_TRUE(
+        merged.merge(engine.run(spec, ShardRange{0, 2}), &error))
+        << error;
+    ASSERT_TRUE(
+        merged.merge(engine.run(spec, ShardRange{1, 2}), &error))
+        << error;
+    ASSERT_FALSE(merged.partial());
+    EXPECT_EQ(tool::campaignJson(merged, false),
+              tool::campaignJson(whole, false));
+    EXPECT_EQ(tool::campaignCsv(merged, false),
+              tool::campaignCsv(whole, false));
+    EXPECT_EQ(merged.successMatrixText(),
+              whole.successMatrixText());
+}
+
+TEST(Shard, MergeDetectsConflictingOverlap)
+{
+    // Same gridIndex, different results: a genuinely conflicting
+    // cell (here: a doctored leak flag) must still fail the merge
+    // and leave the target unchanged.
+    const ScenarioSpec spec = sampleSpec();
+    const CampaignEngine engine(CampaignEngine::Options{1});
+    const CampaignReport s0 = engine.run(spec, ShardRange{0, 2});
+
+    CampaignReport doctored = s0;
+    ASSERT_FALSE(doctored.outcomes.empty());
+    doctored.outcomes.front().result.leaked =
+        !doctored.outcomes.front().result.leaked;
+    doctored.outcomes.front().result.accuracy = 0.123;
+
+    CampaignReport merged = s0;
+    std::string error;
+    EXPECT_FALSE(merged.merge(doctored, &error));
+    EXPECT_NE(error.find("conflicting"), std::string::npos);
     EXPECT_EQ(tool::campaignCsv(merged, false),
               tool::campaignCsv(s0, false));
 }
