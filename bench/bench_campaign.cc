@@ -17,6 +17,7 @@
 #include <sstream>
 #include <thread>
 
+#include "attacks/snapshot.hh"
 #include "bench_util.hh"
 #include "campaign/campaign.hh"
 #include "campaign/sink.hh"
@@ -58,12 +59,13 @@ main(int argc, char **argv)
                 spec.variants.size(), spec.defenses.size(),
                 spec.gridSize());
 
-    // Warm-up: touch every lazily initialized catalog before timing.
-    {
-        ScenarioSpec warm;
-        warm.variants = {core::AttackVariant::SpectreV1};
-        CampaignEngine(CampaignEngine::Options{1}).run(warm);
-    }
+    // Warm-up, excluded from every timed region below: one full
+    // pass touches every lazily initialized catalog AND populates
+    // the scenario arena pool (attacks/snapshot.hh), so the timed
+    // runs measure steady-state sweep throughput rather than
+    // one-time snapshot construction.
+    CampaignEngine(CampaignEngine::Options{parallel_workers})
+        .run(spec);
 
     const CampaignReport serial =
         CampaignEngine(CampaignEngine::Options{1}).run(spec);
@@ -92,6 +94,60 @@ main(int argc, char **argv)
                 agree ? "yes" : "NO — BUG");
     if (!agree)
         return 1;
+
+    // Steady state: the same unique keys stamped out through the
+    // fork path (pooled snapshot arenas, attacks/snapshot.hh) vs.
+    // the rebuild path (Memory/PageTable from scratch per cell).
+    // Grid expansion, key extraction and the pool warm-up pass all
+    // happen outside the timed region, so the two numbers measure
+    // exactly one thing — scenario construction strategy — and
+    // their ratio is machine-independent: it is what the CI perf
+    // gate (bench/perf_gate.cc) pins against a committed baseline.
+    bench::header("steady state: fork vs. rebuild scenario build");
+    const ExpandedGrid grid = dedupGrid(spec);
+    std::vector<std::string> keys;
+    for (const std::size_t u : grid.uniqueIndices)
+        keys.push_back(grid.expanded[u].key);
+    const auto timedBatch = [&keys](attacks::ScenarioBuildMode mode,
+                                    double &rate) {
+        const attacks::ScenarioBuildModeGuard guard(mode);
+        const auto noop = [](std::size_t, const KeyBatchItem &) {
+            return true;
+        };
+        std::string err;
+        // Untimed warm pass: fills the arena pool under Fork.
+        if (!executeKeyBatch(keys, 1, nullptr, noop, &err)) {
+            std::fprintf(stderr, "key batch: %s\n", err.c_str());
+            return false;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!executeKeyBatch(keys, 1, nullptr, noop, &err)) {
+            std::fprintf(stderr, "key batch: %s\n", err.c_str());
+            return false;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        rate = ms > 0.0 ? 1000.0 *
+                              static_cast<double>(keys.size()) / ms
+                        : 0.0;
+        return true;
+    };
+    double rebuild_rate = 0.0, fork_rate = 0.0;
+    if (!timedBatch(attacks::ScenarioBuildMode::Rebuild,
+                    rebuild_rate) ||
+        !timedBatch(attacks::ScenarioBuildMode::Fork, fork_rate))
+        return 1;
+    const double fork_speedup =
+        rebuild_rate > 0.0 ? fork_rate / rebuild_rate : 0.0;
+    std::printf("%-10s %8s %14s\n", "mode", "unique",
+                "scenarios/sec");
+    std::printf("%-10s %8zu %14.1f\n", "rebuild", keys.size(),
+                rebuild_rate);
+    std::printf("%-10s %8zu %14.1f\n", "fork", keys.size(),
+                fork_rate);
+    std::printf("fork speedup: %.2fx\n", fork_speedup);
 
     // Sink overhead: the same parallel sweep collecting a report
     // only, vs. additionally streaming ordered CSV + JSONL exports
@@ -218,6 +274,9 @@ main(int argc, char **argv)
     out.set("parallel_scenarios_per_sec",
             parallel.scenariosPerSecond);
     out.set("parallel_speedup", speedup);
+    out.set("warm_rebuild_scenarios_per_sec", rebuild_rate);
+    out.set("warm_fork_scenarios_per_sec", fork_rate);
+    out.set("fork_speedup", fork_speedup);
     out.set("streaming_overhead_pct",
             collectMs > 0.0
                 ? 100.0 * (streamMs - collectMs) / collectMs

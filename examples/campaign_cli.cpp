@@ -119,6 +119,12 @@ usage(const char *prog)
         "       %s shutdown --connect HOST:P\n"
         "  --workers N        worker threads (default: all cores)\n"
         "  --serial           shorthand for --workers 1\n"
+        "  --rebuild-scenarios  build each cell's simulator state "
+        "from scratch\n"
+        "                     instead of forking pooled snapshot "
+        "arenas\n"
+        "                     (byte-identical; for comparison/"
+        "bisection)\n"
         "  --variants a,b,c   variants by catalog name "
         "(default: all but Spoiler)\n"
         "  --rob n1,n2,...    sweep ROB sizes\n"
@@ -597,6 +603,8 @@ main(int argc, char **argv)
             engine_opts.workers = static_cast<unsigned>(n);
         } else if (arg == "--serial") {
             engine_opts.workers = 1;
+        } else if (arg == "--rebuild-scenarios") {
+            engine_opts.forkScenarios = false;
         } else if (arg == "--variants") {
             // Rows resolve through the ScenarioCatalog, so names
             // and aliases of registered out-of-tree attacks work
@@ -1023,13 +1031,17 @@ main(int argc, char **argv)
     printSummary(report);
 
     if (!cache_path.empty()) {
-        std::string error;
-        if (cache.saveToFile(cache_path, fingerprint, &error))
+        std::string error, lockWarning;
+        if (cache.saveToFile(cache_path, fingerprint, &error,
+                             &lockWarning))
             std::printf("saved %zu cached results to %s\n",
                         cache.size(), cache_path.c_str());
         else
             std::fprintf(stderr, "cache save failed: %s\n",
                          error.c_str());
+        if (!lockWarning.empty())
+            std::fprintf(stderr, "cache save degraded: %s\n",
+                         lockWarning.c_str());
     }
 
     if (!shard_report_path.empty()) {

@@ -332,8 +332,9 @@ main(int argc, char **argv)
     }
 
     if (!cache_path.empty()) {
-        std::string error;
-        if (cache.saveToFile(cache_path, fingerprint, &error))
+        std::string error, lockWarning;
+        if (cache.saveToFile(cache_path, fingerprint, &error,
+                             &lockWarning))
             std::printf("cache: saved %zu entries to %s\n",
                         cache.size(), cache_path.c_str());
         else {
@@ -341,6 +342,9 @@ main(int argc, char **argv)
                          error.c_str());
             ok = false;
         }
+        if (!lockWarning.empty())
+            std::fprintf(stderr, "cache save degraded: %s\n",
+                         lockWarning.c_str());
     }
     std::printf("wrote %s\n%s\n", jsonl_path.c_str(),
                 ok ? "OK: out-of-tree attack ran the full pipeline"

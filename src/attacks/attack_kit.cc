@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot.hh"
+
 namespace specsec::attacks
 {
 
@@ -29,40 +31,38 @@ Scenario::~Scenario()
 {
     tlsLastStats = cpu_->stats();
     ++tlsScenarioDeaths;
+    // The Cpu references the arena's memory/page table: destroy it
+    // before the arena goes back to the pool for the next fork.
+    cpu_.reset();
+    releaseScenarioArena(std::move(arena_));
 }
 
 Scenario::Scenario(const CpuConfig &config)
-    : mem_(Layout::kMemorySize)
+    : arena_(acquireScenarioArena())
 {
-    // Shared / attacker-accessible regions.
-    pt_.mapRange(Layout::kProbeArray, 256 * uarch::kPageSize,
-                 uarch::PageOwner::User, true, true);
-    pt_.mapRange(Layout::kEvictArray, 0x10000,
-                 uarch::PageOwner::User, true, true);
-    // Victim user-space data (bounds-protected, not OS-protected).
-    pt_.mapRange(Layout::kVictimArray, 0x8000,
-                 uarch::PageOwner::User, true, true);
-    pt_.mapRange(Layout::kReadOnlyPage, uarch::kPageSize,
-                 uarch::PageOwner::User, true, /*writable=*/false);
-    pt_.mapRange(Layout::kUserSecret, uarch::kPageSize,
-                 uarch::PageOwner::User, true, true);
-    // Privileged regions.
-    pt_.mapRange(Layout::kKernelData, uarch::kPageSize,
-                 uarch::PageOwner::Kernel, false, true);
-    pt_.mapRange(Layout::kEnclaveData, uarch::kPageSize,
-                 uarch::PageOwner::Enclave, false, true);
-    pt_.mapRange(Layout::kVmmData, uarch::kPageSize,
-                 uarch::PageOwner::Vmm, false, true);
-    // Layout::kUnmapped intentionally has no PTE.
+    // The canonical layout (page table + zeroed memory) comes with
+    // the arena, forked from the ScenarioSnapshot baseline — see
+    // snapshot.cc for the mapRange calls that used to live here.
+    cpu_ = std::make_unique<Cpu>(config, arena_->mem, arena_->pt);
+}
 
-    cpu_ = std::make_unique<Cpu>(config, mem_, pt_);
+uarch::Memory &
+Scenario::mem()
+{
+    return arena_->mem;
+}
+
+uarch::PageTable &
+Scenario::pageTable()
+{
+    return arena_->pt;
 }
 
 void
 Scenario::plantBytes(Addr vaddr, const std::vector<std::uint8_t> &data)
 {
     for (std::size_t i = 0; i < data.size(); ++i)
-        mem_.write8(vaddr + i, data[i]);
+        arena_->mem.write8(vaddr + i, data[i]);
 }
 
 std::vector<std::uint8_t>
@@ -70,7 +70,7 @@ Scenario::readBytes(Addr vaddr, std::size_t len) const
 {
     std::vector<std::uint8_t> out(len);
     for (std::size_t i = 0; i < len; ++i)
-        out[i] = mem_.read8(vaddr + i);
+        out[i] = arena_->mem.read8(vaddr + i);
     return out;
 }
 

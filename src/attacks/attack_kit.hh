@@ -25,6 +25,11 @@
 
 namespace specsec::attacks
 {
+struct ScenarioArena; // snapshot.hh
+}
+
+namespace specsec::attacks
+{
 
 using core::CovertChannelKind;
 using uarch::Addr;
@@ -57,6 +62,13 @@ struct Layout
 
 /**
  * A scenario owns the memory, page table and CPU for one attack.
+ *
+ * The Memory/PageTable pair lives in a ScenarioArena forked from
+ * the process-wide ScenarioSnapshot (snapshot.hh): under the
+ * default Fork build mode the arena comes from a pool and is reset
+ * — not reconstructed — between scenarios, which is what makes
+ * sweep cells cheap.  The Cpu is always built fresh (its config is
+ * the thing grid cells vary).
  */
 class Scenario
 {
@@ -65,8 +77,8 @@ class Scenario
     ~Scenario();
 
     Cpu &cpu() { return *cpu_; }
-    uarch::Memory &mem() { return mem_; }
-    uarch::PageTable &pageTable() { return pt_; }
+    uarch::Memory &mem();
+    uarch::PageTable &pageTable();
 
     /** Plant bytes at a virtual (identity-mapped) address. */
     void plantBytes(Addr vaddr, const std::vector<std::uint8_t> &data);
@@ -76,8 +88,7 @@ class Scenario
                                         std::size_t len) const;
 
   private:
-    uarch::Memory mem_;
-    uarch::PageTable pt_;
+    std::unique_ptr<ScenarioArena> arena_;
     std::unique_ptr<Cpu> cpu_;
 };
 

@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "attacks/runner.hh"
+#include "attacks/snapshot.hh"
 #include "core/catalog.hh"
 #include "sink.hh"
 
@@ -839,6 +840,15 @@ CampaignEngine::run(const ScenarioSpec &spec,
                     const std::vector<OutcomeSink *> &sinks,
                     ShardRange shard) const
 {
+    // Scenario build-path selection for this run (worker threads
+    // read the process-wide mode): fork pooled snapshot arenas by
+    // default, rebuild-from-scratch when the caller wants the
+    // reference path for a byte-identity comparison.
+    const attacks::ScenarioBuildModeGuard buildMode(
+        options_.forkScenarios
+            ? attacks::ScenarioBuildMode::Fork
+            : attacks::ScenarioBuildMode::Rebuild);
+
     const ExpandedGrid grid = dedupGrid(spec);
     const ShardSelection sel = grid.shard(shard.index, shard.count);
     const unsigned nworkers = workers();

@@ -318,6 +318,12 @@ class ResultCache
      * a temp file and renames it into place, so a concurrent reader
      * (or a crash mid-save) sees the old file or the new one, never
      * a torn write.
+     *
+     * Saves normally load-merge-save under a sibling ".lock" file
+     * so concurrent writers union their entries.  When that lock
+     * cannot even be created (read-only directory, ENOSPC), the
+     * save falls back to the unlocked atomic write and reports why
+     * in @p lockWarning — degraded, never silent.
      * @{
      */
     bool loadFromFile(const std::string &path,
@@ -325,7 +331,8 @@ class ResultCache
                       std::string *error = nullptr);
     bool saveToFile(const std::string &path,
                     const std::string &fingerprint,
-                    std::string *error = nullptr) const;
+                    std::string *error = nullptr,
+                    std::string *lockWarning = nullptr) const;
     /// @}
 
   private:
@@ -382,6 +389,11 @@ struct KeyBatchItem
  * Every key is validated with parseScenarioKey() up front: a
  * malformed key fails the whole batch (@return false with a message
  * in @p error naming the key index) before anything executes.
+ *
+ * Executed keys build their simulator state through the snapshot/
+ * fork path (attacks/snapshot.hh) under the process-wide build
+ * mode: the serve daemon and sharded offline runs all stamp cells
+ * out of the same pooled arenas, which outlive any one batch.
  */
 bool executeKeyBatch(
     const std::vector<std::string> &keys, unsigned workers,
@@ -512,6 +524,15 @@ class CampaignEngine
         /// whose scenarioKey() is already memoized are not
         /// re-executed; fresh results are stored back.
         ResultCache *cache = nullptr;
+
+        /// Build each cell's simulator state by forking the pooled
+        /// ScenarioSnapshot arenas (attacks/snapshot.hh) instead of
+        /// reconstructing Memory/PageTable from scratch.  The two
+        /// paths are byte-identical in every timing-free export
+        /// (tests/snapshot_test.cc proves it per golden spec); this
+        /// knob exists for that comparison and for bisecting any
+        /// future divergence, not for production use.
+        bool forkScenarios = true;
     };
 
     CampaignEngine() = default;

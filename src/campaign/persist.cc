@@ -18,7 +18,9 @@
  */
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <unordered_map>
@@ -58,7 +60,9 @@ loadFail(std::string *error, const std::string &message)
  * inode); it is zero bytes of permanent scaffolding next to the
  * cache.  Lock failure degrades to lockless operation — like
  * every other cache-persistence failure, contention may cost
- * entries but can never fail a run.
+ * entries but can never fail a run — but it is *reported*, not
+ * swallowed: locked()/error() tell the caller the merge-union
+ * guarantee is gone for this save so it can warn the user.
  */
 class FileLock
 {
@@ -67,7 +71,14 @@ class FileLock
         : fd_(::open((path + ".lock").c_str(),
                      O_CREAT | O_RDWR | O_CLOEXEC, 0644))
     {
-        if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+        if (fd_ < 0) {
+            error_ = "cannot create " + path +
+                     ".lock: " + std::strerror(errno);
+            return;
+        }
+        if (::flock(fd_, LOCK_EX) != 0) {
+            error_ = "cannot flock " + path +
+                     ".lock: " + std::strerror(errno);
             ::close(fd_);
             fd_ = -1;
         }
@@ -82,8 +93,12 @@ class FileLock
     FileLock(const FileLock &) = delete;
     FileLock &operator=(const FileLock &) = delete;
 
+    bool locked() const { return fd_ >= 0; }
+    const std::string &error() const { return error_; }
+
   private:
     int fd_ = -1;
+    std::string error_;
 };
 
 /**
@@ -253,7 +268,8 @@ ResultCache::loadFromFile(const std::string &path,
 bool
 ResultCache::saveToFile(const std::string &path,
                         const std::string &fingerprint,
-                        std::string *error) const
+                        std::string *error,
+                        std::string *lockWarning) const
 {
     // Load-merge-save under a lock file: two processes saving the
     // same path concurrently used to last-writer-win, dropping the
@@ -263,6 +279,16 @@ ResultCache::saveToFile(const std::string &path,
     // merge order cannot change any value (our snapshot wins on
     // the — necessarily identical — overlaps).
     const FileLock lock(path);
+    if (!lock.locked() && lockWarning) {
+        // A lock that cannot even be created (read-only dir,
+        // ENOSPC) used to degrade silently; the save below still
+        // proceeds — unlocked but atomic via tmp+rename — and the
+        // caller learns the merge-union guarantee was lost.
+        *lockWarning =
+            lock.error() +
+            "; falling back to an unlocked atomic save (a "
+            "concurrent writer's entries may be dropped)";
+    }
 
     auto merged = snapshot();
     {

@@ -629,13 +629,17 @@ main(int argc, char **argv)
     }
 
     if (!cache_file.empty() && mode != Mode::Merge) {
-        std::string error;
-        if (cache.saveToFile(cache_file, fingerprint, &error))
+        std::string error, lockWarning;
+        if (cache.saveToFile(cache_file, fingerprint, &error,
+                             &lockWarning))
             std::printf("cache    saved %zu entries to %s\n",
                         cache.size(), cache_file.c_str());
         else
             std::fprintf(stderr, "cache    save failed: %s\n",
                          error.c_str());
+        if (!lockWarning.empty())
+            std::fprintf(stderr, "cache    save degraded: %s\n",
+                         lockWarning.c_str());
     }
 
     if (status.io_error)

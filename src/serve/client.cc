@@ -268,10 +268,24 @@ planJsonlResume(const campaign::CampaignHeader &header,
         existingText.compare(0, expected_header.size(),
                              expected_header) != 0) {
         // A complete-but-different header is another run's file —
-        // resuming over it would corrupt that export.  A torn
-        // header line (no newline yet) is resumable from scratch.
-        if (existingText.find('\n') == std::string::npos)
-            return true;
+        // resuming over it would corrupt that export.  A single
+        // newline-less line is ambiguous: a writer killed
+        // mid-header (torn header) vs. a file that simply isn't
+        // ours.  Disambiguate by prefix: a torn line that matches
+        // the start of *this* run's header (including the edge
+        // case of the full header with the trailing newline still
+        // unwritten) is an empty run — resume from scratch with
+        // zero kept outcomes.  Anything else is another run's torn
+        // line; refuse rather than silently overwrite it.
+        if (existingText.find('\n') == std::string::npos) {
+            if (expected_header.compare(0, existingText.size(),
+                                        existingText) == 0)
+                return true;
+            return fail(error,
+                        "existing JSONL is a torn line from a "
+                        "different run; refusing to resume over "
+                        "it");
+        }
         return fail(error,
                     "existing JSONL header does not match this "
                     "spec/shard; refusing to resume over it");

@@ -133,6 +133,13 @@ Conn::writeLine(const std::string &line)
         return false;
     std::string framed = line;
     framed += '\n';
+    // Blocking send loop, audited for the two ways send() delivers
+    // less than asked: a *short write* (kernel buffer smaller than
+    // the frame — protocol lines carry whole campaign exports, far
+    // beyond SO_SNDBUF) advances off and loops until every byte is
+    // out, and EINTR retries the same offset.  Mirrors readLine's
+    // EINTR handling above; tests/serve_test.cc forces a partial
+    // write through a shrunken send buffer to pin this.
     std::size_t off = 0;
     while (off < framed.size()) {
         const ssize_t n = ::send(fd_, framed.data() + off,

@@ -113,11 +113,14 @@ Server::saveCache()
 {
     if (options_.cachePath.empty())
         return;
-    std::string error;
+    std::string error, lockWarning;
     if (!cache_.saveToFile(options_.cachePath, fingerprint_,
-                           &error))
+                           &error, &lockWarning))
         std::fprintf(stderr, "serve: cache save failed: %s\n",
                      error.c_str());
+    if (!lockWarning.empty())
+        std::fprintf(stderr, "serve: cache save degraded: %s\n",
+                     lockWarning.c_str());
 }
 
 bool

@@ -33,7 +33,8 @@ lateControl(Opcode op)
 
 Cpu::Cpu(const CpuConfig &config, Memory &memory, PageTable &pt)
     : config_(config), mem_(memory), pt_(pt), cache_(config.cache),
-      rsb_(config.rsbDepth), lfb_(config.lfbEntries)
+      rsb_(config.rsbDepth), lfb_(config.lfbEntries),
+      rob_(config.robSize)
 {
     cache_.setPartitioned(config_.defense.partitionedCache);
 }
@@ -110,11 +111,8 @@ Cpu::warmLine(Addr vaddr)
 Cpu::RobEntry *
 Cpu::findBySeq(std::uint64_t seq)
 {
-    for (RobEntry &e : rob_) {
-        if (e.seq == seq)
-            return &e;
-    }
-    return nullptr;
+    const auto index = indexOfSeq(seq);
+    return index ? &rob_[*index] : nullptr;
 }
 
 const Cpu::RobEntry *
@@ -126,10 +124,19 @@ Cpu::findBySeq(std::uint64_t seq) const
 std::optional<std::size_t>
 Cpu::indexOfSeq(std::uint64_t seq) const
 {
-    for (std::size_t i = 0; i < rob_.size(); ++i) {
-        if (rob_[i].seq == seq)
-            return i;
+    // ROB order is seq order: dispatch appends strictly increasing
+    // seqs, commit pops the front, squash drops a suffix.  Binary
+    // search instead of the old linear scan.
+    std::size_t lo = 0, hi = rob_.size();
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (rob_[mid].seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
     }
+    if (lo < rob_.size() && rob_[lo].seq == seq)
+        return lo;
     return std::nullopt;
 }
 
@@ -184,7 +191,8 @@ void
 Cpu::rebuildRename()
 {
     rename_.fill(std::nullopt);
-    for (const RobEntry &e : rob_) {
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        const RobEntry &e = rob_[i];
         if (writesIntReg(e.inst))
             rename_[e.inst.rd] = e.seq;
     }
@@ -194,10 +202,11 @@ void
 Cpu::recomputeFetchTxn()
 {
     fetchInTxn_ = txnActive_;
-    for (const RobEntry &e : rob_) {
-        if (e.inst.op == Opcode::XBegin)
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        const Opcode op = rob_[i].inst.op;
+        if (op == Opcode::XBegin)
             fetchInTxn_ = true;
-        else if (e.inst.op == Opcode::XEnd)
+        else if (op == Opcode::XEnd)
             fetchInTxn_ = false;
     }
 }
@@ -217,9 +226,7 @@ Cpu::squashFrom(std::size_t first_removed, Addr redirect_pc)
             if (e.insertedLine && config_.defense.cleanupSpec)
                 cache_.flushLine(e.insertedLineAddr);
         }
-        rob_.erase(rob_.begin() +
-                       static_cast<std::ptrdiff_t>(first_removed),
-                   rob_.end());
+        rob_.truncate(first_removed);
         sb_.squashAfter(boundary_seq);
     }
     rebuildRename();

@@ -31,8 +31,8 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "buffers.hh"
 #include "cache.hh"
@@ -160,6 +160,94 @@ struct CpuStats
     std::uint64_t memOrderViolations = 0;
     std::uint64_t speculativeFills = 0;
     std::uint64_t transientForwards = 0; ///< faulty data forwarded
+};
+
+/**
+ * Fixed-capacity contiguous ring: the ROB's storage.
+ *
+ * The reorder buffer is touched every cycle by every pipeline
+ * stage (executeStage walks all of it; the safety predicates scan
+ * prefixes of it), and profiling the sweep hot path showed
+ * std::deque's segmented storage costing real time there.  A ring
+ * over one flat vector keeps all in-flight entries contiguous
+ * while preserving the deque operations the pipeline needs:
+ * push_back (dispatch), pop_front (commit), truncate (squash drops
+ * a suffix), and stable logical indexing (0 = oldest).
+ *
+ * Capacity normally never grows — fetch stalls when the ROB is
+ * full — but push_back re-linearizes into doubled storage rather
+ * than corrupt state if a caller overfills.
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t capacity = 0)
+        : slots_(capacity ? capacity : 1)
+    {
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &operator[](std::size_t i) { return slots_[wrap(head_ + i)]; }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return slots_[wrap(head_ + i)];
+    }
+
+    T &front() { return slots_[head_]; }
+    T &back() { return (*this)[size_ - 1]; }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == slots_.size())
+            grow();
+        slots_[wrap(head_ + size_)] = std::move(value);
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        head_ = wrap(head_ + 1);
+        --size_;
+    }
+
+    /** Keep the oldest @p count entries, drop the rest. */
+    void truncate(std::size_t count) { size_ = count; }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    // head_ < capacity and i <= capacity, so one conditional
+    // subtraction wraps (capacity need not be a power of two).
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i < slots_.size() ? i : i - slots_.size();
+    }
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(slots_.size() * 2);
+        for (std::size_t i = 0; i < size_; ++i)
+            bigger[i] = std::move((*this)[i]);
+        slots_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
 };
 
 /** Outcome of a run. */
@@ -382,7 +470,7 @@ class Cpu
     std::uint64_t retExtraDelay_ = 0;
 
     // Pipeline state.
-    std::deque<RobEntry> rob_;
+    RingBuffer<RobEntry> rob_;
     std::uint64_t seqCounter_ = 0;
     std::array<std::optional<std::uint64_t>, kNumIntRegs> rename_{};
     std::vector<Addr> archCallStack_;

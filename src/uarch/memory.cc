@@ -1,5 +1,6 @@
 #include "memory.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace specsec::uarch
@@ -146,8 +147,44 @@ PageTable::translate(Addr vaddr, AccessType type, Privilege privilege,
     return t;
 }
 
-Memory::Memory(std::size_t size) : bytes_(size, 0)
+Memory::Memory(std::size_t size)
+    : bytes_(size, 0),
+      dirty_((size / kPageSize + 64) / 64, 0)
 {
+}
+
+void
+Memory::rezeroDirtyPages()
+{
+    for (std::size_t w = 0; w < dirty_.size(); ++w) {
+        std::uint64_t bits = dirty_[w];
+        if (!bits)
+            continue;
+        dirty_[w] = 0;
+        while (bits) {
+            const int bit = __builtin_ctzll(bits);
+            bits &= bits - 1;
+            const std::size_t page = w * 64 +
+                                     static_cast<std::size_t>(bit);
+            const std::size_t start = page * kPageSize;
+            const std::size_t len =
+                std::min<std::size_t>(kPageSize,
+                                      bytes_.size() - start);
+            std::fill_n(bytes_.begin() +
+                            static_cast<std::ptrdiff_t>(start),
+                        len, 0);
+        }
+    }
+}
+
+std::size_t
+Memory::dirtyPageCount() const
+{
+    std::size_t count = 0;
+    for (const std::uint64_t bits : dirty_)
+        count += static_cast<std::size_t>(
+            __builtin_popcountll(bits));
+    return count;
 }
 
 void
@@ -168,6 +205,7 @@ void
 Memory::write8(Addr paddr, std::uint8_t value)
 {
     check(paddr, 1);
+    markDirty(paddr, 1);
     bytes_[paddr] = value;
 }
 
@@ -185,6 +223,7 @@ void
 Memory::write64(Addr paddr, Word value)
 {
     check(paddr, 8);
+    markDirty(paddr, 8);
     for (int i = 0; i < 8; ++i) {
         bytes_[paddr + static_cast<Addr>(i)] =
             static_cast<std::uint8_t>(value >> (8 * i));

@@ -138,6 +138,14 @@ class PageTable
 
 /**
  * Flat physical memory, little-endian.
+ *
+ * Every mutation goes through write8/write64/write, so the image
+ * can track which 4KB pages have diverged from the all-zero
+ * post-construction state in a small bitmap.  rezeroDirtyPages()
+ * restores the construction-time image by re-zeroing only the
+ * touched pages — the arena-reset primitive behind the scenario
+ * fork path (attacks/snapshot.hh), which turns the per-grid-cell
+ * 8MB zero-fill into a handful of page clears.
  */
 class Memory
 {
@@ -158,10 +166,32 @@ class Memory
     /** Sized write: 1 or 8 bytes. */
     void write(Addr paddr, Word value, std::uint8_t size);
 
+    /**
+     * Restore the all-zero construction-time image: re-zero every
+     * page written since construction (or the last call) and clear
+     * the dirty set.  Afterwards the memory is byte-identical to a
+     * freshly constructed Memory of the same size.
+     */
+    void rezeroDirtyPages();
+
+    /** Pages currently marked dirty (bench/test introspection). */
+    std::size_t dirtyPageCount() const;
+
   private:
     void check(Addr paddr, std::size_t len) const;
 
+    void
+    markDirty(Addr paddr, std::size_t len)
+    {
+        const Addr first = paddr / kPageSize;
+        const Addr last = (paddr + len - 1) / kPageSize;
+        dirty_[first >> 6] |= std::uint64_t{1} << (first & 63);
+        if (last != first)
+            dirty_[last >> 6] |= std::uint64_t{1} << (last & 63);
+    }
+
     std::vector<std::uint8_t> bytes_;
+    std::vector<std::uint64_t> dirty_; ///< one bit per page
 };
 
 } // namespace specsec::uarch

@@ -15,6 +15,8 @@
 
 #include <thread>
 
+#include <sys/socket.h>
+
 #include "campaign/campaign.hh"
 #include "campaign/sink.hh"
 #include "serve/client.hh"
@@ -309,6 +311,92 @@ TEST(Serve, CacheGetAndPutRoundTrip)
     EXPECT_EQ(stored, 0u);
     EXPECT_EQ(daemon.server().cache().size(),
               grid.uniqueIndices.size());
+}
+
+TEST(Serve, WriteLineCompletesAcrossForcedPartialWrites)
+{
+    // writeLine's contract is all-or-error: a frame larger than
+    // the kernel send buffer must still arrive whole.  Shrink the
+    // writer's SO_SNDBUF to the kernel minimum so a megabyte line
+    // cannot possibly clear in one send() — each call accepts only
+    // the few KB of free buffer, forcing the short-write path in
+    // Conn::writeLine — then prove framing survives.  (Only the
+    // send side is shrunk: a tiny *receive* window would serialize
+    // the transfer on delayed-ACK round trips.)
+    serve::net::Listener listener;
+    std::string error;
+    ASSERT_TRUE(listener.listenOn({"127.0.0.1", 0}, &error))
+        << error;
+    serve::net::Conn writer =
+        serve::net::dial({"127.0.0.1", listener.port()}, &error);
+    ASSERT_TRUE(writer.valid()) << error;
+    serve::net::Conn reader = listener.acceptOne(2000);
+    ASSERT_TRUE(reader.valid());
+
+    const int tiny = 1; // the kernel clamps this to its floor
+    ASSERT_EQ(::setsockopt(writer.fd(), SOL_SOCKET, SO_SNDBUF,
+                           &tiny, sizeof tiny),
+              0);
+
+    std::string payload(1 << 20, '\0');
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<char>('a' + i % 26);
+
+    // The reader must drain concurrently or the blocking writer
+    // would deadlock against the shrunken buffers.
+    std::string got;
+    bool readOk = false;
+    std::thread rx([&] { readOk = reader.readLine(got); });
+    EXPECT_TRUE(writer.writeLine(payload));
+    rx.join();
+    ASSERT_TRUE(readOk);
+    EXPECT_EQ(got, payload);
+
+    // Framing is intact afterwards: a follow-up line arrives
+    // exactly, with no bytes lost or duplicated at the seams.
+    ASSERT_TRUE(writer.writeLine("tail"));
+    std::string tail;
+    ASSERT_TRUE(reader.readLine(tail));
+    EXPECT_EQ(tail, "tail");
+}
+
+TEST(Serve, ResumePlanDisambiguatesTornHeaders)
+{
+    const ScenarioSpec spec = sampleSpec();
+    const ExpandedGrid grid = dedupGrid(spec);
+    const CampaignHeader header =
+        serve::headerForGrid(spec, grid, {}, 2);
+    const std::string headerLine = tool::jsonlHeaderRecord(header);
+
+    // A file ending exactly after the header, trailing newline
+    // still unwritten: the writer died between the record and its
+    // '\n'.  That is an empty run — resume with zero kept
+    // outcomes, not a refusal.
+    serve::ResumePlan plan;
+    std::string error;
+    ASSERT_TRUE(serve::planJsonlResume(
+        header, headerLine.substr(0, headerLine.size() - 1), plan,
+        &error))
+        << error;
+    EXPECT_EQ(plan.covered, 0u);
+    EXPECT_EQ(plan.missing.size(), grid.expanded.size());
+    EXPECT_TRUE(plan.keepText.empty());
+
+    // Any shorter torn prefix of our own header resumes the same
+    // way.
+    ASSERT_TRUE(serve::planJsonlResume(
+        header, headerLine.substr(0, 10), plan, &error))
+        << error;
+    EXPECT_EQ(plan.covered, 0u);
+    EXPECT_EQ(plan.missing.size(), grid.expanded.size());
+
+    // A newline-less line that is NOT a prefix of this run's
+    // header is some other run's torn file: refuse rather than
+    // silently overwrite it.
+    EXPECT_FALSE(serve::planJsonlResume(
+        header, "{\"type\": \"header\", \"name\": \"alien", plan,
+        &error));
+    EXPECT_NE(error.find("torn line"), std::string::npos) << error;
 }
 
 TEST(Serve, ResumePlanAcceptsTrimsAndRefuses)
