@@ -17,6 +17,7 @@
 #include <sstream>
 #include <thread>
 
+#include "attacks/phase.hh"
 #include "attacks/snapshot.hh"
 #include "bench_util.hh"
 #include "campaign/campaign.hh"
@@ -108,18 +109,26 @@ main(int argc, char **argv)
     std::vector<std::string> keys;
     for (const std::size_t u : grid.uniqueIndices)
         keys.push_back(grid.expanded[u].key);
-    const auto timedBatch = [&keys](attacks::ScenarioBuildMode mode,
-                                    double &rate) {
+    attacks::PhaseProfile phases;
+    const auto timedBatch = [&keys, &phases](
+                                attacks::ScenarioBuildMode mode,
+                                attacks::WarmSnapshotMode warm,
+                                double &rate) {
         const attacks::ScenarioBuildModeGuard guard(mode);
+        const attacks::WarmSnapshotModeGuard warmGuard(warm);
+        attacks::clearWarmSnapshots();
         const auto noop = [](std::size_t, const KeyBatchItem &) {
             return true;
         };
         std::string err;
-        // Untimed warm pass: fills the arena pool under Fork.
+        // Untimed warm pass: fills the arena pool under Fork and,
+        // under Reuse, the warm-attack snapshot cache — the timed
+        // pass below then measures pure steady state.
         if (!executeKeyBatch(keys, 1, nullptr, noop, &err)) {
             std::fprintf(stderr, "key batch: %s\n", err.c_str());
             return false;
         }
+        attacks::resetPhaseProfile();
         const auto t0 = std::chrono::steady_clock::now();
         if (!executeKeyBatch(keys, 1, nullptr, noop, &err)) {
             std::fprintf(stderr, "key batch: %s\n", err.c_str());
@@ -129,25 +138,56 @@ main(int argc, char **argv)
             std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - t0)
                 .count();
+        phases = attacks::phaseProfile();
         rate = ms > 0.0 ? 1000.0 *
                               static_cast<double>(keys.size()) / ms
                         : 0.0;
         return true;
     };
-    double rebuild_rate = 0.0, fork_rate = 0.0;
+    // Warm snapshots are forced OFF for the rebuild/fork pair so
+    // their ratio keeps measuring exactly one thing — scenario
+    // construction strategy — and stays comparable across releases.
+    double rebuild_rate = 0.0, fork_rate = 0.0, warm_rate = 0.0;
     if (!timedBatch(attacks::ScenarioBuildMode::Rebuild,
+                    attacks::WarmSnapshotMode::Rebuild,
                     rebuild_rate) ||
-        !timedBatch(attacks::ScenarioBuildMode::Fork, fork_rate))
+        !timedBatch(attacks::ScenarioBuildMode::Fork,
+                    attacks::WarmSnapshotMode::Rebuild, fork_rate))
+        return 1;
+    // The production path: fork + warm-attack snapshot reuse.  The
+    // phase profile captured here is the steady-state breakdown
+    // emitted into the JSON artifact.
+    if (!timedBatch(attacks::ScenarioBuildMode::Fork,
+                    attacks::WarmSnapshotMode::Reuse, warm_rate))
         return 1;
     const double fork_speedup =
         rebuild_rate > 0.0 ? fork_rate / rebuild_rate : 0.0;
+    const double warm_attack_speedup =
+        fork_rate > 0.0 ? warm_rate / fork_rate : 0.0;
     std::printf("%-10s %8s %14s\n", "mode", "unique",
                 "scenarios/sec");
     std::printf("%-10s %8zu %14.1f\n", "rebuild", keys.size(),
                 rebuild_rate);
     std::printf("%-10s %8zu %14.1f\n", "fork", keys.size(),
                 fork_rate);
+    std::printf("%-10s %8zu %14.1f\n", "fork+warm", keys.size(),
+                warm_rate);
     std::printf("fork speedup: %.2fx\n", fork_speedup);
+    std::printf("warm-attack speedup: %.2fx\n",
+                warm_attack_speedup);
+
+    // Per-phase attribution of the production steady-state pass.
+    const double totalNs =
+        static_cast<double>(phases.totalNanos > 0 ? phases.totalNanos
+                                                  : 1);
+    const auto pct = [totalNs](std::uint64_t ns) {
+        return 100.0 * static_cast<double>(ns) / totalNs;
+    };
+    std::printf("phases (%llu cells): build %.1f%%  prologue %.1f%%"
+                "  body %.1f%%  teardown %.1f%%\n",
+                static_cast<unsigned long long>(phases.cells),
+                pct(phases.buildNanos), pct(phases.prologueNanos),
+                pct(phases.bodyNanos()), pct(phases.teardownNanos));
 
     // Sink overhead: the same parallel sweep collecting a report
     // only, vs. additionally streaming ordered CSV + JSONL exports
@@ -277,6 +317,13 @@ main(int argc, char **argv)
     out.set("warm_rebuild_scenarios_per_sec", rebuild_rate);
     out.set("warm_fork_scenarios_per_sec", fork_rate);
     out.set("fork_speedup", fork_speedup);
+    out.set("warm_attack_scenarios_per_sec", warm_rate);
+    out.set("warm_attack_speedup", warm_attack_speedup);
+    out.set("phase_cells", static_cast<double>(phases.cells));
+    out.set("phase_build_pct", pct(phases.buildNanos));
+    out.set("phase_prologue_pct", pct(phases.prologueNanos));
+    out.set("phase_body_pct", pct(phases.bodyNanos()));
+    out.set("phase_teardown_pct", pct(phases.teardownNanos));
     out.set("streaming_overhead_pct",
             collectMs > 0.0
                 ? 100.0 * (streamMs - collectMs) / collectMs

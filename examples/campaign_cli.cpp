@@ -125,6 +125,12 @@ usage(const char *prog)
         "arenas\n"
         "                     (byte-identical; for comparison/"
         "bisection)\n"
+        "  --cold-attacks     run every cell's attack prologue "
+        "instead of\n"
+        "                     restoring warm post-prologue snapshots"
+        "\n"
+        "                     (byte-identical; for comparison/"
+        "bisection)\n"
         "  --variants a,b,c   variants by catalog name "
         "(default: all but Spoiler)\n"
         "  --rob n1,n2,...    sweep ROB sizes\n"
@@ -501,6 +507,12 @@ statsMain(int argc, char **argv)
                 "cacheSize:   %zu\n",
                 stats.connections, stats.requests, stats.executed,
                 stats.cacheHits, stats.cacheSize);
+    std::printf("forked:      %zu\nrebuilt:     %zu\n"
+                "pooled:      %zu\nwarmHits:    %zu\n"
+                "warmMisses:  %zu\nwarmEntries: %zu\n",
+                stats.forked, stats.rebuilt, stats.pooledArenas,
+                stats.warmHits, stats.warmMisses,
+                stats.warmEntries);
     return 0;
 }
 
@@ -605,6 +617,8 @@ main(int argc, char **argv)
             engine_opts.workers = 1;
         } else if (arg == "--rebuild-scenarios") {
             engine_opts.forkScenarios = false;
+        } else if (arg == "--cold-attacks") {
+            engine_opts.warmAttacks = false;
         } else if (arg == "--variants") {
             // Rows resolve through the ScenarioCatalog, so names
             // and aliases of registered out-of-tree attacks work

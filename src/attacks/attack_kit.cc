@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "phase.hh"
 #include "snapshot.hh"
 
 namespace specsec::attacks
@@ -31,6 +32,7 @@ Scenario::~Scenario()
 {
     tlsLastStats = cpu_->stats();
     ++tlsScenarioDeaths;
+    ScopedPhaseTimer timer(Phase::Teardown);
     // The Cpu references the arena's memory/page table: destroy it
     // before the arena goes back to the pool for the next fork.
     cpu_.reset();
@@ -38,8 +40,9 @@ Scenario::~Scenario()
 }
 
 Scenario::Scenario(const CpuConfig &config)
-    : arena_(acquireScenarioArena())
 {
+    ScopedPhaseTimer timer(Phase::Build);
+    arena_ = acquireScenarioArena();
     // The canonical layout (page table + zeroed memory) comes with
     // the arena, forked from the ScenarioSnapshot baseline — see
     // snapshot.cc for the mapRange calls that used to live here.

@@ -1,0 +1,56 @@
+#include "phase.hh"
+
+#include <atomic>
+
+namespace specsec::attacks
+{
+
+namespace
+{
+
+struct PhaseCounters
+{
+    std::atomic<std::uint64_t> nanos[4]{};
+    std::atomic<std::uint64_t> cells{0};
+};
+
+PhaseCounters gCounters;
+
+} // namespace
+
+PhaseProfile
+phaseProfile()
+{
+    PhaseProfile p;
+    p.buildNanos = gCounters.nanos[static_cast<int>(Phase::Build)]
+                       .load(std::memory_order_relaxed);
+    p.prologueNanos =
+        gCounters.nanos[static_cast<int>(Phase::Prologue)].load(
+            std::memory_order_relaxed);
+    p.teardownNanos =
+        gCounters.nanos[static_cast<int>(Phase::Teardown)].load(
+            std::memory_order_relaxed);
+    p.totalNanos = gCounters.nanos[static_cast<int>(Phase::Total)]
+                       .load(std::memory_order_relaxed);
+    p.cells = gCounters.cells.load(std::memory_order_relaxed);
+    return p;
+}
+
+void
+resetPhaseProfile()
+{
+    for (auto &n : gCounters.nanos)
+        n.store(0, std::memory_order_relaxed);
+    gCounters.cells.store(0, std::memory_order_relaxed);
+}
+
+void
+recordPhaseNanos(Phase phase, std::uint64_t nanos)
+{
+    gCounters.nanos[static_cast<int>(phase)].fetch_add(
+        nanos, std::memory_order_relaxed);
+    if (phase == Phase::Total)
+        gCounters.cells.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace specsec::attacks

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "phase.hh"
+
 namespace specsec::attacks
 {
 
@@ -51,6 +53,7 @@ statsCollectingExecute(
     return [fn = std::move(fn)](const CpuConfig &config,
                                 const AttackOptions &options,
                                 uarch::CpuStats &stats_out) {
+        const ScopedPhaseTimer timer(Phase::Total);
         const std::uint64_t deaths_before = scenarioDeathCount();
         AttackResult result = fn(config, options);
         // lastScenarioStats() is only this run's counters if the

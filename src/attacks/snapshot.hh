@@ -37,12 +37,18 @@
 #define SPECSEC_ATTACKS_SNAPSHOT_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 
+#include "uarch/cpu.hh"
 #include "uarch/memory.hh"
 
 namespace specsec::attacks
 {
+
+class Scenario;     // attack_kit.hh
+struct AttackOptions; // attack_kit.hh
 
 /**
  * The baseline state every Scenario forks from: the canonical
@@ -133,6 +139,102 @@ std::unique_ptr<ScenarioArena> acquireScenarioArena();
  * overflow is freed); under Rebuild it is simply destroyed.
  */
 void releaseScenarioArena(std::unique_ptr<ScenarioArena> arena);
+
+/**
+ * @name Warm-attack snapshots — the second snapshot tier.
+ *
+ * The arena fork above makes scenario *construction* cheap; the
+ * remaining repeated cost is the attack *prologue* — planting the
+ * secret, loading the program and, dominantly, the predictor
+ * training loop — which is identical for every cell that shares a
+ * training-relevant configuration.  A WarmAttackSnapshot captures
+ * the complete post-prologue machine state (dirty memory pages,
+ * page table, and the full mutable Cpu state: trained predictors,
+ * primed cache, registers, pipeline bookkeeping) keyed by
+ * (attack, training-relevant config); later cells with the same key
+ * restore it instead of re-running the prologue.
+ *
+ * A restore is a full state copy of what the prologue produced, so
+ * a warm cell is cycle-identical to a cold one — the golden suite
+ * proves it by running every registered spec with warm snapshots on
+ * and off (tests/snapshot_test.cc).  WarmSnapshotMode::Rebuild
+ * keeps the always-run-the-prologue path selectable for exactly
+ * that comparison and for bisecting a future divergence.
+ * @{
+ */
+
+/** How attack runners obtain their post-prologue state. */
+enum class WarmSnapshotMode : std::uint8_t
+{
+    Reuse,   ///< restore a cached post-prologue snapshot (default)
+    Rebuild, ///< always execute the prologue
+};
+
+/** Process-wide warm-snapshot mode (atomic; default Reuse). */
+WarmSnapshotMode warmSnapshotMode();
+void setWarmSnapshotMode(WarmSnapshotMode mode);
+
+/** Scoped mode override restoring the previous mode on exit. */
+class WarmSnapshotModeGuard
+{
+  public:
+    explicit WarmSnapshotModeGuard(WarmSnapshotMode mode)
+        : prev_(warmSnapshotMode())
+    {
+        setWarmSnapshotMode(mode);
+    }
+    ~WarmSnapshotModeGuard() { setWarmSnapshotMode(prev_); }
+    WarmSnapshotModeGuard(const WarmSnapshotModeGuard &) = delete;
+    WarmSnapshotModeGuard &
+    operator=(const WarmSnapshotModeGuard &) = delete;
+
+  private:
+    WarmSnapshotMode prev_;
+};
+
+/** Process-lifetime warm-snapshot counters (observability). */
+struct WarmSnapshotStats
+{
+    std::uint64_t hits = 0;    ///< prologues served from a snapshot
+    std::uint64_t misses = 0;  ///< prologues executed (and captured)
+    std::uint64_t entries = 0; ///< snapshots currently cached
+};
+
+WarmSnapshotStats warmSnapshotStats();
+
+/** Drop every cached snapshot (benches/tests isolate timings). */
+void clearWarmSnapshots();
+
+/**
+ * The cache key for one attack's prologue: the attack name, the
+ * complete CpuConfig (it bakes into Cpu construction and shifts
+ * every training-run cycle count) and the training-relevant
+ * AttackOptions.  Options that only steer the attack *body*
+ * (delayAuthorization, kpti, flushL1OnExit, rsbStuffing) are
+ * excluded so cells differing only in those share one prologue.
+ */
+std::string warmAttackKey(const char *attack,
+                          const uarch::CpuConfig &config,
+                          const AttackOptions &options);
+
+/**
+ * Run or restore an attack prologue.
+ *
+ * Under Reuse, a cached snapshot for @p key is restored into
+ * @p scenario (skipping @p prologue entirely); on a miss the
+ * prologue runs and its end state is captured for the next cell
+ * with this key.  Under Rebuild the prologue always runs and
+ * nothing is cached.  The prologue must leave the Cpu halted (it
+ * ends between run() calls), and everything the attack body
+ * depends on must be inside it or derived from restored state.
+ *
+ * @return true when a snapshot was restored (the prologue did not
+ *         run) — callers normally don't care, it's for tests.
+ */
+bool warmPrologue(Scenario &scenario, const std::string &key,
+                  const std::function<void()> &prologue);
+
+/// @}
 
 } // namespace specsec::attacks
 

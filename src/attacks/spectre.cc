@@ -1,5 +1,7 @@
 #include "spectre.hh"
 
+#include "snapshot.hh"
+
 using namespace specsec::uarch;
 
 namespace specsec::attacks
@@ -48,37 +50,44 @@ runSpectreV1(const CpuConfig &config, const AttackOptions &opt)
     Scenario s(config);
     Cpu &cpu = s.cpu();
     const auto secret = defaultSecret(opt.secretLen);
-    s.plantBytes(Layout::kUserSecret, secret);
-    s.mem().write64(Layout::kVictimBound, 16);
 
+    // ChannelHarness construction only records bases/refs, so it is
+    // safe outside the warm bracket; everything the prologue lambda
+    // produces is captured by / restored from the snapshot.
     ChannelHarness ch(cpu, opt.channel);
 
-    Program p;
-    p.emit(load64(rSlow, rPtr, 0)); // bound (flushed at attack time)
-    auto bail = p.newLabel();
-    p.emitBranch(Cond::Geu, rIdx, rSlow, bail); // authorization
-    if (opt.softwareLfence)
-        p.emit(lfence()); // strategy 1: serialize after the check
-    if (opt.addressMasking)
-        p.emit(andImm(rIdx, rIdx, 0xf)); // clamp into [0, 16)
-    p.emit(add(rAddr, rBase, rIdx));
-    p.emit(load8(rByte, rAddr, 0)); // Load S (OOB when attacking)
-    emitSend(p, ch.sendShift());
-    p.bind(bail);
-    p.emit(halt());
-    cpu.loadProgram(p);
-    cpu.setPrivilege(Privilege::User);
+    warmPrologue(s, warmAttackKey("spectre-v1", config, opt), [&] {
+        s.plantBytes(Layout::kUserSecret, secret);
+        s.mem().write64(Layout::kVictimBound, 16);
 
-    cpu.setReg(rPtr, Layout::kVictimBound);
-    cpu.setReg(rBase, Layout::kVictimArray);
-    cpu.setReg(rProbe, ch.sendBase());
+        Program p;
+        p.emit(load64(rSlow, rPtr, 0)); // bound (flushed at attack
+                                        // time)
+        auto bail = p.newLabel();
+        p.emitBranch(Cond::Geu, rIdx, rSlow, bail); // authorization
+        if (opt.softwareLfence)
+            p.emit(lfence()); // strategy 1: serialize after the check
+        if (opt.addressMasking)
+            p.emit(andImm(rIdx, rIdx, 0xf)); // clamp into [0, 16)
+        p.emit(add(rAddr, rBase, rIdx));
+        p.emit(load8(rByte, rAddr, 0)); // Load S (OOB when attacking)
+        emitSend(p, ch.sendShift());
+        p.bind(bail);
+        p.emit(halt());
+        cpu.loadProgram(p);
+        cpu.setPrivilege(Privilege::User);
 
-    // Step 1(b): train the bounds-check branch toward not-taken.
-    for (unsigned t = 0; t < opt.trainingRounds; ++t) {
-        cpu.warmLine(Layout::kVictimBound);
-        cpu.setReg(rIdx, t % 16);
-        cpu.run(0);
-    }
+        cpu.setReg(rPtr, Layout::kVictimBound);
+        cpu.setReg(rBase, Layout::kVictimArray);
+        cpu.setReg(rProbe, ch.sendBase());
+
+        // Step 1(b): train the bounds-check branch toward not-taken.
+        for (unsigned t = 0; t < opt.trainingRounds; ++t) {
+            cpu.warmLine(Layout::kVictimBound);
+            cpu.setReg(rIdx, t % 16);
+            cpu.run(0);
+        }
+    });
 
     const std::uint64_t c0 = cpu.stats().cycles;
     const std::uint64_t f0 = cpu.stats().transientForwards;
@@ -119,43 +128,49 @@ runStoreRedirect(const char *name, Addr idx_addr,
     Scenario s(config);
     Cpu &cpu = s.cpu();
     const auto secret = defaultSecret(opt.secretLen);
-    s.plantBytes(Layout::kUserSecret, secret);
-    s.mem().write64(Layout::kVictimBound, 16);
-    s.mem().write64(idx_addr, 0); // benign index value
 
     ChannelHarness ch(cpu, opt.channel);
 
-    Program p;
-    p.emit(load64(rSlow, rPtr, 0)); // bound (flushed)
-    auto bail = p.newLabel();
-    p.emitBranch(Cond::Geu, rIdx, rSlow, bail);
-    if (opt.softwareLfence)
-        p.emit(lfence());
-    if (opt.addressMasking)
-        p.emit(andImm(rIdx, rIdx, 0xf));
-    p.emit(add(rAddr, rBase, rIdx));
-    p.emit(store64(rAddr, 0, rVal)); // transient OOB / read-only store
-    p.emit(load64(rIdx2, rIdxPtr, 0)); // forwarded attacker value
-    p.emit(add(rAddr, rTable, rIdx2));
-    p.emit(load8(rByte, rAddr, 0));    // victim secret
-    emitSend(p, ch.sendShift());
-    p.bind(bail);
-    p.emit(halt());
-    cpu.loadProgram(p);
-    cpu.setPrivilege(Privilege::User);
+    // The key is per-attack: v1.1 and v1.2 differ in idx_addr (and
+    // thus in planted memory and trained register state).
+    warmPrologue(s, warmAttackKey(name, config, opt), [&] {
+        s.plantBytes(Layout::kUserSecret, secret);
+        s.mem().write64(Layout::kVictimBound, 16);
+        s.mem().write64(idx_addr, 0); // benign index value
 
-    cpu.setReg(rPtr, Layout::kVictimBound);
-    cpu.setReg(rBase, Layout::kVictimArray);
-    cpu.setReg(rProbe, ch.sendBase());
-    cpu.setReg(rIdxPtr, idx_addr);
-    cpu.setReg(rTable, Layout::kVictimTable);
+        Program p;
+        p.emit(load64(rSlow, rPtr, 0)); // bound (flushed)
+        auto bail = p.newLabel();
+        p.emitBranch(Cond::Geu, rIdx, rSlow, bail);
+        if (opt.softwareLfence)
+            p.emit(lfence());
+        if (opt.addressMasking)
+            p.emit(andImm(rIdx, rIdx, 0xf));
+        p.emit(add(rAddr, rBase, rIdx));
+        p.emit(store64(rAddr, 0, rVal)); // transient OOB / read-only
+                                         // store
+        p.emit(load64(rIdx2, rIdxPtr, 0)); // forwarded attacker value
+        p.emit(add(rAddr, rTable, rIdx2));
+        p.emit(load8(rByte, rAddr, 0));    // victim secret
+        emitSend(p, ch.sendShift());
+        p.bind(bail);
+        p.emit(halt());
+        cpu.loadProgram(p);
+        cpu.setPrivilege(Privilege::User);
 
-    for (unsigned t = 0; t < opt.trainingRounds; ++t) {
-        cpu.warmLine(Layout::kVictimBound);
-        cpu.setReg(rIdx, t % 16);
-        cpu.setReg(rVal, 0);
-        cpu.run(0);
-    }
+        cpu.setReg(rPtr, Layout::kVictimBound);
+        cpu.setReg(rBase, Layout::kVictimArray);
+        cpu.setReg(rProbe, ch.sendBase());
+        cpu.setReg(rIdxPtr, idx_addr);
+        cpu.setReg(rTable, Layout::kVictimTable);
+
+        for (unsigned t = 0; t < opt.trainingRounds; ++t) {
+            cpu.warmLine(Layout::kVictimBound);
+            cpu.setReg(rIdx, t % 16);
+            cpu.setReg(rVal, 0);
+            cpu.run(0);
+        }
+    });
 
     const std::uint64_t c0 = cpu.stats().cycles;
     const std::uint64_t f0 = cpu.stats().transientForwards;

@@ -848,6 +848,12 @@ CampaignEngine::run(const ScenarioSpec &spec,
         options_.forkScenarios
             ? attacks::ScenarioBuildMode::Fork
             : attacks::ScenarioBuildMode::Rebuild);
+    // Likewise for the second snapshot tier: reuse post-prologue
+    // warm-attack snapshots by default, force every cell to re-run
+    // its prologue when the caller wants the reference path.
+    const attacks::WarmSnapshotModeGuard warmMode(
+        options_.warmAttacks ? attacks::WarmSnapshotMode::Reuse
+                             : attacks::WarmSnapshotMode::Rebuild);
 
     const ExpandedGrid grid = dedupGrid(spec);
     const ShardSelection sel = grid.shard(shard.index, shard.count);

@@ -533,6 +533,14 @@ class CampaignEngine
         /// knob exists for that comparison and for bisecting any
         /// future divergence, not for production use.
         bool forkScenarios = true;
+
+        /// Let attack runners restore cached post-prologue machine
+        /// state (warm-attack snapshots, attacks/snapshot.hh)
+        /// instead of re-running predictor training per cell.  Warm
+        /// and cold cells are cycle-identical (tests/snapshot_test.cc
+        /// proves it per golden spec); like forkScenarios, the off
+        /// position exists for that comparison and for bisection.
+        bool warmAttacks = true;
     };
 
     CampaignEngine() = default;

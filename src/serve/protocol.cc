@@ -191,7 +191,13 @@ statsLine(const StatsMsg &msg)
        << msg.connections << ", \"requests\": " << msg.requests
        << ", \"executed\": " << msg.executed
        << ", \"cacheHits\": " << msg.cacheHits
-       << ", \"cacheSize\": " << msg.cacheSize << "}";
+       << ", \"cacheSize\": " << msg.cacheSize
+       << ", \"forked\": " << msg.forked
+       << ", \"rebuilt\": " << msg.rebuilt
+       << ", \"pooledArenas\": " << msg.pooledArenas
+       << ", \"warmHits\": " << msg.warmHits
+       << ", \"warmMisses\": " << msg.warmMisses
+       << ", \"warmEntries\": " << msg.warmEntries << "}";
     return os.str();
 }
 
@@ -359,6 +365,30 @@ parseLine(const std::string &line)
             !expectKey(cur, "cacheSize"))
             return invalid("malformed stats");
         msg.stats.cacheSize = cur.parseU64();
+        if (cur.failed() || !cur.expect(',') ||
+            !expectKey(cur, "forked"))
+            return invalid("malformed stats");
+        msg.stats.forked = cur.parseU64();
+        if (cur.failed() || !cur.expect(',') ||
+            !expectKey(cur, "rebuilt"))
+            return invalid("malformed stats");
+        msg.stats.rebuilt = cur.parseU64();
+        if (cur.failed() || !cur.expect(',') ||
+            !expectKey(cur, "pooledArenas"))
+            return invalid("malformed stats");
+        msg.stats.pooledArenas = cur.parseU64();
+        if (cur.failed() || !cur.expect(',') ||
+            !expectKey(cur, "warmHits"))
+            return invalid("malformed stats");
+        msg.stats.warmHits = cur.parseU64();
+        if (cur.failed() || !cur.expect(',') ||
+            !expectKey(cur, "warmMisses"))
+            return invalid("malformed stats");
+        msg.stats.warmMisses = cur.parseU64();
+        if (cur.failed() || !cur.expect(',') ||
+            !expectKey(cur, "warmEntries"))
+            return invalid("malformed stats");
+        msg.stats.warmEntries = cur.parseU64();
         if (cur.failed() || !cur.expect('}') || !cur.atEnd())
             return invalid("malformed stats");
         msg.type = MsgType::Stats;

@@ -53,8 +53,9 @@
 namespace specsec::serve
 {
 
-/** Protocol revision; bumped on any message-shape change. */
-inline constexpr unsigned kProtocolVersion = 1;
+/** Protocol revision; bumped on any message-shape change.
+ *  v2: stats grew the scenario-fork and warm-snapshot counters. */
+inline constexpr unsigned kProtocolVersion = 2;
 
 /** The leading "type" value of a parsed message. */
 enum class MsgType
@@ -128,6 +129,14 @@ struct StatsMsg
     std::size_t executed = 0;
     std::size_t cacheHits = 0;
     std::size_t cacheSize = 0;
+    // Execution-path counters (v2): scenario fork pool and
+    // warm-attack snapshot cache health of the daemon process.
+    std::size_t forked = 0;
+    std::size_t rebuilt = 0;
+    std::size_t pooledArenas = 0;
+    std::size_t warmHits = 0;
+    std::size_t warmMisses = 0;
+    std::size_t warmEntries = 0;
 };
 
 /** One decoded line: the type tag plus the matching payload. */

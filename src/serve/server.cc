@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "attacks/snapshot.hh"
+
 namespace specsec::serve
 {
 
@@ -105,6 +107,16 @@ Server::stats() const
     msg.executed = executed_;
     msg.cacheHits = cacheHits_;
     msg.cacheSize = cache_.size();
+    const attacks::ScenarioForkStats fork =
+        attacks::scenarioForkStats();
+    msg.forked = fork.forked;
+    msg.rebuilt = fork.rebuilt;
+    msg.pooledArenas = fork.pooled;
+    const attacks::WarmSnapshotStats warm =
+        attacks::warmSnapshotStats();
+    msg.warmHits = warm.hits;
+    msg.warmMisses = warm.misses;
+    msg.warmEntries = warm.entries;
     return msg;
 }
 

@@ -178,6 +178,16 @@ FpuState::write(std::size_t reg, Word value)
     regs_.at(reg % kNumFpRegs) = value;
 }
 
+std::array<Word, kNumFpRegs> *
+FpuState::findSaved(int ctx)
+{
+    for (auto &entry : saved_) {
+        if (entry.first == ctx)
+            return &entry.second;
+    }
+    return nullptr;
+}
+
 void
 FpuState::contextSwitch(int new_ctx, bool eager)
 {
@@ -186,13 +196,7 @@ FpuState::contextSwitch(int new_ctx, bool eager)
         // them until its first FP instruction faults.
         return;
     }
-    saved_[owner_] = regs_;
-    const auto it = saved_.find(new_ctx);
-    if (it != saved_.end())
-        regs_ = it->second;
-    else
-        regs_.fill(0);
-    owner_ = new_ctx;
+    takeOwnership(new_ctx);
 }
 
 void
@@ -200,10 +204,12 @@ FpuState::takeOwnership(int ctx)
 {
     if (owner_ == ctx)
         return;
-    saved_[owner_] = regs_;
-    const auto it = saved_.find(ctx);
-    if (it != saved_.end())
-        regs_ = it->second;
+    if (auto *slot = findSaved(owner_))
+        *slot = regs_;
+    else
+        saved_.emplace_back(owner_, regs_);
+    if (const auto *slot = findSaved(ctx))
+        regs_ = *slot;
     else
         regs_.fill(0);
     owner_ = ctx;

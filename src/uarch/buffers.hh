@@ -18,7 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "isa.hh"
@@ -196,9 +196,15 @@ class FpuState
     void takeOwnership(int ctx);
 
   private:
+    /** Saved register file for @p ctx, or nullptr. */
+    std::array<Word, kNumFpRegs> *findSaved(int ctx);
+
     std::array<Word, kNumFpRegs> regs_{};
     int owner_ = 0;
-    std::unordered_map<int, std::array<Word, kNumFpRegs>> saved_;
+    // A scenario touches two or three context ids, so the save area
+    // is a small flat vector searched linearly — no hashing on the
+    // context-switch path.
+    std::vector<std::pair<int, std::array<Word, kNumFpRegs>>> saved_;
 };
 
 } // namespace specsec::uarch

@@ -111,6 +111,12 @@ Cache::flushAll()
 {
     for (Line &line : lines_)
         line.valid = false;
+    // With every line invalid the old lastUse values can never be
+    // compared again, so the use counter restarts: a fully flushed
+    // cache is indistinguishable from a fresh one, which is what
+    // lets pooled/warm-restored state share LRU decisions with a
+    // rebuilt run (attacks/snapshot.hh).
+    useCounter_ = 0;
     ++stats_.flushes;
 }
 

@@ -47,6 +47,50 @@ Cpu::loadProgram(const Program &program)
 }
 
 void
+Cpu::copyStateFrom(const Cpu &other)
+{
+    // Everything except the Memory/PageTable references, which stay
+    // bound to this core's arena.  See the header comment: keep this
+    // list in sync with the member declarations.
+    config_ = other.config_;
+    cache_ = other.cache_;
+    bp_ = other.bp_;
+    btb_ = other.btb_;
+    rsb_ = other.rsb_;
+    sb_ = other.sb_;
+    lfb_ = other.lfb_;
+    loadPort_ = other.loadPort_;
+    fpu_ = other.fpu_;
+    program_ = other.program_;
+    regs_ = other.regs_;
+    msrs_ = other.msrs_;
+    privilege_ = other.privilege_;
+    enclaveMode_ = other.enclaveMode_;
+    ctx_ = other.ctx_;
+    faultHandler_ = other.faultHandler_;
+    retExtraDelay_ = other.retExtraDelay_;
+    rob_ = other.rob_;
+    seqCounter_ = other.seqCounter_;
+    robPops_ = other.robPops_;
+    fencesInRob_ = other.fencesInRob_;
+    rename_ = other.rename_;
+    archCallStack_ = other.archCallStack_;
+    fetchPc_ = other.fetchPc_;
+    fetchHalted_ = other.fetchHalted_;
+    cycle_ = other.cycle_;
+    pendingException_ = other.pendingException_;
+    fetchStallSeq_ = other.fetchStallSeq_;
+    txnActive_ = other.txnActive_;
+    fetchInTxn_ = other.fetchInTxn_;
+    txnAbortTarget_ = other.txnAbortTarget_;
+    runHalted_ = other.runHalted_;
+    runFaulted_ = other.runFaulted_;
+    lastFault_ = other.lastFault_;
+    lastFaultPc_ = other.lastFaultPc_;
+    stats_ = other.stats_;
+}
+
+void
 Cpu::contextSwitch(int ctx)
 {
     ctx_ = ctx;
@@ -176,17 +220,6 @@ Cpu::taintLive(std::uint64_t source_seq) const
     return !entrySafe(rob_[*index], *index);
 }
 
-bool
-Cpu::olderUncommittedFence(std::size_t index) const
-{
-    for (std::size_t i = 0; i < index && i < rob_.size(); ++i) {
-        const Opcode op = rob_[i].inst.op;
-        if (op == Opcode::Lfence || op == Opcode::Mfence)
-            return true;
-    }
-    return false;
-}
-
 void
 Cpu::rebuildRename()
 {
@@ -194,7 +227,7 @@ Cpu::rebuildRename()
     for (std::size_t i = 0; i < rob_.size(); ++i) {
         const RobEntry &e = rob_[i];
         if (writesIntReg(e.inst))
-            rename_[e.inst.rd] = e.seq;
+            rename_[e.inst.rd] = RenameRef{e.seq, robPops_ + i};
     }
 }
 
@@ -225,6 +258,10 @@ Cpu::squashFrom(std::size_t first_removed, Addr redirect_pc)
             // undoes lines the squashed loads installed.
             if (e.insertedLine && config_.defense.cleanupSpec)
                 cache_.flushLine(e.insertedLineAddr);
+            if (e.inst.op == Opcode::Lfence ||
+                e.inst.op == Opcode::Mfence) {
+                --fencesInRob_;
+            }
         }
         rob_.truncate(first_removed);
         sb_.squashAfter(boundary_seq);
@@ -320,8 +357,22 @@ Cpu::evalCond(Cond cond, Word a, Word b)
 void
 Cpu::captureOperands(RobEntry &e)
 {
+    // Producers are resolved by their absolute ROB position (see
+    // RenameRef): one bounds-checked access replaces the old
+    // per-cycle binary search.  A committed producer's position is
+    // below robPops_, so the unsigned subtraction lands out of
+    // range; a squashed producer implies this consumer was squashed
+    // with it, so a stale hit cannot occur.
+    const auto producer = [this](std::uint64_t seq,
+                                 std::uint64_t abs) -> const RobEntry * {
+        const std::size_t index =
+            static_cast<std::size_t>(abs - robPops_);
+        if (index < rob_.size() && rob_[index].seq == seq)
+            return &rob_[index];
+        return nullptr;
+    };
     if (e.needA && !e.aReady && e.hasProdA) {
-        const RobEntry *prod = findBySeq(e.prodA);
+        const RobEntry *prod = producer(e.prodA, e.prodAAbs);
         if (!prod) {
             // Producer committed; its value is architectural now.
             e.valA = regs_[e.inst.ra];
@@ -334,7 +385,7 @@ Cpu::captureOperands(RobEntry &e)
         }
     }
     if (e.needB && !e.bReady && e.hasProdB) {
-        const RobEntry *prod = findBySeq(e.prodB);
+        const RobEntry *prod = producer(e.prodB, e.prodBAbs);
         if (!prod) {
             e.valB = regs_[e.inst.rb];
             e.bReady = true;
@@ -588,13 +639,15 @@ Cpu::checkMemOrderViolation(const RobEntry &store)
 }
 
 void
-Cpu::progress(RobEntry &e, std::size_t index)
+Cpu::progress(RobEntry &e, std::size_t index, bool fence_blocked)
 {
     captureOperands(e);
 
     // LFENCE/MFENCE: younger instructions do not execute until the
-    // fence retires (the paper's strategy-1 software defense).
-    if (olderUncommittedFence(index))
+    // fence retires (the paper's strategy-1 software defense).  The
+    // caller hoists the fence position scan out of the per-entry
+    // loop (executeStage).
+    if (fence_blocked)
         return;
 
     switch (e.inst.op) {
@@ -840,7 +893,9 @@ Cpu::progress(RobEntry &e, std::size_t index)
 void
 Cpu::dispatch(const Instruction &inst, Addr pc)
 {
-    RobEntry e;
+    // Fill the entry directly in its ROB slot: RobEntry is large
+    // enough that stack-construct + copy showed up in profiles.
+    RobEntry &e = rob_.emplace_back();
     e.inst = inst;
     e.pc = pc;
     e.seq = ++seqCounter_;
@@ -880,7 +935,8 @@ Cpu::dispatch(const Instruction &inst, Addr pc)
     if (e.needA) {
         if (rename_[inst.ra]) {
             e.hasProdA = true;
-            e.prodA = *rename_[inst.ra];
+            e.prodA = rename_[inst.ra]->seq;
+            e.prodAAbs = rename_[inst.ra]->abs;
         } else {
             e.valA = regs_[inst.ra];
             e.aReady = true;
@@ -889,7 +945,8 @@ Cpu::dispatch(const Instruction &inst, Addr pc)
     if (e.needB) {
         if (rename_[inst.rb]) {
             e.hasProdB = true;
-            e.prodB = *rename_[inst.rb];
+            e.prodB = rename_[inst.rb]->seq;
+            e.prodBAbs = rename_[inst.rb]->abs;
         } else {
             e.valB = regs_[inst.rb];
             e.bReady = true;
@@ -945,33 +1002,31 @@ Cpu::dispatch(const Instruction &inst, Addr pc)
     }
 
     if (writesIntReg(inst))
-        rename_[inst.rd] = e.seq;
+        rename_[inst.rd] = RenameRef{e.seq, robPops_ + rob_.size() - 1};
     if (isStore(inst.op))
         sb_.allocate(e.seq, inst.size);
+
+    if (inst.op == Opcode::Lfence || inst.op == Opcode::Mfence)
+        ++fencesInRob_;
 
     e.txnMember = txnActive_ || fetchInTxn_;
     if (inst.op == Opcode::XBegin)
         fetchInTxn_ = true;
     else if (inst.op == Opcode::XEnd)
         fetchInTxn_ = false;
-
-    rob_.push_back(e);
 }
 
 void
 Cpu::fetchStage()
 {
-    if (fetchStallSeq_) {
-        const RobEntry *stalled = findBySeq(*fetchStallSeq_);
-        if (!stalled) {
-            fetchStallSeq_.reset(); // squashed; redirect already done
-        } else if (stalled->resolved) {
-            fetchPc_ = stalled->actualNext;
-            fetchStallSeq_.reset();
-        } else {
-            return;
-        }
-    }
+    // A serialized-fetch stall is cleared before fetch ever runs
+    // again: resolution happens in executeStage (which redirects
+    // fetchPc_ and resets the stall for predNext == kNoPred
+    // entries), and any squash resets it unconditionally.  So a
+    // still-set stall means the entry is live and unresolved — no
+    // per-cycle ROB lookup needed.
+    if (fetchStallSeq_)
+        return;
 
     for (unsigned w = 0; w < config_.fetchWidth; ++w) {
         if (rob_.size() >= config_.robSize || fetchHalted_)
@@ -994,8 +1049,32 @@ Cpu::fetchStage()
 void
 Cpu::executeStage()
 {
-    for (std::size_t i = 0; i < rob_.size(); ++i)
-        progress(rob_[i], i);
+    // One scan finds the oldest in-flight fence; every younger
+    // entry is fence-blocked.  The position cannot move during the
+    // pass: fences leave the ROB only at commit (between cycles)
+    // or when a squash drops *younger* entries.
+    std::size_t first_fence = rob_.size();
+    if (fencesInRob_ > 0) {
+        for (std::size_t i = 0; i < rob_.size(); ++i) {
+            const Opcode op = rob_[i].inst.op;
+            if (op == Opcode::Lfence || op == Opcode::Mfence) {
+                first_fence = i;
+                break;
+            }
+        }
+    }
+    const bool nda = config_.defense.blockSpeculativeForwarding;
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        RobEntry &e = rob_[i];
+        // A completed entry's state machine is exhausted: every
+        // progress path is guarded (!resolved / hasResult /
+        // completed), so re-running it is a no-op — except the NDA
+        // late forwardable flip, which still needs polling while a
+        // completed-but-unforwardable result waits to become safe.
+        if (e.completed && (!nda || e.forwardable))
+            continue;
+        progress(e, i, i > first_fence);
+    }
 }
 
 void
@@ -1050,7 +1129,7 @@ Cpu::applyCommit(RobEntry &e)
         break;
     }
 
-    if (rename_[inst.rd] && *rename_[inst.rd] == e.seq &&
+    if (rename_[inst.rd] && rename_[inst.rd]->seq == e.seq &&
         writesIntReg(inst)) {
         rename_[inst.rd].reset();
     }
@@ -1107,7 +1186,12 @@ Cpu::commitStage()
         applyCommit(head);
         ++stats_.committed;
         const bool was_halt = head.inst.op == Opcode::Halt;
+        if (head.inst.op == Opcode::Lfence ||
+            head.inst.op == Opcode::Mfence) {
+            --fencesInRob_;
+        }
         rob_.pop_front();
+        ++robPops_;
         if (was_halt) {
             runHalted_ = true;
             return;
@@ -1129,6 +1213,8 @@ RunResult
 Cpu::run(Addr start_pc, std::uint64_t max_cycles)
 {
     rob_.clear();
+    robPops_ = 0;
+    fencesInRob_ = 0;
     rename_.fill(std::nullopt);
     sb_.squashAfter(0); // drop any stale pending entries
     fetchPc_ = start_pc;

@@ -209,6 +209,22 @@ class RingBuffer
         ++size_;
     }
 
+    /**
+     * Append a default-initialized entry and hand back a reference,
+     * so callers can fill large entries in place instead of
+     * building them on the stack and copying.
+     */
+    T &
+    emplace_back()
+    {
+        if (size_ == slots_.size())
+            grow();
+        T &slot = slots_[wrap(head_ + size_)];
+        slot = T{};
+        ++size_;
+        return slot;
+    }
+
     void
     pop_front()
     {
@@ -353,6 +369,22 @@ class Cpu
     const CpuStats &stats() const { return stats_; }
     void resetStats() { stats_ = CpuStats{}; }
 
+    /**
+     * Copy every mutable piece of @p other's state into this core,
+     * leaving only the Memory/PageTable references in place: the
+     * warm-attack snapshot restore primitive (attacks/snapshot.hh).
+     * Both cores must have been built from the same CpuConfig.
+     * Afterwards this core behaves cycle-for-cycle like @p other
+     * would, provided the backing memory image matches too — all
+     * pipeline scheduling is relative to cycle_, which is copied.
+     *
+     * Maintainers: cpu.cc lists the members explicitly; a new
+     * mutable member MUST be added there or warm-snapshot restores
+     * silently diverge (the golden byte-identity suite in
+     * tests/snapshot_test.cc is the tripwire).
+     */
+    void copyStateFrom(const Cpu &other);
+
   private:
     struct RobEntry
     {
@@ -366,6 +398,7 @@ class Cpu
         bool aReady = false, bReady = false;
         Word valA = 0, valB = 0;
         std::uint64_t prodA = 0, prodB = 0;
+        std::uint64_t prodAAbs = 0, prodBAbs = 0;
         bool hasProdA = false, hasProdB = false;
         std::uint64_t taintA = 0, taintB = 0;
         bool taintAOn = false, taintBOn = false;
@@ -414,7 +447,8 @@ class Cpu
     void commitStage();
 
     void dispatch(const Instruction &inst, Addr pc);
-    void progress(RobEntry &e, std::size_t index);
+    void progress(RobEntry &e, std::size_t index,
+                  bool fence_blocked);
     void progressLoad(RobEntry &e, std::size_t index);
     void progressStore(RobEntry &e, std::size_t index);
     void captureOperands(RobEntry &e);
@@ -441,7 +475,6 @@ class Cpu
     void checkMemOrderViolation(const RobEntry &store);
     Word selectResidue(Addr vaddr) const;
     Addr retActualTarget(std::size_t ret_index) const;
-    bool olderUncommittedFence(std::size_t index) const;
     void rebuildRename();
     void recomputeFetchTxn();
 
@@ -469,10 +502,26 @@ class Cpu
     std::optional<Addr> faultHandler_;
     std::uint64_t retExtraDelay_ = 0;
 
+    /**
+     * Rename-table entry: the producing instruction's seq plus its
+     * *absolute* ROB position (total pops + logical index).  The
+     * absolute position never changes over an entry's lifetime —
+     * commits shift every logical index down together and squashes
+     * only drop younger entries — so operand capture resolves the
+     * producer with one bounds-checked array access instead of a
+     * per-cycle binary search.
+     */
+    struct RenameRef
+    {
+        std::uint64_t seq = 0;
+        std::uint64_t abs = 0;
+    };
+
     // Pipeline state.
     RingBuffer<RobEntry> rob_;
     std::uint64_t seqCounter_ = 0;
-    std::array<std::optional<std::uint64_t>, kNumIntRegs> rename_{};
+    std::uint64_t robPops_ = 0; ///< lifetime pop_front count
+    std::array<std::optional<RenameRef>, kNumIntRegs> rename_{};
     std::vector<Addr> archCallStack_;
     Addr fetchPc_ = 0;
     bool fetchHalted_ = false;
@@ -491,6 +540,10 @@ class Cpu
     // Fetch stall for serialized control flow (retpoline model /
     // disabled branch prediction): the seq of the unresolved branch.
     std::optional<std::uint64_t> fetchStallSeq_;
+
+    // In-flight Lfence/Mfence count, so executeStage skips its
+    // oldest-fence scan on the (common) fence-free cycles.
+    std::size_t fencesInRob_ = 0;
 
     // Transactions.  A faulting access inside a transaction raises a
     // TSX abort (redirect to the abort target) instead of an

@@ -24,9 +24,23 @@ faultKindName(FaultKind fault)
 }
 
 void
+PageTable::ensureDense(Addr vpn)
+{
+    if (vpn >= slots_.size())
+        slots_.resize(static_cast<std::size_t>(vpn) + 1);
+}
+
+void
 PageTable::map(Addr vaddr, Pte pte)
 {
-    pages_[vaddr / kPageSize] = pte;
+    const Addr vpn = vaddr / kPageSize;
+    if (vpn < kDenseVpns) {
+        ensureDense(vpn);
+        slots_[vpn].pte = pte;
+        slots_[vpn].mapped = true;
+    } else {
+        overflow_[vpn] = pte;
+    }
 }
 
 void
@@ -41,28 +55,43 @@ PageTable::mapRange(Addr base, Addr length, PageOwner owner,
         pte.owner = owner;
         pte.userAccessible = user_accessible;
         pte.writable = writable;
-        pages_[vpn] = pte;
+        if (vpn < kDenseVpns) {
+            ensureDense(vpn);
+            slots_[vpn].pte = pte;
+            slots_[vpn].mapped = true;
+        } else {
+            overflow_[vpn] = pte;
+        }
     }
 }
 
 void
 PageTable::unmap(Addr vaddr)
 {
-    pages_.erase(vaddr / kPageSize);
+    const Addr vpn = vaddr / kPageSize;
+    if (vpn < slots_.size())
+        slots_[vpn].mapped = false;
+    else if (vpn >= kDenseVpns)
+        overflow_.erase(vpn);
 }
 
 const Pte *
 PageTable::lookup(Addr vaddr) const
 {
-    const auto it = pages_.find(vaddr / kPageSize);
-    return it == pages_.end() ? nullptr : &it->second;
+    const Addr vpn = vaddr / kPageSize;
+    if (vpn < slots_.size())
+        return slots_[vpn].mapped ? &slots_[vpn].pte : nullptr;
+    if (vpn < kDenseVpns || overflow_.empty())
+        return nullptr;
+    const auto it = overflow_.find(vpn);
+    return it == overflow_.end() ? nullptr : &it->second;
 }
 
 Pte *
 PageTable::lookup(Addr vaddr)
 {
-    const auto it = pages_.find(vaddr / kPageSize);
-    return it == pages_.end() ? nullptr : &it->second;
+    return const_cast<Pte *>(
+        static_cast<const PageTable *>(this)->lookup(vaddr));
 }
 
 void
@@ -185,6 +214,53 @@ Memory::dirtyPageCount() const
         count += static_cast<std::size_t>(
             __builtin_popcountll(bits));
     return count;
+}
+
+std::vector<PageImage>
+Memory::captureDirtyPages() const
+{
+    std::vector<PageImage> pages;
+    pages.reserve(dirtyPageCount());
+    for (std::size_t w = 0; w < dirty_.size(); ++w) {
+        std::uint64_t bits = dirty_[w];
+        while (bits) {
+            const int bit = __builtin_ctzll(bits);
+            bits &= bits - 1;
+            const std::size_t page = w * 64 +
+                                     static_cast<std::size_t>(bit);
+            const std::size_t start = page * kPageSize;
+            const std::size_t len =
+                std::min<std::size_t>(kPageSize,
+                                      bytes_.size() - start);
+            PageImage image;
+            image.page = static_cast<Addr>(page);
+            std::copy_n(bytes_.begin() +
+                            static_cast<std::ptrdiff_t>(start),
+                        len, image.bytes.begin());
+            pages.push_back(image);
+        }
+    }
+    return pages;
+}
+
+void
+Memory::restoreDirtyPages(const std::vector<PageImage> &pages)
+{
+    rezeroDirtyPages();
+    for (const PageImage &image : pages) {
+        const std::size_t start =
+            static_cast<std::size_t>(image.page) * kPageSize;
+        if (start >= bytes_.size())
+            throw std::out_of_range(
+                "restoreDirtyPages: page out of range");
+        const std::size_t len =
+            std::min<std::size_t>(kPageSize, bytes_.size() - start);
+        std::copy_n(image.bytes.begin(), len,
+                    bytes_.begin() +
+                        static_cast<std::ptrdiff_t>(start));
+        dirty_[image.page >> 6] |= std::uint64_t{1}
+                                   << (image.page & 63);
+    }
 }
 
 void

@@ -19,6 +19,7 @@
 #ifndef SPECSEC_UARCH_MEMORY_HH
 #define SPECSEC_UARCH_MEMORY_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -94,10 +95,23 @@ struct Translation
 
 /**
  * A single-level page table mapping virtual page numbers to PTEs.
+ *
+ * Storage is a flat dense array indexed by virtual page number:
+ * translate() — the hottest call in the whole simulator (every
+ * load/store address generation plus the thousands of committed
+ * channel probes a covert-channel harness issues per cell) — is one
+ * bounds check and one indexed read, with no hashing.  The modeled
+ * address spaces are small and contiguous (the scenario layout tops
+ * out below 8MB), so the dense array stays a few dozen KB; the rare
+ * mapping above kDenseVpns (a wild high vaddr) falls back to a side
+ * map so the semantics stay exactly those of the old hash-map table.
  */
 class PageTable
 {
   public:
+    /** VPNs below this live in the dense array (256MB of vaddr). */
+    static constexpr Addr kDenseVpns = 1u << 16;
+
     /** Map the page containing @p vaddr with the given PTE. */
     void map(Addr vaddr, Pte pte);
 
@@ -133,7 +147,30 @@ class PageTable
                           bool enclave_mode = false) const;
 
   private:
-    std::unordered_map<Addr, Pte> pages_;
+    struct Slot
+    {
+        Pte pte;
+        bool mapped = false;
+    };
+
+    /** Grow the dense array to cover @p vpn (assumes it fits). */
+    void ensureDense(Addr vpn);
+
+    std::vector<Slot> slots_;           ///< dense, indexed by VPN
+    std::unordered_map<Addr, Pte> overflow_; ///< VPN >= kDenseVpns
+};
+
+/**
+ * One dirty page's contents: the unit of a warm-attack memory image
+ * (attacks/snapshot.hh).  captureDirtyPages()/restoreDirtyPages()
+ * move exactly the pages that diverged from the all-zero baseline,
+ * so a snapshot of a trained attack costs a handful of pages, not
+ * the whole 8MB address space.
+ */
+struct PageImage
+{
+    Addr page = 0; ///< page number (paddr / kPageSize)
+    std::array<std::uint8_t, kPageSize> bytes{};
 };
 
 /**
@@ -176,6 +213,18 @@ class Memory
 
     /** Pages currently marked dirty (bench/test introspection). */
     std::size_t dirtyPageCount() const;
+
+    /** Copy out every dirty page (warm-attack snapshot capture). */
+    std::vector<PageImage> captureDirtyPages() const;
+
+    /**
+     * Replace the image with baseline + @p pages: re-zero the
+     * current dirty pages, then write @p pages in and mark exactly
+     * them dirty.  Afterwards the memory (including its dirty
+     * bitmap) is byte-identical to the Memory the pages were
+     * captured from.
+     */
+    void restoreDirtyPages(const std::vector<PageImage> &pages);
 
   private:
     void check(Addr paddr, std::size_t len) const;

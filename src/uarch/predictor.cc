@@ -1,5 +1,7 @@
 #include "predictor.hh"
 
+#include <algorithm>
+
 namespace specsec::uarch
 {
 
@@ -9,50 +11,101 @@ BranchPredictor::predictTaken(Addr pc) const
     // Untrained branches default to weakly taken: an attacker must
     // actively mistrain a bounds-check branch toward not-taken, and
     // flushing the predictor (strategy 4) restores the safe default.
-    const auto it = counters_.find(pc);
-    const std::uint8_t counter = it == counters_.end() ? 2 : it->second;
+    std::uint8_t counter = 2;
+    if (pc < table_.size()) {
+        const Cell &cell = table_[pc];
+        if (cell.gen == gen_)
+            counter = cell.counter;
+    } else if (!overflow_.empty()) {
+        const auto it = overflow_.find(pc);
+        if (it != overflow_.end())
+            counter = it->second;
+    }
     return counter >= 2;
 }
 
 void
 BranchPredictor::update(Addr pc, bool taken)
 {
-    auto [it, inserted] = counters_.try_emplace(pc, 2);
-    std::uint8_t &counter = it->second;
-    if (taken) {
-        if (counter < 3)
-            ++counter;
+    std::uint8_t *counter;
+    if (pc < table_.size()) {
+        Cell &cell = table_[pc];
+        if (cell.gen != gen_) {
+            cell.gen = gen_;
+            cell.counter = 2;
+            ++trained_;
+        }
+        counter = &cell.counter;
     } else {
-        if (counter > 0)
-            --counter;
+        auto [it, inserted] = overflow_.try_emplace(pc, 2);
+        if (inserted)
+            ++trained_;
+        counter = &it->second;
+    }
+    if (taken) {
+        if (*counter < 3)
+            ++*counter;
+    } else {
+        if (*counter > 0)
+            --*counter;
     }
 }
 
 void
 BranchPredictor::flush()
 {
-    counters_.clear();
+    if (++gen_ == 0) {
+        // Generation wrapped: only now do the entries need a real
+        // clear (once per 2^32 flushes).
+        std::fill(table_.begin(), table_.end(), Cell{});
+        gen_ = 1;
+    }
+    overflow_.clear();
+    trained_ = 0;
 }
 
 std::optional<Addr>
 Btb::predict(Addr pc) const
 {
-    const auto it = targets_.find(pc);
-    if (it == targets_.end())
+    if (pc < table_.size()) {
+        const Cell &cell = table_[pc];
+        if (cell.gen == gen_)
+            return cell.target;
         return std::nullopt;
-    return it->second;
+    }
+    if (!overflow_.empty()) {
+        const auto it = overflow_.find(pc);
+        if (it != overflow_.end())
+            return it->second;
+    }
+    return std::nullopt;
 }
 
 void
 Btb::update(Addr pc, Addr target)
 {
-    targets_[pc] = target;
+    if (pc < table_.size()) {
+        Cell &cell = table_[pc];
+        if (cell.gen != gen_) {
+            cell.gen = gen_;
+            ++entries_;
+        }
+        cell.target = target;
+    } else {
+        if (overflow_.insert_or_assign(pc, target).second)
+            ++entries_;
+    }
 }
 
 void
 Btb::flush()
 {
-    targets_.clear();
+    if (++gen_ == 0) {
+        std::fill(table_.begin(), table_.end(), Cell{});
+        gen_ = 1;
+    }
+    overflow_.clear();
+    entries_ = 0;
 }
 
 void

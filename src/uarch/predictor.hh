@@ -6,6 +6,18 @@
  * These are the mistrainable structures of Spectre v1/v2/RSB.  All
  * state persists across context switches unless explicitly flushed
  * (the IBPB / predictor-invalidate defenses, strategy 4).
+ *
+ * Storage is a flat direct-indexed table with a per-entry
+ * generation number: predict/update are one indexed read with no
+ * hashing (the pipeline consults the predictor at every dispatch
+ * and trains it at every branch commit), and flush() — which the
+ * flush-on-context-switch defense triggers on every contextSwitch —
+ * is a single generation bump instead of a per-entry clear.  An
+ * entry whose generation is stale reads as untrained, exactly as a
+ * missing hash-map entry used to.  Program PCs are tiny instruction
+ * indices (the modeled programs are tens of instructions), so the
+ * direct index never collides; a PC beyond the table falls back to
+ * a side map to keep the semantics identical for any input.
  */
 
 #ifndef SPECSEC_UARCH_PREDICTOR_HH
@@ -21,6 +33,9 @@
 namespace specsec::uarch
 {
 
+/** Direct-index table size shared by the flat predictors. */
+constexpr std::size_t kPredictorTableSize = 256;
+
 /**
  * Bimodal predictor: one 2-bit saturating counter per branch PC.
  * Counters start weakly not-taken.
@@ -28,19 +43,30 @@ namespace specsec::uarch
 class BranchPredictor
 {
   public:
+    BranchPredictor() : table_(kPredictorTableSize) {}
+
     /** @return predicted taken? */
     bool predictTaken(Addr pc) const;
 
     /** Train with the actual outcome (commit time). */
     void update(Addr pc, bool taken);
 
-    /** IBPB-style flush. */
+    /** IBPB-style flush: O(1) generation bump. */
     void flush();
 
-    std::size_t trainedEntries() const { return counters_.size(); }
+    std::size_t trainedEntries() const { return trained_; }
 
   private:
-    std::unordered_map<Addr, std::uint8_t> counters_;
+    struct Cell
+    {
+        std::uint32_t gen = 0; ///< live iff == gen_
+        std::uint8_t counter = 0;
+    };
+
+    std::vector<Cell> table_;
+    std::unordered_map<Addr, std::uint8_t> overflow_;
+    std::uint32_t gen_ = 1; ///< cells start one generation stale
+    std::size_t trained_ = 0;
 };
 
 /**
@@ -50,19 +76,30 @@ class BranchPredictor
 class Btb
 {
   public:
+    Btb() : table_(kPredictorTableSize) {}
+
     /** @return predicted target for the indirect branch at @p pc. */
     std::optional<Addr> predict(Addr pc) const;
 
     /** Train with the actual target (commit time). */
     void update(Addr pc, Addr target);
 
-    /** IBPB-style flush. */
+    /** IBPB-style flush: O(1) generation bump. */
     void flush();
 
-    std::size_t entries() const { return targets_.size(); }
+    std::size_t entries() const { return entries_; }
 
   private:
-    std::unordered_map<Addr, Addr> targets_;
+    struct Cell
+    {
+        std::uint32_t gen = 0; ///< live iff == gen_
+        Addr target = 0;
+    };
+
+    std::vector<Cell> table_;
+    std::unordered_map<Addr, Addr> overflow_;
+    std::uint32_t gen_ = 1;
+    std::size_t entries_ = 0;
 };
 
 /**

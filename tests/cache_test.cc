@@ -94,6 +94,31 @@ TEST(Cache, FlushAll)
     EXPECT_FALSE(c.contains(0x40));
 }
 
+TEST(Cache, FlushAllRestoresLruParityWithFreshCache)
+{
+    // flushAll() also rewinds the LRU use counter, so a flushed
+    // cache must make the same eviction decisions as a
+    // freshly-constructed one — the warm-snapshot path relies on
+    // replayed accesses evicting identically.
+    Cache flushed(smallConfig());
+    // Age the counter well past anything the replay will reach.
+    for (Addr a = 0; a < 64 * 64; a += 64)
+        flushed.access(a);
+    flushed.flushAll();
+
+    Cache fresh(smallConfig());
+    const Addr pattern[] = {0x000, 0x100, 0x000, 0x200,
+                            0x100, 0x300, 0x200};
+    for (const Addr a : pattern) {
+        const CacheAccess f = flushed.access(a);
+        const CacheAccess g = fresh.access(a);
+        EXPECT_EQ(f.hit, g.hit) << "addr " << a;
+        EXPECT_EQ(f.evicted, g.evicted) << "addr " << a;
+        if (f.evicted)
+            EXPECT_EQ(f.evictedLineAddr, g.evictedLineAddr);
+    }
+}
+
 TEST(Cache, Stats)
 {
     Cache c(smallConfig());

@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
 #include "uarch/memory.hh"
 
 namespace
@@ -198,6 +202,199 @@ TEST(PageTable, LookupReturnsPte)
     ASSERT_NE(pte, nullptr);
     EXPECT_EQ(pte->physPage, 0x70000u / kPageSize);
     EXPECT_EQ(pt.lookup(0x90000), nullptr);
+}
+
+/**
+ * Reference table with the pre-flat storage — a VPN-keyed hash map —
+ * and translate() semantics the flat PageTable must reproduce
+ * exactly.  The fuzz below drives both through the same random op
+ * sequence, including VPNs past kDenseVpns (the overflow side map).
+ */
+struct ReferencePageTable
+{
+    std::unordered_map<Addr, Pte> pages;
+
+    void map(Addr vaddr, Pte pte) { pages[vaddr / kPageSize] = pte; }
+    void unmap(Addr vaddr) { pages.erase(vaddr / kPageSize); }
+
+    void
+    setPresent(Addr vaddr, bool present)
+    {
+        const auto it = pages.find(vaddr / kPageSize);
+        if (it != pages.end())
+            it->second.present = present;
+    }
+
+    void
+    setReservedBit(Addr vaddr, bool reserved)
+    {
+        const auto it = pages.find(vaddr / kPageSize);
+        if (it != pages.end())
+            it->second.reservedBit = reserved;
+    }
+
+    Translation
+    translate(Addr vaddr, AccessType type, Privilege privilege,
+              bool enclave_mode) const
+    {
+        Translation t;
+        const auto it = pages.find(vaddr / kPageSize);
+        if (it == pages.end()) {
+            t.fault = FaultKind::NotMapped;
+            return t;
+        }
+        const Pte &pte = it->second;
+        t.paddr = pte.physPage * kPageSize + (vaddr % kPageSize);
+        t.paddrValid = true;
+        if (!pte.present) {
+            t.fault = FaultKind::NotPresent;
+            return t;
+        }
+        if (pte.reservedBit) {
+            t.fault = FaultKind::ReservedBit;
+            return t;
+        }
+        switch (pte.owner) {
+          case PageOwner::User:
+            break;
+          case PageOwner::Kernel:
+            if (privilege == Privilege::User) {
+                t.fault = FaultKind::Privilege;
+                return t;
+            }
+            break;
+          case PageOwner::Enclave:
+            if (!enclave_mode) {
+                t.fault = FaultKind::Privilege;
+                return t;
+            }
+            break;
+          case PageOwner::Vmm:
+            if (privilege != Privilege::Vmm) {
+                t.fault = FaultKind::Privilege;
+                return t;
+            }
+            break;
+        }
+        const bool enclave_access =
+            enclave_mode && pte.owner == PageOwner::Enclave;
+        if (!pte.userAccessible && privilege == Privilege::User &&
+            !enclave_access) {
+            t.fault = FaultKind::Privilege;
+            return t;
+        }
+        if (type == AccessType::Write && !pte.writable) {
+            t.fault = FaultKind::WriteProtect;
+            return t;
+        }
+        return t;
+    }
+};
+
+TEST(PageTable, TranslateParityFuzzAgainstMapReference)
+{
+    PageTable flat;
+    ReferencePageTable reference;
+
+    // Deterministic LCG; VPNs straddle the dense/overflow boundary.
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    const auto next = [&rng] {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        return rng >> 33;
+    };
+    const auto randomVpn = [&next] {
+        const std::uint64_t r = next();
+        // Mostly dense VPNs, ~1/8 in the overflow region.
+        return (r % 8 == 0)
+                   ? PageTable::kDenseVpns + (r % 512)
+                   : r % 1024;
+    };
+
+    std::vector<Addr> touched;
+    for (int op = 0; op < 4000; ++op) {
+        const Addr vaddr = randomVpn() * kPageSize + (next() % kPageSize);
+        touched.push_back(vaddr);
+        switch (next() % 5) {
+          case 0: {
+            Pte pte;
+            pte.physPage = next() % (1u << 20);
+            pte.present = next() % 4 != 0;
+            pte.writable = next() % 2 == 0;
+            pte.userAccessible = next() % 3 != 0;
+            pte.reservedBit = next() % 8 == 0;
+            pte.owner = static_cast<PageOwner>(next() % 4);
+            flat.map(vaddr, pte);
+            reference.map(vaddr, pte);
+            break;
+          }
+          case 1:
+            flat.unmap(vaddr);
+            reference.unmap(vaddr);
+            break;
+          case 2: {
+            // setPresent throws on unmapped pages by contract.
+            if (flat.lookup(vaddr) == nullptr)
+                break;
+            const bool present = next() % 2 == 0;
+            flat.setPresent(vaddr, present);
+            reference.setPresent(vaddr, present);
+            break;
+          }
+          case 3: {
+            if (flat.lookup(vaddr) == nullptr)
+                break;
+            const bool reserved = next() % 2 == 0;
+            flat.setReservedBit(vaddr, reserved);
+            reference.setReservedBit(vaddr, reserved);
+            break;
+          }
+          case 4: {
+            const Addr base = (vaddr / kPageSize) * kPageSize;
+            const Addr length = (1 + next() % 8) * kPageSize;
+            const auto owner = static_cast<PageOwner>(next() % 4);
+            const bool user = next() % 2 == 0;
+            const bool writable = next() % 2 == 0;
+            flat.mapRange(base, length, owner, user, writable);
+            for (Addr va = base; va < base + length;
+                 va += kPageSize) {
+                Pte pte;
+                pte.physPage = va / kPageSize;
+                pte.owner = owner;
+                pte.userAccessible = user;
+                pte.writable = writable;
+                reference.map(va, pte);
+                touched.push_back(va);
+            }
+            break;
+          }
+        }
+    }
+
+    // Every touched page (plus a never-touched one) must translate
+    // identically for every access type / privilege / enclave-mode
+    // combination, faults included.
+    touched.push_back(0x3f000000);
+    for (const Addr vaddr : touched) {
+        for (const auto type : {AccessType::Read, AccessType::Write,
+                                AccessType::Execute}) {
+            for (const auto priv :
+                 {Privilege::User, Privilege::Kernel,
+                  Privilege::Vmm}) {
+                for (const bool enclave : {false, true}) {
+                    const Translation a =
+                        flat.translate(vaddr, type, priv, enclave);
+                    const Translation b = reference.translate(
+                        vaddr, type, priv, enclave);
+                    ASSERT_EQ(a.fault, b.fault)
+                        << "vaddr=" << vaddr;
+                    ASSERT_EQ(a.paddrValid, b.paddrValid)
+                        << "vaddr=" << vaddr;
+                    ASSERT_EQ(a.paddr, b.paddr)
+                        << "vaddr=" << vaddr;
+                }
+            }
+        }
+    }
 }
 
 } // namespace

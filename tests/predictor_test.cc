@@ -59,6 +59,54 @@ TEST(BranchPredictorTest, FlushRestoresDefault)
     EXPECT_EQ(bp.trainedEntries(), 0u);
 }
 
+TEST(BranchPredictorTest, GenerationResetNeverLeaksStaleTraining)
+{
+    // The flat table flushes by bumping a generation counter, not
+    // by clearing cells: a cell written before the flush still
+    // physically holds its counter.  Re-training after repeated
+    // flushes must never observe those stale bytes — in-table and
+    // overflow (pc >= kPredictorTableSize) alike.
+    BranchPredictor bp;
+    const Addr inTable = 0x10;
+    const Addr overflow = kPredictorTableSize + 7;
+    for (int round = 0; round < 3; ++round) {
+        bp.update(inTable, false);
+        bp.update(inTable, false);
+        bp.update(overflow, false);
+        bp.update(overflow, false);
+        EXPECT_FALSE(bp.predictTaken(inTable));
+        EXPECT_FALSE(bp.predictTaken(overflow));
+        bp.flush();
+        // Back to the weakly-taken default, as if never trained.
+        EXPECT_TRUE(bp.predictTaken(inTable));
+        EXPECT_TRUE(bp.predictTaken(overflow));
+        EXPECT_EQ(bp.trainedEntries(), 0u);
+        // One update after a flush starts from the default state,
+        // not from the stale saturated counter.
+        bp.update(inTable, false);
+        EXPECT_FALSE(bp.predictTaken(inTable));
+        bp.flush();
+    }
+}
+
+TEST(BtbTest, GenerationResetNeverLeaksStaleTargets)
+{
+    Btb btb;
+    const Addr inTable = 0x30;
+    const Addr overflow = kPredictorTableSize + 11;
+    for (int round = 0; round < 3; ++round) {
+        btb.update(inTable, 0x80 + round);
+        btb.update(overflow, 0x90 + round);
+        EXPECT_EQ(btb.predict(inTable), Addr{0x80} + round);
+        EXPECT_EQ(btb.predict(overflow), Addr{0x90} + round);
+        EXPECT_EQ(btb.entries(), 2u);
+        btb.flush();
+        EXPECT_FALSE(btb.predict(inTable).has_value());
+        EXPECT_FALSE(btb.predict(overflow).has_value());
+        EXPECT_EQ(btb.entries(), 0u);
+    }
+}
+
 TEST(BtbTest, MissThenTrain)
 {
     Btb btb;
