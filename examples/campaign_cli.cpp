@@ -63,6 +63,7 @@
 #include "tool/report_io.hh"
 #include "tool/schema.hh"
 #include "tool/stream_export.hh"
+#include "verdict/verdict.hh"
 
 using namespace specsec;
 using namespace specsec::campaign;
@@ -119,6 +120,14 @@ usage(const char *prog)
         "       %s shutdown --connect HOST:P\n"
         "  --workers N        worker threads (default: all cores)\n"
         "  --serial           shorthand for --workers 1\n"
+        "  --backend B        verdict backend: simulator (default),\n"
+        "                     model (analytic graph verdicts only, "
+        "no\n"
+        "                     simulation), differential (both, "
+        "disagreements\n"
+        "                     flagged per cell) or triage (model "
+        "first,\n"
+        "                     simulate only the undecided frontier)\n"
         "  --rebuild-scenarios  build each cell's simulator state "
         "from scratch\n"
         "                     instead of forking pooled snapshot "
@@ -275,6 +284,10 @@ describeMain(int argc, char **argv)
                 d->isExtension() ? "extension (no enum slot)"
                                  : "built-in");
     std::printf("executable:      %s\n", d->execute ? "yes" : "no");
+    std::printf("model verdict:   %s\n",
+                d->modelVerdict
+                    ? "analytic hook registered"
+                    : "none (always simulated)");
     if (d->buildGraph) {
         const core::AttackGraph g = d->buildGraph(d->defaultChannel);
         std::printf("attack graph:    %zu operations, %zu "
@@ -302,6 +315,11 @@ printSummary(const CampaignReport &report)
                 report.executedCount, report.expandedCount,
                 report.wallMillis, report.scenariosPerSecond,
                 report.workers, report.cacheHits);
+    if (report.modelDecided + report.modelUndecided > 0)
+        std::printf("model verdicts: %zu decided, %zu undecided; "
+                    "%zu disagreement(s), %zu replicated cell(s)\n",
+                    report.modelDecided, report.modelUndecided,
+                    report.disagreements, report.replicatedCells);
 }
 
 bool
@@ -513,6 +531,11 @@ statsMain(int argc, char **argv)
                 stats.forked, stats.rebuilt, stats.pooledArenas,
                 stats.warmHits, stats.warmMisses,
                 stats.warmEntries);
+    std::printf("modelDecided:      %zu\n"
+                "modelUndecided:    %zu\n"
+                "modelDisagreements: %zu\n",
+                stats.modelDecided, stats.modelUndecided,
+                stats.modelDisagreements);
     return 0;
 }
 
@@ -615,6 +638,15 @@ main(int argc, char **argv)
             engine_opts.workers = static_cast<unsigned>(n);
         } else if (arg == "--serial") {
             engine_opts.workers = 1;
+        } else if (arg == "--backend") {
+            const std::string name = value();
+            if (!verdict::parseBackend(name,
+                                       engine_opts.backend)) {
+                std::fprintf(
+                    stderr, "%s\n",
+                    verdict::unknownBackendMessage(name).c_str());
+                return 2;
+            }
         } else if (arg == "--rebuild-scenarios") {
             engine_opts.forkScenarios = false;
         } else if (arg == "--cold-attacks") {
@@ -816,6 +848,14 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "--cache-file does not apply to remote runs; "
                      "give it to `campaign_cli serve` instead\n");
+        return 2;
+    }
+    if (!connect_endpoint.empty() &&
+        engine_opts.backend != verdict::VerdictBackend::Simulator) {
+        std::fprintf(stderr,
+                     "--backend does not apply to remote runs: the "
+                     "daemon executes the simulator (and judges "
+                     "every submitted cell itself; see `stats`)\n");
         return 2;
     }
 

@@ -18,6 +18,7 @@
 #include "core/catalog.hh"
 #include "core/composer.hh"
 #include "runner.hh"
+#include "verdict/model.hh"
 
 namespace specsec::core::detail
 {
@@ -44,6 +45,8 @@ builtin(AttackVariant variant,
     d.paperSection = info.figure;
     d.variant = variant;
     d.execute = statsCollectingExecute(run);
+    d.modelVerdict = verdict::builtinModelVerdict(variant);
+    d.canonicalOptions = verdict::builtinCanonicalOptions(variant);
     return d;
 }
 
@@ -238,6 +241,13 @@ registerBuiltinAttacks(ScenarioCatalog &catalog)
     }
     {
         AttackDescriptor d = builtin(Spoiler, attacks::runSpoiler);
+        // Spoiler's verdict is a timing *threshold* (alias-penalty
+        // magnitudes), which the ordering-only graph model cannot
+        // decide; leave the model-verdict hooks unset so the verdict
+        // backends take the no-hook path (Undecided everywhere,
+        // always simulated).
+        d.modelVerdict = nullptr;
+        d.canonicalOptions = nullptr;
         d.buildGraph = [](CovertChannelKind) {
             // Spoiler's channel is store-buffer timing itself; the
             // cache-channel choice does not apply (Fig.-free shape).

@@ -14,6 +14,7 @@
 #include "attacks/snapshot.hh"
 #include "core/catalog.hh"
 #include "sink.hh"
+#include "verdict/model.hh"
 
 namespace specsec::campaign
 {
@@ -729,6 +730,10 @@ CampaignReport::merge(const CampaignReport &other,
     recomputeCells();
     executedCount += other.executedCount;
     cacheHits += other.cacheHits;
+    modelDecided += other.modelDecided;
+    modelUndecided += other.modelUndecided;
+    disagreements += other.disagreements;
+    replicatedCells += other.replicatedCells;
     workers = std::max(workers, other.workers);
     // Shard wall-clocks add (they model separate processes); the
     // merged throughput is re-derived from the totals.
@@ -744,6 +749,19 @@ CampaignReport::merge(const CampaignReport &other,
         shardCount = 1;
     }
     return true;
+}
+
+std::string
+backendCacheKey(verdict::VerdictBackend backend,
+                const std::string &key)
+{
+    // Simulator, Differential and Triage all memoize *simulated*
+    // entries, mutually compatible under the bare key.  Model
+    // entries are predictions, not measurements: tag them so neither
+    // side can ever satisfy the other's lookup.
+    if (backend == verdict::VerdictBackend::Model)
+        return "model|" + key;
+    return key;
 }
 
 bool
@@ -884,10 +902,112 @@ CampaignEngine::run(const ScenarioSpec &spec,
     for (OutcomeSink *sink : sinks)
         sink->begin(header);
 
+    const verdict::VerdictBackend backend = options_.backend;
+
+    // Triage replication classes: unique positions whose (variant,
+    // config, canonical options) coincide are the same experiment to
+    // the runner (the descriptor's canonicalOptions hook resets
+    // exactly the AttackOptions fields the runner never reads), so
+    // one member's simulation serves the whole class byte-for-byte.
+    // Attacks without the hook form singleton classes.
+    std::vector<std::vector<std::size_t>> classes;
+    if (backend == verdict::VerdictBackend::Triage) {
+        const core::ScenarioCatalog &catalog =
+            core::ScenarioCatalog::instance();
+        std::unordered_map<std::string, std::size_t> classOf;
+        classOf.reserve(sel.uniquePositions.size());
+        for (const std::size_t pos : sel.uniquePositions) {
+            const Scenario &s =
+                grid.expanded[grid.uniqueIndices[pos]];
+            std::string ckey = s.key;
+            const core::AttackDescriptor *d =
+                catalog.findAttack(s.variant);
+            if (d && d->canonicalOptions) {
+                ckey = scenarioKey(s.variant, s.config,
+                                   d->canonicalOptions(s.options));
+            }
+            const auto [it, fresh] =
+                classOf.emplace(std::move(ckey), classes.size());
+            if (fresh)
+                classes.emplace_back();
+            classes[it->second].push_back(pos);
+        }
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> cacheHits{0};
+    std::atomic<std::size_t> modelDecided{0};
+    std::atomic<std::size_t> modelUndecided{0};
+    std::atomic<std::size_t> disagreements{0};
+    std::atomic<std::size_t> replicatedCells{0};
     ResultCache *const cache = options_.cache;
+
+    // Stream one outcome per expanded grid point the execution at
+    // @p pos backs, straight from the worker thread.  (.at():
+    // lookups must not mutate the shared map.)
+    const auto emit = [&](std::size_t pos, const AttackResult &result,
+                          const CpuStats &stats, double wallMillis,
+                          const core::ModelJudgement *judgement,
+                          const char *agreement) {
+        for (const std::size_t e : backedBy.at(pos)) {
+            const Scenario &dup = grid.expanded[e];
+            ScenarioOutcome o;
+            o.variant = dup.variant;
+            o.row = dup.row;
+            o.col = dup.col;
+            o.gridIndex = dup.gridIndex;
+            o.rowLabel = dup.rowLabel;
+            o.colLabel = dup.colLabel;
+            o.config = dup.config;
+            o.options = dup.options;
+            o.result = result;
+            o.stats = stats;
+            o.wallMillis = wallMillis;
+            if (judgement) {
+                o.modelVerdict =
+                    core::modelVerdictName(judgement->verdict);
+                o.evidence = judgement->evidence;
+            }
+            if (agreement)
+                o.agreement = agreement;
+            for (OutcomeSink *sink : sinks)
+                sink->consume(o);
+        }
+    };
+
+    /// Count one judged cell; @return the judgement.
+    const auto judged = [&](const Scenario &s) {
+        core::ModelJudgement j =
+            verdict::judgeScenario(s.variant, s.config, s.options);
+        (j.decided() ? modelDecided : modelUndecided)
+            .fetch_add(1, std::memory_order_relaxed);
+        return j;
+    };
+
+    // Simulate @p s with the shared cache under the bare key;
+    // @return true when the result was served from the cache.
+    const auto simulate = [&](const Scenario &s, AttackResult &result,
+                              CpuStats &stats, double &wallMillis) {
+        if (cache) {
+            if (const auto hit = cache->lookup(s.key)) {
+                result = hit->result;
+                stats = hit->stats;
+                cacheHits.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+        }
+        const auto s0 = std::chrono::steady_clock::now();
+        result = attacks::runVariant(s.variant, s.config, s.options,
+                                     stats);
+        wallMillis = millisSince(s0);
+        if (cache)
+            cache->store(s.key, {result, stats});
+        return false;
+    };
+
+    // Simulator / Model / Differential: one unique position per
+    // work item.
     const auto worker = [&]() {
         for (;;) {
             const std::size_t n =
@@ -897,64 +1017,195 @@ CampaignEngine::run(const ScenarioSpec &spec,
             const std::size_t pos = sel.uniquePositions[n];
             const Scenario &s =
                 grid.expanded[grid.uniqueIndices[pos]];
+
+            if (backend == verdict::VerdictBackend::Model) {
+                // Analysis only: never touches the simulator.  The
+                // synthesized result carries the predicted leak bit
+                // and nothing else; cache entries live under the
+                // tagged key so they can never satisfy a simulator
+                // lookup.
+                const core::ModelJudgement j = judged(s);
+                AttackResult result;
+                CpuStats stats;
+                const std::string mkey =
+                    backendCacheKey(backend, s.key);
+                bool cached = false;
+                if (cache) {
+                    if (const auto hit = cache->lookup(mkey)) {
+                        result = hit->result;
+                        stats = hit->stats;
+                        cached = true;
+                        cacheHits.fetch_add(
+                            1, std::memory_order_relaxed);
+                    }
+                }
+                if (!cached) {
+                    result.name = s.rowLabel;
+                    result.leaked = j.predictsLeak();
+                    if (cache)
+                        cache->store(mkey, {result, stats});
+                }
+                emit(pos, result, stats, 0.0, &j, nullptr);
+                continue;
+            }
+
             AttackResult result;
             CpuStats stats;
             double wallMillis = 0.0;
-            bool cached = false;
-            if (cache) {
-                if (const auto hit = cache->lookup(s.key)) {
-                    result = hit->result;
-                    stats = hit->stats;
-                    cached = true;
-                    cacheHits.fetch_add(
-                        1, std::memory_order_relaxed);
+            simulate(s, result, stats, wallMillis);
+            if (backend == verdict::VerdictBackend::Differential) {
+                const core::ModelJudgement j = judged(s);
+                const char *agreement = "undecided";
+                if (j.decided()) {
+                    agreement =
+                        j.predictsLeak() == result.leaked
+                            ? "agree"
+                            : "disagree";
+                    if (j.predictsLeak() != result.leaked)
+                        disagreements.fetch_add(
+                            1, std::memory_order_relaxed);
                 }
-            }
-            if (!cached) {
-                const auto s0 = std::chrono::steady_clock::now();
-                result = attacks::runVariant(s.variant, s.config,
-                                             s.options, stats);
-                wallMillis = millisSince(s0);
-                if (cache)
-                    cache->store(s.key, {result, stats});
-            }
-            // Stream one outcome per expanded grid point this
-            // execution backs, straight from the worker thread.
-            // (.at(): lookups must not mutate the shared map.)
-            for (const std::size_t e : backedBy.at(pos)) {
-                const Scenario &dup = grid.expanded[e];
-                ScenarioOutcome o;
-                o.variant = dup.variant;
-                o.row = dup.row;
-                o.col = dup.col;
-                o.gridIndex = dup.gridIndex;
-                o.rowLabel = dup.rowLabel;
-                o.colLabel = dup.colLabel;
-                o.config = dup.config;
-                o.options = dup.options;
-                o.result = result;
-                o.stats = stats;
-                o.wallMillis = wallMillis;
-                for (OutcomeSink *sink : sinks)
-                    sink->consume(o);
+                emit(pos, result, stats, wallMillis, &j, agreement);
+            } else {
+                emit(pos, result, stats, wallMillis, nullptr,
+                     nullptr);
             }
         }
     };
+
+    // Triage: one replication class per work item.  Every member is
+    // judged (the counters below report the model's coverage); the
+    // class is served by a cache hit or one simulated representative
+    // and the rest replicate that entry verbatim.
+    const auto triageWorker = [&]() {
+        for (;;) {
+            const std::size_t n =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (n >= classes.size())
+                return;
+            const std::vector<std::size_t> &members = classes[n];
+
+            std::vector<core::ModelJudgement> judgements;
+            judgements.reserve(members.size());
+            bool conflict = false;
+            bool sawDecided = false;
+            bool decidedLeak = false;
+            for (const std::size_t pos : members) {
+                const Scenario &s =
+                    grid.expanded[grid.uniqueIndices[pos]];
+                judgements.push_back(judged(s));
+                const core::ModelJudgement &j = judgements.back();
+                if (!j.decided())
+                    continue;
+                if (sawDecided && decidedLeak != j.predictsLeak())
+                    conflict = true;
+                sawDecided = true;
+                decidedLeak = j.predictsLeak();
+            }
+
+            // Cache pass: members already memoized emit directly and
+            // the first hit doubles as the class representative.
+            std::vector<std::size_t> missing;
+            std::optional<ResultCache::Entry> have;
+            for (std::size_t m = 0; m < members.size(); ++m) {
+                const std::size_t pos = members[m];
+                const Scenario &s =
+                    grid.expanded[grid.uniqueIndices[pos]];
+                bool cached = false;
+                if (cache) {
+                    if (const auto hit = cache->lookup(s.key)) {
+                        emit(pos, hit->result, hit->stats, 0.0,
+                             &judgements[m], nullptr);
+                        cacheHits.fetch_add(
+                            1, std::memory_order_relaxed);
+                        if (!have)
+                            have = *hit;
+                        cached = true;
+                    }
+                }
+                if (!cached)
+                    missing.push_back(m);
+            }
+            if (missing.empty())
+                continue;
+
+            if (conflict) {
+                // Soundness tripwire: decided verdicts disagreeing
+                // inside one class would mean the canonicalization
+                // folded two genuinely different experiments.
+                // Should be unreachable; simulate every member
+                // individually rather than replicate anything.
+                for (const std::size_t m : missing) {
+                    const std::size_t pos = members[m];
+                    const Scenario &s =
+                        grid.expanded[grid.uniqueIndices[pos]];
+                    AttackResult result;
+                    CpuStats stats;
+                    double wallMillis = 0.0;
+                    simulate(s, result, stats, wallMillis);
+                    emit(pos, result, stats, wallMillis,
+                         &judgements[m], nullptr);
+                }
+                continue;
+            }
+
+            std::size_t first = 0;
+            if (!have) {
+                // Simulate the class representative (first missing
+                // member, stored under its own bare key only —
+                // replicated entries are never stored, so the cache
+                // stays a record of real executions).
+                const std::size_t m = missing.front();
+                const std::size_t pos = members[m];
+                const Scenario &s =
+                    grid.expanded[grid.uniqueIndices[pos]];
+                AttackResult result;
+                CpuStats stats;
+                double wallMillis = 0.0;
+                simulate(s, result, stats, wallMillis);
+                emit(pos, result, stats, wallMillis, &judgements[m],
+                     nullptr);
+                have = ResultCache::Entry{result, stats};
+                first = 1;
+            }
+            for (std::size_t i = first; i < missing.size(); ++i) {
+                const std::size_t m = missing[i];
+                emit(members[m], have->result, have->stats, 0.0,
+                     &judgements[m], nullptr);
+                replicatedCells.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    const std::function<void()> work =
+        backend == verdict::VerdictBackend::Triage
+            ? std::function<void()>(triageWorker)
+            : std::function<void()>(worker);
     if (nworkers <= 1) {
-        worker();
+        work();
     } else {
         std::vector<std::thread> pool;
         pool.reserve(nworkers);
         for (unsigned w = 0; w < nworkers; ++w)
-            pool.emplace_back(worker);
+            pool.emplace_back(work);
         for (std::thread &t : pool)
             t.join();
     }
 
     CampaignFooter footer;
     footer.cacheHits = cacheHits.load(std::memory_order_relaxed);
-    footer.executedCount =
-        sel.uniquePositions.size() - footer.cacheHits;
+    footer.replicatedCells =
+        replicatedCells.load(std::memory_order_relaxed);
+    footer.executedCount = sel.uniquePositions.size() -
+                           footer.cacheHits -
+                           footer.replicatedCells;
+    footer.modelDecided =
+        modelDecided.load(std::memory_order_relaxed);
+    footer.modelUndecided =
+        modelUndecided.load(std::memory_order_relaxed);
+    footer.disagreements =
+        disagreements.load(std::memory_order_relaxed);
     footer.wallMillis = millisSince(t0);
     footer.scenariosPerSecond =
         footer.wallMillis > 0.0

@@ -48,6 +48,7 @@
 #include "attacks/attack_kit.hh"
 #include "core/catalog.hh"
 #include "core/variants.hh"
+#include "verdict/verdict.hh"
 
 namespace specsec::campaign
 {
@@ -343,6 +344,20 @@ class ResultCache
 };
 
 /**
+ * The ResultCache key a backend's entries live under.  Entries
+ * produced by the *simulator* (Simulator, Differential and Triage
+ * backends all simulate what they store) use the bare scenarioKey()
+ * — mutually compatible, and compatible with persisted caches, which
+ * only ever hold simulated results.  Entries synthesized by the
+ * analytic model are tagged with a "model|" prefix so a model run
+ * can never poison a simulator lookup (or vice versa); the tagged
+ * keys fail parseScenarioKey() on purpose, so persistence drops
+ * them rather than replaying model predictions as measurements.
+ */
+std::string backendCacheKey(verdict::VerdictBackend backend,
+                            const std::string &key);
+
+/**
  * Fingerprint of the simulated model for cache invalidation: any
  * change to the shape *or defaults* of CpuConfig / AttackOptions
  * (captured by the canonical key of a default-configured scenario,
@@ -423,6 +438,22 @@ struct ScenarioOutcome
     /// Machine- and scheduling-dependent: excluded from the
     /// deterministic exports (resultsCsv / success matrix).
     double wallMillis = 0.0;
+
+    /// @name Verdict-backend annotations (src/verdict/).
+    ///
+    /// Empty under the plain simulator backend.  Model / Differential
+    /// / Triage fill modelVerdict ("leak" / "blocked" /
+    /// "inapplicable" / "undecided") and its evidence line; the
+    /// differential backend additionally sets agreement ("agree" /
+    /// "disagree" when the model decided, "undecided" otherwise).
+    /// Annotations, not results: excluded from the default exports
+    /// (schema flag kVerdict) and ignored by shard-merge conflict
+    /// detection, exactly like wallMillis.
+    /// @{
+    std::string modelVerdict;
+    std::string agreement;
+    std::string evidence;
+    /// @}
 };
 
 /** Aggregated results of a campaign (possibly one shard of one). */
@@ -459,6 +490,25 @@ struct CampaignReport
     unsigned workers = 1;
     double wallMillis = 0.0;
     double scenariosPerSecond = 0.0; ///< executed scenarios / wall
+
+    /// @name Verdict-backend counters (src/verdict/); all zero under
+    /// the plain simulator backend.  Summed by merge().
+    /// @{
+
+    /// Unique cells the analytic model decided (leak / blocked /
+    /// inapplicable).
+    std::size_t modelDecided = 0;
+    /// Unique cells the model left undecided (simulated under the
+    /// triage backend; unchecked under differential).
+    std::size_t modelUndecided = 0;
+    /// Differential only: unique cells where a decided model verdict
+    /// contradicted the simulator's leak bit.
+    std::size_t disagreements = 0;
+    /// Triage only: unique cells served by replicating the simulated
+    /// result of an options-canonicalization classmate instead of
+    /// executing (executedCount excludes them).
+    std::size_t replicatedCells = 0;
+    /// @}
 
     /// True while outcomes cover only part of the expanded grid.
     bool partial() const { return outcomes.size() != expandedCount; }
@@ -541,6 +591,18 @@ class CampaignEngine
         /// proves it per golden spec); like forkScenarios, the off
         /// position exists for that comparison and for bisection.
         bool warmAttacks = true;
+
+        /// How each unique cell gets its verdict (src/verdict/):
+        /// simulate (default), judge analytically, do both and flag
+        /// disagreement, or triage — judge everything, simulate only
+        /// the frontier the model cannot replicate or decide.
+        /// Simulator, Differential and Triage produce byte-identical
+        /// timing-free exports; Model synthesizes results from
+        /// verdicts alone (leak bit = predicted verdict, accuracy
+        /// and counters zero) and is only comparable through the
+        /// verdict columns.
+        verdict::VerdictBackend backend =
+            verdict::VerdictBackend::Simulator;
     };
 
     CampaignEngine() = default;

@@ -61,6 +61,10 @@ ReportSink::end(const CampaignFooter &footer)
     report_.cacheHits = footer.cacheHits;
     report_.wallMillis = footer.wallMillis;
     report_.scenariosPerSecond = footer.scenariosPerSecond;
+    report_.modelDecided = footer.modelDecided;
+    report_.modelUndecided = footer.modelUndecided;
+    report_.disagreements = footer.disagreements;
+    report_.replicatedCells = footer.replicatedCells;
     report_.recomputeCells();
 }
 

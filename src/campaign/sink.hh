@@ -64,6 +64,13 @@ struct CampaignFooter
     std::size_t cacheHits = 0;
     double wallMillis = 0.0;
     double scenariosPerSecond = 0.0;
+
+    /// Verdict-backend counters (see CampaignReport for semantics);
+    /// all zero under the plain simulator backend.
+    std::size_t modelDecided = 0;
+    std::size_t modelUndecided = 0;
+    std::size_t disagreements = 0;
+    std::size_t replicatedCells = 0;
 };
 
 /** Receives a run's outcomes as workers complete them. */

@@ -234,4 +234,67 @@ AttackGraph::isVulnerable() const
     return false;
 }
 
+std::string
+describeFlow(const AttackGraph &g, const SecretFlow &flow)
+{
+    std::string out;
+    for (std::size_t i = 0; i < flow.size(); ++i) {
+        if (i)
+            out += " -> ";
+        out += g.tsg().label(flow[i]);
+    }
+    return out;
+}
+
+std::string
+describeEdge(const AttackGraph &g, const graph::Edge &e)
+{
+    std::string out = g.tsg().label(e.from);
+    out += " -> ";
+    out += g.tsg().label(e.to);
+    out += " (";
+    out += graph::edgeKindName(e.kind);
+    out += ")";
+    return out;
+}
+
+VulnerabilityWitness
+analyzeVulnerability(const AttackGraph &g)
+{
+    VulnerabilityWitness w;
+    if (!g.mistrainInfluenceIntact()) {
+        w.vulnerable = false;
+        w.summary = "every mistrain -> trigger influence path runs "
+                    "through a PredictorFlush node";
+        return w;
+    }
+    const auto auths = g.authorizationNodes();
+    const auto flows = g.secretFlows();
+    for (NodeId auth : auths) {
+        for (const SecretFlow &flow : flows) {
+            if (g.flowEscapesAuthorization(flow, auth)) {
+                w.vulnerable = true;
+                w.flow = flow;
+                w.authorization = auth;
+                w.summary = "flow survives: " + describeFlow(g, flow) +
+                            " escapes authorization '" +
+                            g.tsg().label(auth) + "'";
+                return w;
+            }
+        }
+    }
+    w.vulnerable = false;
+    if (flows.empty()) {
+        w.summary = "no secret flow reaches a Send node";
+    } else if (auths.empty()) {
+        // Degenerate: without an authorization node nothing can
+        // escape one; treat as blocked-by-construction.
+        w.summary = "graph has no authorization node to race";
+    } else {
+        w.summary = "every secret flow is ordered after an "
+                    "authorization node";
+    }
+    return w;
+}
+
 } // namespace specsec::core

@@ -148,6 +148,36 @@ class AttackGraph
     std::vector<AttackStep> steps_;
 };
 
+/**
+ * A witness for the per-cell analytic verdict (src/verdict/): the
+ * attack-success analysis of isVulnerable(), but returning *why* —
+ * the first escaping secret flow when the graph is vulnerable, or
+ * which analysis killed every flow when it is not.
+ */
+struct VulnerabilityWitness
+{
+    bool vulnerable = false;
+
+    /// When vulnerable: the first (grid-deterministic) secret flow
+    /// that escapes, and the authorization it escapes.
+    SecretFlow flow;
+    NodeId authorization = graph::kInvalidNode;
+
+    /// One deterministic evidence line either way ("flow survives:
+    /// ..." / "mistrain influence cut ..." / "every secret flow
+    /// ordered after ...").
+    std::string summary;
+};
+
+/** Run the attack-success analysis on @p g and explain the result. */
+VulnerabilityWitness analyzeVulnerability(const AttackGraph &g);
+
+/** Render a flow as "label -> label -> ... -> label". */
+std::string describeFlow(const AttackGraph &g, const SecretFlow &flow);
+
+/** Render an edge as "label -> label (kind)". */
+std::string describeEdge(const AttackGraph &g, const graph::Edge &e);
+
 } // namespace specsec::core
 
 #endif // SPECSEC_CORE_ATTACK_GRAPH_HH

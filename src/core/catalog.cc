@@ -18,6 +18,18 @@ attackClassName(AttackClass klass)
     return "unknown";
 }
 
+const char *
+modelVerdictName(ModelVerdict verdict)
+{
+    switch (verdict) {
+      case ModelVerdict::Leak: return "leak";
+      case ModelVerdict::Blocked: return "blocked";
+      case ModelVerdict::Inapplicable: return "inapplicable";
+      case ModelVerdict::Undecided: return "undecided";
+    }
+    return "unknown";
+}
+
 void
 MitigationToggles::applyTo(attacks::AttackOptions &options) const
 {

@@ -60,6 +60,71 @@ using AttackExecuteFn = std::function<attacks::AttackResult(
 /** Attack-graph builder hook (the paper figure for the variant). */
 using AttackGraphFn = std::function<AttackGraph(CovertChannelKind)>;
 
+/**
+ * Verdict of the analysis-only backend (src/verdict/) for one
+ * scenario cell, predicted from the attack graph without running the
+ * simulator.  Leak / Blocked / Inapplicable are *decided* verdicts:
+ * they predict the simulator's leak bit (Leak -> leaked, the other
+ * two -> not leaked).  Undecided means the cell's outcome hinges on
+ * a timing quantity the graph does not model (a speculation-window
+ * ablation, an off-default cache geometry) and only the simulator
+ * can tell.
+ */
+enum class ModelVerdict : std::uint8_t
+{
+    Leak = 0,         ///< a secret flow escapes every authorization
+    Blocked = 1,      ///< an inserted security dependency cuts all flows
+    Inapplicable = 2, ///< the core ablates a path the attack requires
+    Undecided = 3,    ///< timing-dependent; simulate to find out
+};
+
+/** @return stable lower-case verdict name ("leak", "blocked", ...). */
+const char *modelVerdictName(ModelVerdict verdict);
+
+/** One analytic verdict plus its graph-derived justification. */
+struct ModelJudgement
+{
+    ModelVerdict verdict = ModelVerdict::Undecided;
+
+    /// One line of evidence: the surviving secret flow, the cutting
+    /// security edge, the ablated path, or the timing knob that
+    /// forced Undecided.  Deterministic per (variant, config,
+    /// options), so differential goldens are stable.
+    std::string evidence;
+
+    /// One-line rationale to pin in golden/differential-*.json when
+    /// the simulator disagrees with a decided verdict (set by rules
+    /// with a known model-vs-simulator gap; empty otherwise).
+    std::string rationale;
+
+    /** Decided verdicts predict the simulator's leak bit. */
+    bool decided() const { return verdict != ModelVerdict::Undecided; }
+    bool predictsLeak() const { return verdict == ModelVerdict::Leak; }
+};
+
+/**
+ * The analytic-verdict hook of a registered attack: judge a cell
+ * from the attack graph alone (src/verdict/model.cc for built-ins).
+ * Optional; attacks without the hook are Undecided everywhere, so
+ * the differential backend never flags them and the triage backend
+ * always simulates them.
+ */
+using ModelVerdictFn = std::function<ModelJudgement(
+    const uarch::CpuConfig &, const attacks::AttackOptions &)>;
+
+/**
+ * Triage canonicalization hook: map @p options to the representative
+ * the execute runner actually distinguishes, resetting every
+ * AttackOptions field the runner provably never reads to its default
+ * value.  Two cells whose (variant, config, canonical options) agree
+ * are the same experiment to the runner, so the triage backend
+ * simulates one of them and replicates the result.  Optional; absent
+ * means no replication for this attack.  CpuConfig is never
+ * canonicalized — every CPU knob feeds the simulated core.
+ */
+using CanonicalOptionsFn = std::function<attacks::AttackOptions(
+    const attacks::AttackOptions &)>;
+
 /** Simulator realization of a defense mechanism. */
 using DefenseApplyFn = std::function<void(uarch::CpuConfig &,
                                           attacks::AttackOptions &)>;
@@ -100,6 +165,15 @@ struct AttackDescriptor
     /// Run the attack on the simulator (optional for model-only
     /// entries; required to appear in campaign grids).
     AttackExecuteFn execute;
+
+    /// Judge a cell analytically, next to the execute factory: the
+    /// model/differential/triage backends (src/verdict/) dispatch
+    /// here.  Optional — see ModelVerdictFn for absent semantics.
+    ModelVerdictFn modelVerdict;
+
+    /// Canonicalize AttackOptions for triage replication (see
+    /// CanonicalOptionsFn).  Optional.
+    CanonicalOptionsFn canonicalOptions;
 
     /// Built-in enum slot.  Leave empty for out-of-tree attacks:
     /// registerAttack assigns a synthetic slot >= kExtensionIdBase.

@@ -54,6 +54,9 @@
 #include "serve/client.hh"
 #include "tool/report.hh"
 #include "tool/report_io.hh"
+#include "verdict/differential.hh"
+#include "verdict/model.hh"
+#include "verdict/verdict.hh"
 
 using namespace specsec;
 using namespace specsec::regress;
@@ -69,9 +72,27 @@ usage(const char *prog)
         "usage: %s [--list | --record | --check | --merge] "
         "[options]\n"
         "  --list             print the registered specs\n"
-        "  --record           (re)write goldens from a fresh run\n"
+        "  --json             with --list: one JSON object per spec "
+        "(the same\n"
+        "                     shape campaign_cli list-attacks --json "
+        "uses)\n"
+        "  --record           (re)write goldens from a fresh run; "
+        "always runs the\n"
+        "                     differential backend and also "
+        "(re)writes the\n"
+        "                     disagreement pins "
+        "golden/differential-<spec>.json\n"
         "  --check            compare a fresh run against goldens "
         "(default)\n"
+        "  --backend B        with --check: simulator (default), "
+        "differential\n"
+        "                     (also gate model-vs-simulator "
+        "disagreements against\n"
+        "                     the committed pins) or triage (model "
+        "first, simulate\n"
+        "                     only the undecided frontier; matrices "
+        "must still\n"
+        "                     match the goldens byte-for-byte)\n"
         "  --merge            merge shard reports from --shard-dir "
         "and compare\n"
         "                     the merged matrices against goldens\n"
@@ -309,6 +330,115 @@ mergeShards(const NamedSpec &named, const std::string &shard_dir)
     return merged;
 }
 
+/**
+ * The disagreements of a differential-backend run, one entry per
+ * distinct scenario key (grid dedup can back several cells with one
+ * execution), with the model rule's rationale re-derived so recorded
+ * pins are self-documenting.
+ */
+verdict::DisagreementSet
+freshDisagreements(const NamedSpec &named,
+                   const campaign::CampaignReport &report)
+{
+    verdict::DisagreementSet set;
+    set.spec = named.name;
+    std::vector<std::string> seen;
+    for (const campaign::ScenarioOutcome &o : report.outcomes) {
+        if (o.agreement != "disagree")
+            continue;
+        const std::string key = campaign::scenarioKey(
+            o.variant, o.config, o.options);
+        if (std::find(seen.begin(), seen.end(), key) != seen.end())
+            continue;
+        seen.push_back(key);
+        verdict::Disagreement d;
+        d.key = key;
+        d.row = o.rowLabel;
+        d.col = o.colLabel;
+        d.model = o.modelVerdict;
+        d.simulator = o.result.leaked ? "leak" : "blocked";
+        d.evidence = o.evidence;
+        d.rationale =
+            verdict::judgeScenario(o.variant, o.config, o.options)
+                .rationale;
+        set.disagreements.push_back(std::move(d));
+    }
+    return set;
+}
+
+/**
+ * The differential gate: compare the run's disagreements against
+ * the committed pins in golden/differential-<spec>.json.  A missing
+ * pin file is only an error when the run actually disagrees
+ * somewhere (pre-pin goldens stay checkable).
+ */
+void
+checkDisagreements(const NamedSpec &named,
+                   const campaign::CampaignReport &report,
+                   const std::string &golden_dir,
+                   const std::string &artifact_dir,
+                   GateStatus &status)
+{
+    const verdict::DisagreementSet fresh =
+        freshDisagreements(named, report);
+    const std::string pin_path =
+        golden_dir + "/differential-" + named.name + ".json";
+
+    verdict::DisagreementSet pinned;
+    pinned.spec = named.name;
+    std::string text;
+    if (tool::readTextFile(pin_path, text)) {
+        std::string parse_error;
+        const auto parsed =
+            verdict::parseDisagreementJson(text, &parse_error);
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "%s: malformed disagreement pins %s: %s\n",
+                         named.name.c_str(), pin_path.c_str(),
+                         parse_error.c_str());
+            status.io_error = true;
+            return;
+        }
+        pinned = *parsed;
+    } else if (!fresh.disagreements.empty()) {
+        std::fprintf(stderr,
+                     "%s: missing disagreement pins %s (run "
+                     "specsec_regress --record)\n",
+                     named.name.c_str(), pin_path.c_str());
+        status.io_error = true;
+        return;
+    }
+
+    const std::vector<std::string> drift =
+        verdict::compareDisagreements(pinned, fresh);
+    if (drift.empty()) {
+        std::printf("agree    %-28s %zu decided, %zu undecided, "
+                    "%zu pinned divergence(s)\n",
+                    named.name.c_str(), report.modelDecided,
+                    report.modelUndecided,
+                    fresh.disagreements.size());
+        return;
+    }
+
+    status.drift = true;
+    std::printf("DISAGREE %-28s %zu drift line(s):\n",
+                named.name.c_str(), drift.size());
+    for (const std::string &line : drift)
+        std::printf("  %s\n", line.c_str());
+    if (ensureDir(artifact_dir)) {
+        const std::string stem = artifact_dir + "/" + named.name;
+        tool::writeTextFile(stem + ".disagreements.json",
+                            verdict::disagreementJson(fresh));
+        std::string lines;
+        for (const std::string &line : drift)
+            lines += line + "\n";
+        tool::writeTextFile(stem + ".disagreement-drift.txt",
+                            lines);
+        std::printf("         artifacts under %s/\n",
+                    artifact_dir.c_str());
+    }
+}
+
 } // namespace
 
 int
@@ -324,6 +454,10 @@ main(int argc, char **argv)
     std::string connect_endpoint;
     std::string flip;
     std::string format_from;
+    bool list_json = false;
+    bool backend_given = false;
+    verdict::VerdictBackend backend =
+        verdict::VerdictBackend::Simulator;
     bool with_accuracy = false;
     std::optional<double> accuracy_eps;
     campaign::ShardRange shard;
@@ -348,7 +482,18 @@ main(int argc, char **argv)
             mode = Mode::Check;
         else if (arg == "--merge")
             mode = Mode::Merge;
-        else if (arg == "--spec")
+        else if (arg == "--json")
+            list_json = true;
+        else if (arg == "--backend") {
+            const std::string name = value();
+            if (!verdict::parseBackend(name, backend)) {
+                std::fprintf(
+                    stderr, "%s\n",
+                    verdict::unknownBackendMessage(name).c_str());
+                return 2;
+            }
+            backend_given = true;
+        } else if (arg == "--spec")
             only_spec = value();
         else if (arg == "--golden-dir")
             golden_dir = value();
@@ -401,6 +546,36 @@ main(int argc, char **argv)
             return usage(argv[0]);
     }
 
+    if (list_json && mode != Mode::List) {
+        std::fprintf(stderr, "--json only applies to --list\n");
+        return 2;
+    }
+    if (backend_given) {
+        if (mode != Mode::Check) {
+            std::fprintf(stderr,
+                         "--backend only applies to --check "
+                         "(--record always runs the differential "
+                         "backend; --merge re-joins shard runs)\n");
+            return 2;
+        }
+        if (backend == verdict::VerdictBackend::Model) {
+            std::fprintf(stderr,
+                         "--backend model cannot gate goldens: the "
+                         "model synthesizes verdicts and the golden "
+                         "matrices pin the simulator -- use "
+                         "differential or triage\n");
+            return 2;
+        }
+        if (sharded ||
+            (!connect_endpoint.empty() &&
+             backend != verdict::VerdictBackend::Simulator)) {
+            std::fprintf(stderr,
+                         "--backend cannot be combined with --shard "
+                         "or --connect (shard reports and the serve "
+                         "daemon always carry simulator results)\n");
+            return 2;
+        }
+    }
     if (mode == Mode::Record && !flip.empty()) {
         // Recording from a deliberately broken core would poison the
         // goldens: every later --check would pass against the wrong
@@ -455,6 +630,25 @@ main(int argc, char **argv)
         format_from = golden_dir;
 
     if (mode == Mode::List) {
+        if (list_json) {
+            // The same shape `campaign_cli list-attacks --json`
+            // uses: a JSON array, one object per line, so fleet
+            // tooling can discover specs and attacks identically.
+            const auto &specs = registeredSpecs();
+            std::printf("[\n");
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                const NamedSpec &named = specs[i];
+                std::printf(
+                    "  {\"name\": \"%s\", \"cells\": %zu, "
+                    "\"description\": \"%s\"}%s\n",
+                    tool::jsonEscape(named.name).c_str(),
+                    named.spec.gridSize(),
+                    tool::jsonEscape(named.description).c_str(),
+                    i + 1 < specs.size() ? "," : "");
+            }
+            std::printf("]\n");
+            return 0;
+        }
         for (const NamedSpec &named : registeredSpecs())
             std::printf("%-28s %4zu cells  %s\n",
                         named.name.c_str(), named.spec.gridSize(),
@@ -482,6 +676,13 @@ main(int argc, char **argv)
 
     campaign::ResultCache cache;
     engine_opts.cache = &cache;
+    // Recording always runs the differential backend so the golden
+    // matrices (simulator results, byte-identical to a plain run)
+    // and the disagreement pins come from one sweep.
+    if (mode == Mode::Record)
+        engine_opts.backend = verdict::VerdictBackend::Differential;
+    else if (mode == Mode::Check)
+        engine_opts.backend = backend;
     const campaign::CampaignEngine engine(engine_opts);
     const std::string fingerprint = campaign::modelFingerprint();
     serve::Client client;
@@ -621,11 +822,44 @@ main(int argc, char **argv)
                         named.name.c_str(), report.expandedCount,
                         report.executedCount, report.cacheHits,
                         golden_path.c_str());
+
+            // The disagreement pins ride along with every record:
+            // one differential-<spec>.json per spec, empty list
+            // included, so a re-record into a scratch directory
+            // reproduces the committed set byte-for-byte (the CI
+            // schema-drift job compares both directions).
+            const verdict::DisagreementSet fresh =
+                freshDisagreements(named, report);
+            const std::string pin_path =
+                golden_dir + "/differential-" + named.name +
+                ".json";
+            if (!tool::writeTextFile(
+                    pin_path, verdict::disagreementJson(fresh))) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             pin_path.c_str());
+                status.io_error = true;
+                continue;
+            }
+            std::printf("pinned   %-28s %4zu divergence(s) -> %s\n",
+                        named.name.c_str(),
+                        fresh.disagreements.size(),
+                        pin_path.c_str());
             continue;
         }
 
         checkAgainstGolden(named, report, golden_dir, artifact_dir,
                            status);
+        if (backend == verdict::VerdictBackend::Differential)
+            checkDisagreements(named, report, golden_dir,
+                               artifact_dir, status);
+        else if (backend == verdict::VerdictBackend::Triage)
+            std::printf("triage   %-28s %zu decided, %zu "
+                        "undecided; %zu simulated, %zu "
+                        "replicated, %zu cached\n",
+                        named.name.c_str(), report.modelDecided,
+                        report.modelUndecided,
+                        report.executedCount,
+                        report.replicatedCells, report.cacheHits);
     }
 
     if (!cache_file.empty() && mode != Mode::Merge) {

@@ -197,7 +197,11 @@ statsLine(const StatsMsg &msg)
        << ", \"pooledArenas\": " << msg.pooledArenas
        << ", \"warmHits\": " << msg.warmHits
        << ", \"warmMisses\": " << msg.warmMisses
-       << ", \"warmEntries\": " << msg.warmEntries << "}";
+       << ", \"warmEntries\": " << msg.warmEntries
+       << ", \"modelDecided\": " << msg.modelDecided
+       << ", \"modelUndecided\": " << msg.modelUndecided
+       << ", \"modelDisagreements\": " << msg.modelDisagreements
+       << "}";
     return os.str();
 }
 
@@ -389,6 +393,18 @@ parseLine(const std::string &line)
             !expectKey(cur, "warmEntries"))
             return invalid("malformed stats");
         msg.stats.warmEntries = cur.parseU64();
+        if (cur.failed() || !cur.expect(',') ||
+            !expectKey(cur, "modelDecided"))
+            return invalid("malformed stats");
+        msg.stats.modelDecided = cur.parseU64();
+        if (cur.failed() || !cur.expect(',') ||
+            !expectKey(cur, "modelUndecided"))
+            return invalid("malformed stats");
+        msg.stats.modelUndecided = cur.parseU64();
+        if (cur.failed() || !cur.expect(',') ||
+            !expectKey(cur, "modelDisagreements"))
+            return invalid("malformed stats");
+        msg.stats.modelDisagreements = cur.parseU64();
         if (cur.failed() || !cur.expect('}') || !cur.atEnd())
             return invalid("malformed stats");
         msg.type = MsgType::Stats;

@@ -54,8 +54,9 @@ namespace specsec::serve
 {
 
 /** Protocol revision; bumped on any message-shape change.
- *  v2: stats grew the scenario-fork and warm-snapshot counters. */
-inline constexpr unsigned kProtocolVersion = 2;
+ *  v2: stats grew the scenario-fork and warm-snapshot counters.
+ *  v3: stats grew the verdict-model agreement counters. */
+inline constexpr unsigned kProtocolVersion = 3;
 
 /** The leading "type" value of a parsed message. */
 enum class MsgType
@@ -137,6 +138,12 @@ struct StatsMsg
     std::size_t warmHits = 0;
     std::size_t warmMisses = 0;
     std::size_t warmEntries = 0;
+    // Verdict-model counters (v3): the daemon judges every cell it
+    // executes with the analytic model (verdict/model.hh) and tracks
+    // live agreement against the simulator.
+    std::size_t modelDecided = 0;
+    std::size_t modelUndecided = 0;
+    std::size_t modelDisagreements = 0;
 };
 
 /** One decoded line: the type tag plus the matching payload. */

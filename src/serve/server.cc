@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "attacks/snapshot.hh"
+#include "verdict/model.hh"
 
 namespace specsec::serve
 {
@@ -117,6 +118,9 @@ Server::stats() const
     msg.warmHits = warm.hits;
     msg.warmMisses = warm.misses;
     msg.warmEntries = warm.entries;
+    msg.modelDecided = modelDecided_;
+    msg.modelUndecided = modelUndecided_;
+    msg.modelDisagreements = modelDisagreements_;
     return msg;
 }
 
@@ -144,6 +148,7 @@ Server::handleSubmit(net::Conn &conn, const SubmitMsg &submit)
     }
     const auto t0 = std::chrono::steady_clock::now();
     std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> decided{0}, undecided{0}, disagreed{0};
     std::mutex write_mutex;
     std::string batch_error;
     const bool ok = campaign::executeKeyBatch(
@@ -158,6 +163,30 @@ Server::handleSubmit(net::Conn &conn, const SubmitMsg &submit)
             msg.stats = item.stats;
             if (item.cached)
                 hits.fetch_add(1, std::memory_order_relaxed);
+            // Judge every served cell with the analytic model and
+            // track live agreement against the simulator verdict
+            // the client is about to receive (see stats{}).
+            core::AttackVariant variant{};
+            campaign::CpuConfig config;
+            campaign::AttackOptions options;
+            if (campaign::parseScenarioKey(submit.keys[index],
+                                           variant, config,
+                                           options)) {
+                const core::ModelJudgement judged =
+                    verdict::judgeScenario(variant, config,
+                                           options);
+                if (!judged.decided()) {
+                    undecided.fetch_add(
+                        1, std::memory_order_relaxed);
+                } else {
+                    decided.fetch_add(1,
+                                      std::memory_order_relaxed);
+                    if (judged.predictsLeak() !=
+                        item.result.leaked)
+                        disagreed.fetch_add(
+                            1, std::memory_order_relaxed);
+                }
+            }
             // One writer at a time: result lines must not
             // interleave mid-frame.  A failed write means the
             // client is gone; cancel the rest of the batch.
@@ -179,6 +208,12 @@ Server::handleSubmit(net::Conn &conn, const SubmitMsg &submit)
         std::lock_guard<std::mutex> lock(mutex_);
         executed_ += done.executed;
         cacheHits_ += done.cacheHits;
+        modelDecided_ +=
+            decided.load(std::memory_order_relaxed);
+        modelUndecided_ +=
+            undecided.load(std::memory_order_relaxed);
+        modelDisagreements_ +=
+            disagreed.load(std::memory_order_relaxed);
     }
     saveCache();
     return conn.writeLine(doneLine(done));

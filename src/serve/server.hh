@@ -98,6 +98,9 @@ class Server
     std::size_t requests_ = 0;
     std::size_t executed_ = 0;
     std::size_t cacheHits_ = 0;
+    std::size_t modelDecided_ = 0;
+    std::size_t modelUndecided_ = 0;
+    std::size_t modelDisagreements_ = 0;
 };
 
 } // namespace specsec::serve

@@ -203,6 +203,28 @@ campaignCsvRow(const campaign::ScenarioOutcome &o,
 }
 
 std::string
+campaignCsvHeaderMasked(unsigned excludeMask)
+{
+    return outcomeSchema().csvHeader(excludeMask);
+}
+
+std::string
+campaignCsvRowMasked(const campaign::ScenarioOutcome &o,
+                     unsigned excludeMask)
+{
+    return outcomeSchema().csvRow(o, excludeMask,
+                                  DoubleStyle::Fixed4);
+}
+
+std::string
+outcomeJsonMasked(const campaign::ScenarioOutcome &o,
+                  unsigned excludeMask)
+{
+    return outcomeSchema().jsonObject(o, excludeMask,
+                                      DoubleStyle::Fixed4);
+}
+
+std::string
 campaignCsv(const campaign::CampaignReport &report,
             bool include_timing)
 {

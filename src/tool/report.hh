@@ -80,6 +80,20 @@ std::string campaignCsvRow(const campaign::ScenarioOutcome &outcome,
 std::string outcomeJson(const campaign::ScenarioOutcome &outcome,
                         bool include_timing);
 
+/**
+ * @name Exclude-mask variants (tool::kTiming / tool::kVerdict,
+ * schema.hh) for callers that opt in to the verdict-backend
+ * annotation fields; the bool surfaces above always exclude
+ * kVerdict so existing exports stay byte-identical across backends.
+ * @{
+ */
+std::string campaignCsvHeaderMasked(unsigned excludeMask);
+std::string campaignCsvRowMasked(
+    const campaign::ScenarioOutcome &outcome, unsigned excludeMask);
+std::string outcomeJsonMasked(
+    const campaign::ScenarioOutcome &outcome, unsigned excludeMask);
+/// @}
+
 /// @}
 
 /** Write @p contents to @p path; @return false on I/O failure. */

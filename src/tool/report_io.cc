@@ -68,6 +68,11 @@ shardReportJson(const campaign::CampaignReport &report)
     os << "\"shardCount\": " << report.shardCount << ",\n";
     os << "\"executedCount\": " << report.executedCount << ",\n";
     os << "\"cacheHits\": " << report.cacheHits << ",\n";
+    os << "\"modelDecided\": " << report.modelDecided << ",\n";
+    os << "\"modelUndecided\": " << report.modelUndecided << ",\n";
+    os << "\"disagreements\": " << report.disagreements << ",\n";
+    os << "\"replicatedCells\": " << report.replicatedCells
+       << ",\n";
     os << "\"workers\": " << report.workers << ",\n";
     os << "\"wallMillis\": " << exactNum(report.wallMillis)
        << ",\n";
@@ -84,7 +89,20 @@ shardReportJson(const campaign::CampaignReport &report)
                                                o.options))
            << "\", \"result\": " << attackResultJson(o.result)
            << ", \"stats\": " << cpuStatsJson(o.stats)
-           << ", \"wallMillis\": " << exactNum(o.wallMillis) << "}";
+           << ", \"wallMillis\": " << exactNum(o.wallMillis);
+        // Verdict-backend annotations are empty under the plain
+        // simulator backend; emitting them only when set keeps
+        // simulator shard files byte-identical across backends.
+        if (!o.modelVerdict.empty())
+            os << ", \"modelVerdict\": \""
+               << jsonEscape(o.modelVerdict) << "\"";
+        if (!o.agreement.empty())
+            os << ", \"agreement\": \"" << jsonEscape(o.agreement)
+               << "\"";
+        if (!o.evidence.empty())
+            os << ", \"evidence\": \"" << jsonEscape(o.evidence)
+               << "\"";
+        os << "}";
     }
     os << "\n]\n}\n";
     return os.str();
@@ -146,6 +164,14 @@ parseShardReportJson(const std::string &text, std::string *error)
             report.executedCount = cur.parseU64();
         } else if (key == "cacheHits") {
             report.cacheHits = cur.parseU64();
+        } else if (key == "modelDecided") {
+            report.modelDecided = cur.parseU64();
+        } else if (key == "modelUndecided") {
+            report.modelUndecided = cur.parseU64();
+        } else if (key == "disagreements") {
+            report.disagreements = cur.parseU64();
+        } else if (key == "replicatedCells") {
+            report.replicatedCells = cur.parseU64();
         } else if (key == "workers") {
             report.workers = cur.parseUnsigned();
         } else if (key == "wallMillis") {
@@ -186,6 +212,12 @@ parseShardReportJson(const std::string &text, std::string *error)
                                 return failed();
                         } else if (field == "wallMillis")
                             o.wallMillis = cur.parseDouble();
+                        else if (field == "modelVerdict")
+                            o.modelVerdict = cur.parseString();
+                        else if (field == "agreement")
+                            o.agreement = cur.parseString();
+                        else if (field == "evidence")
+                            o.evidence = cur.parseString();
                         else {
                             cur.fail("unknown outcome key '" +
                                      field + "'");

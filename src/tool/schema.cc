@@ -520,6 +520,33 @@ makeOutcomeSchema()
              o.wallMillis = v.d;
              return true;
          }});
+    fields.push_back(
+        {"model_verdict", FieldType::String, kVerdict,
+         [](const ScenarioOutcome &o) {
+             return FieldValue::ofString(o.modelVerdict);
+         },
+         [](ScenarioOutcome &o, const FieldValue &v) {
+             o.modelVerdict = v.s;
+             return true;
+         }});
+    fields.push_back(
+        {"agreement", FieldType::String, kVerdict,
+         [](const ScenarioOutcome &o) {
+             return FieldValue::ofString(o.agreement);
+         },
+         [](ScenarioOutcome &o, const FieldValue &v) {
+             o.agreement = v.s;
+             return true;
+         }});
+    fields.push_back(
+        {"evidence", FieldType::String, kVerdict,
+         [](const ScenarioOutcome &o) {
+             return FieldValue::ofString(o.evidence);
+         },
+         [](ScenarioOutcome &o, const FieldValue &v) {
+             o.evidence = v.s;
+             return true;
+         }});
     return RecordSchema<ScenarioOutcome>("outcome",
                                          std::move(fields));
 }
@@ -681,6 +708,8 @@ attackDescriptorJson(const core::AttackDescriptor &d)
     out += d.execute ? "true" : "false";
     out += ", \"hasGraph\": ";
     out += d.buildGraph ? "true" : "false";
+    out += ", \"hasModelVerdict\": ";
+    out += d.modelVerdict ? "true" : "false";
     out += "}";
     return out;
 }

@@ -84,7 +84,25 @@ inline constexpr unsigned kKeyComponent = 1u << 1;
 /// A measured value the golden gate compares under an explicit
 /// per-spec tolerance (goldens without accuracy arrays skip it).
 inline constexpr unsigned kAccuracy = 1u << 2;
+/// A verdict-backend annotation (model_verdict / agreement /
+/// evidence): empty under the plain simulator backend, so the
+/// default exports exclude it and stay byte-identical across
+/// backends — the triage acceptance criterion.  Opt in with the
+/// excludeMask emitter overloads (drop kVerdict from the mask).
+inline constexpr unsigned kVerdict = 1u << 3;
 /// @}
+
+/**
+ * The exclude mask the classic bool-flag export surfaces use:
+ * timing fields per @p include_timing, verdict annotations always
+ * excluded.  Emitters taking an explicit mask let callers opt back
+ * in to kVerdict fields.
+ */
+inline constexpr unsigned
+defaultExcludeMask(bool include_timing)
+{
+    return (include_timing ? 0u : kTiming) | kVerdict;
+}
 
 /** A parsed or extracted field value, tagged by FieldType. */
 struct FieldValue
@@ -206,14 +224,18 @@ class RecordSchema
         return out;
     }
 
-    /** `{"a": 1, "b": "x"}`; kTiming fields only when asked. */
-    std::string jsonObject(const Record &record, bool include_timing,
+    /**
+     * `{"a": 1, "b": "x"}` over every field whose flags do not
+     * intersect @p excludeMask.
+     */
+    std::string jsonObject(const Record &record,
+                           unsigned excludeMask,
                            DoubleStyle style) const
     {
         std::string out = "{";
         bool first = true;
         for (const FieldDescriptor<Record> &f : fields_) {
-            if ((f.flags & kTiming) && !include_timing)
+            if (f.flags & excludeMask)
                 continue;
             if (!first)
                 out += ", ";
@@ -225,6 +247,14 @@ class RecordSchema
         }
         out += '}';
         return out;
+    }
+
+    /** Classic surface: kTiming per flag, kVerdict always excluded. */
+    std::string jsonObject(const Record &record, bool include_timing,
+                           DoubleStyle style) const
+    {
+        return jsonObject(record, defaultExcludeMask(include_timing),
+                          style);
     }
 
     /** Positional `[v0, v1, ...]` over every field (no flags). */
@@ -241,13 +271,13 @@ class RecordSchema
         return out;
     }
 
-    /** Comma-joined field names with trailing newline. */
-    std::string csvHeader(bool include_timing) const
+    /** Comma-joined names of the fields @p excludeMask keeps. */
+    std::string csvHeader(unsigned excludeMask) const
     {
         std::string out;
         bool first = true;
         for (const FieldDescriptor<Record> &f : fields_) {
-            if ((f.flags & kTiming) && !include_timing)
+            if (f.flags & excludeMask)
                 continue;
             if (!first)
                 out += ',';
@@ -258,14 +288,20 @@ class RecordSchema
         return out;
     }
 
+    /** Classic surface: kTiming per flag, kVerdict always excluded. */
+    std::string csvHeader(bool include_timing) const
+    {
+        return csvHeader(defaultExcludeMask(include_timing));
+    }
+
     /** One CSV record with trailing newline. */
-    std::string csvRow(const Record &record, bool include_timing,
+    std::string csvRow(const Record &record, unsigned excludeMask,
                        DoubleStyle style) const
     {
         std::string out;
         bool first = true;
         for (const FieldDescriptor<Record> &f : fields_) {
-            if ((f.flags & kTiming) && !include_timing)
+            if (f.flags & excludeMask)
                 continue;
             if (!first)
                 out += ',';
@@ -274,6 +310,14 @@ class RecordSchema
         }
         out += '\n';
         return out;
+    }
+
+    /** Classic surface: kTiming per flag, kVerdict always excluded. */
+    std::string csvRow(const Record &record, bool include_timing,
+                       DoubleStyle style) const
+    {
+        return csvRow(record, defaultExcludeMask(include_timing),
+                      style);
     }
 
     /**

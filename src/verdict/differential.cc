@@ -1,0 +1,173 @@
+#include "differential.hh"
+
+#include <map>
+#include <sstream>
+
+#include "tool/jsonio.hh"
+#include "tool/report.hh"
+
+namespace specsec::verdict
+{
+
+namespace
+{
+
+constexpr const char *kSchemaTag = "specsec-differential-v1";
+
+using tool::json::Cursor;
+
+std::optional<Disagreement>
+parseEntry(Cursor &cur)
+{
+    Disagreement d;
+    if (!cur.expect('{'))
+        return std::nullopt;
+    do {
+        const std::string key = cur.parseString();
+        if (cur.failed() || !cur.expect(':'))
+            return std::nullopt;
+        if (key == "key")
+            d.key = cur.parseString();
+        else if (key == "row")
+            d.row = cur.parseString();
+        else if (key == "col")
+            d.col = cur.parseString();
+        else if (key == "model")
+            d.model = cur.parseString();
+        else if (key == "simulator")
+            d.simulator = cur.parseString();
+        else if (key == "evidence")
+            d.evidence = cur.parseString();
+        else if (key == "rationale")
+            d.rationale = cur.parseString();
+        else {
+            cur.fail("unknown disagreement key '" + key + "'");
+            return std::nullopt;
+        }
+    } while (!cur.failed() && cur.peekConsume(','));
+    if (!cur.expect('}'))
+        return std::nullopt;
+    return d;
+}
+
+} // anonymous namespace
+
+std::string
+disagreementJson(const DisagreementSet &set)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"" << kSchemaTag << "\",\n  \"spec\": \""
+       << tool::jsonEscape(set.spec) << "\",\n  \"disagreements\": [";
+    for (std::size_t i = 0; i < set.disagreements.size(); ++i) {
+        const Disagreement &d = set.disagreements[i];
+        os << (i ? "," : "") << "\n    {\"key\": \""
+           << tool::jsonEscape(d.key) << "\",\n     \"row\": \""
+           << tool::jsonEscape(d.row) << "\", \"col\": \""
+           << tool::jsonEscape(d.col) << "\",\n     \"model\": \""
+           << tool::jsonEscape(d.model) << "\", \"simulator\": \""
+           << tool::jsonEscape(d.simulator)
+           << "\",\n     \"evidence\": \""
+           << tool::jsonEscape(d.evidence)
+           << "\",\n     \"rationale\": \""
+           << tool::jsonEscape(d.rationale) << "\"}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+std::optional<DisagreementSet>
+parseDisagreementJson(const std::string &text, std::string *error)
+{
+    Cursor cur(text);
+    DisagreementSet set;
+    const auto failed = [&]() -> std::optional<DisagreementSet> {
+        if (error)
+            *error = cur.error();
+        return std::nullopt;
+    };
+
+    if (!cur.expect('{'))
+        return failed();
+    bool sawSchema = false;
+    do {
+        const std::string key = cur.parseString();
+        if (cur.failed() || !cur.expect(':'))
+            return failed();
+        if (key == "schema") {
+            const std::string tag = cur.parseString();
+            if (tag != kSchemaTag) {
+                cur.fail("unsupported schema '" + tag + "'");
+                return failed();
+            }
+            sawSchema = true;
+        } else if (key == "spec") {
+            set.spec = cur.parseString();
+        } else if (key == "disagreements") {
+            if (!cur.expect('['))
+                return failed();
+            if (!cur.peekConsume(']')) {
+                do {
+                    auto d = parseEntry(cur);
+                    if (!d)
+                        return failed();
+                    set.disagreements.push_back(std::move(*d));
+                } while (!cur.failed() && cur.peekConsume(','));
+                if (!cur.expect(']'))
+                    return failed();
+            }
+        } else {
+            cur.fail("unknown key '" + key + "'");
+            return failed();
+        }
+    } while (!cur.failed() && cur.peekConsume(','));
+    if (cur.failed() || !cur.expect('}'))
+        return failed();
+    if (!cur.atEnd()) {
+        cur.fail("trailing content after disagreement object");
+        return failed();
+    }
+    if (!sawSchema) {
+        cur.fail("missing \"schema\" tag");
+        return failed();
+    }
+    return set;
+}
+
+std::vector<std::string>
+compareDisagreements(const DisagreementSet &pinned,
+                     const DisagreementSet &fresh)
+{
+    std::vector<std::string> drift;
+    std::map<std::string, const Disagreement *> pinnedByKey;
+    for (const Disagreement &d : pinned.disagreements)
+        pinnedByKey.emplace(d.key, &d);
+
+    for (const Disagreement &d : fresh.disagreements) {
+        const auto hit = pinnedByKey.find(d.key);
+        if (hit == pinnedByKey.end()) {
+            drift.push_back("unpinned disagreement at (" + d.row +
+                            " x " + d.col + "): model " + d.model +
+                            " vs simulator " + d.simulator + " [" +
+                            d.evidence + "]");
+            continue;
+        }
+        const Disagreement &p = *hit->second;
+        if (p.model != d.model || p.simulator != d.simulator) {
+            drift.push_back("disagreement at (" + d.row + " x " +
+                            d.col + ") changed: pinned model " +
+                            p.model + "/sim " + p.simulator +
+                            " -> fresh model " + d.model + "/sim " +
+                            d.simulator);
+        }
+        pinnedByKey.erase(hit);
+    }
+    for (const auto &[key, p] : pinnedByKey) {
+        drift.push_back("pinned disagreement vanished at (" + p->row +
+                        " x " + p->col + "): model " + p->model +
+                        " vs simulator " + p->simulator +
+                        " (rationale: " + p->rationale + ")");
+    }
+    return drift;
+}
+
+} // namespace specsec::verdict

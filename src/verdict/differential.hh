@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Differential-backend disagreement pins.
+ *
+ * The differential backend runs every cell through both the
+ * simulator and the analytic model; each cell where a *decided*
+ * model verdict contradicts the simulator's leak bit is a
+ * disagreement.  Known divergences — each a deliberate, documented
+ * gap between the graph model and the cycle-accurate machine — are
+ * pinned in golden/differential-<spec>.json with a one-line
+ * rationale.  Any disagreement outside the pins (or a pinned one
+ * that vanishes) fails the regression gate: it is either a simulator
+ * bug or a model insight, and both deserve a loud CI failure.
+ */
+
+#ifndef SPECSEC_VERDICT_DIFFERENTIAL_HH
+#define SPECSEC_VERDICT_DIFFERENTIAL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace specsec::verdict
+{
+
+/** One model-vs-simulator disagreement on one grid cell. */
+struct Disagreement
+{
+    /// Scenario key of the cell (campaign::scenarioKey): the stable
+    /// identity disagreements are matched on.
+    std::string key;
+
+    /// Report coordinates, for humans reading the pin file.
+    std::string row;
+    std::string col;
+
+    /// "leak" / "blocked": what each side concluded.
+    std::string model;
+    std::string simulator;
+
+    /// The model's graph-derived evidence for its verdict.
+    std::string evidence;
+
+    /// One-line justification for why the divergence is expected.
+    /// Auto-filled from the model rule's rationale when recording;
+    /// empty in a *fresh* (unpinned) disagreement report.
+    std::string rationale;
+
+    bool operator==(const Disagreement &) const = default;
+};
+
+/** The persisted pin set of one golden spec. */
+struct DisagreementSet
+{
+    std::string spec;
+    std::vector<Disagreement> disagreements;
+};
+
+/**
+ * Serialize as stable, line-per-entry JSON ("specsec-differential-v1"),
+ * byte-identical for equal sets.
+ */
+std::string disagreementJson(const DisagreementSet &set);
+
+/** Parse disagreementJson() output; nullopt + @p error on bad input. */
+std::optional<DisagreementSet>
+parseDisagreementJson(const std::string &text,
+                      std::string *error = nullptr);
+
+/**
+ * Compare fresh disagreements against the committed pins, matching
+ * by scenario key.  @return human-readable drift lines (empty when
+ * the run reproduces the pins exactly): one line per unpinned fresh
+ * disagreement, per pinned-but-vanished entry, and per key whose
+ * verdict pair changed.
+ */
+std::vector<std::string> compareDisagreements(
+    const DisagreementSet &pinned, const DisagreementSet &fresh);
+
+} // namespace specsec::verdict
+
+#endif // SPECSEC_VERDICT_DIFFERENTIAL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The analytic verdict model: predict a campaign cell's outcome from
+ * the attack graph alone (Theorem 1 / Fig. 8), no simulation.
+ *
+ * The model is graph-faithful, not golden-fitted: each defense knob
+ * maps to the paper strategy it implements plus a mechanism scope
+ * (which attacks' graphs the mechanism's security dependency actually
+ * lands in), and blocking is decided by applyDefense() +
+ * AttackGraph::isVulnerable() on the variant's real graph.  Where the
+ * graph model and the cycle-accurate simulator genuinely part ways
+ * (e.g. "disable branch prediction" vs Spectre v2's poisoned BTB
+ * target), the rule carries a rationale and the divergence is pinned
+ * in golden/differential-*.json rather than papered over.
+ */
+
+#ifndef SPECSEC_VERDICT_MODEL_HH
+#define SPECSEC_VERDICT_MODEL_HH
+
+#include "core/catalog.hh"
+
+namespace specsec::verdict
+{
+
+/**
+ * Judge one cell analytically for a built-in variant:
+ *
+ *  1. Required-vulnerability gate: if the core ablates a forwarding
+ *     path the attack transmits through -> Inapplicable.
+ *  2. Timing gate: any off-default timing quantity (CPU latency /
+ *     width knob, cache geometry, secret length, training rounds,
+ *     authorization-delay ablation) -> Undecided naming the knob;
+ *     the graph has no notion of cycle counts.
+ *  3. Mechanism rules: each active defense toggle / mitigation
+ *     option in scope applies its paper strategy to a fresh copy of
+ *     the variant's attack graph; the first one whose inserted
+ *     security dependencies kill every escaping flow -> Blocked.
+ *  4. Otherwise the baseline analysis runs: a surviving secret flow
+ *     -> Leak.
+ */
+core::ModelJudgement modelJudgement(core::AttackVariant variant,
+                                    const uarch::CpuConfig &config,
+                                    const attacks::AttackOptions &options);
+
+/**
+ * Judge a cell through the catalog: dispatch to the descriptor's
+ * modelVerdict hook, or return Undecided ("no model-verdict hook
+ * registered") when the attack has none.
+ */
+core::ModelJudgement judgeScenario(core::AttackVariant variant,
+                                   const uarch::CpuConfig &config,
+                                   const attacks::AttackOptions &options);
+
+/**
+ * The modelVerdict hook registered for built-in variant @p variant
+ * (binds modelJudgement).
+ */
+core::ModelVerdictFn builtinModelVerdict(core::AttackVariant variant);
+
+/**
+ * The canonicalOptions hook for built-in variant @p variant: resets
+ * every AttackOptions field the variant's runner provably never
+ * reads to its default, keeping exactly the fields the runner
+ * distinguishes (channel and secretLen always; each toggle only for
+ * the family whose runner branches on it).
+ */
+core::CanonicalOptionsFn
+builtinCanonicalOptions(core::AttackVariant variant);
+
+} // namespace specsec::verdict
+
+#endif // SPECSEC_VERDICT_MODEL_HH

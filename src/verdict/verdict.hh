@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Execution backends for campaign grids.
+ *
+ * The simulator is the cycle-accurate ground truth; the model backend
+ * (model.hh) decides cells analytically on the attack graph alone.
+ * Differential runs both and flags per-cell disagreement; Triage runs
+ * the model over the whole grid first and simulates only the frontier
+ * the model cannot decide (plus one representative per class of cells
+ * that are provably identical to the runner).
+ */
+
+#ifndef SPECSEC_VERDICT_VERDICT_HH
+#define SPECSEC_VERDICT_VERDICT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specsec::verdict
+{
+
+/** How a campaign cell gets its verdict. */
+enum class VerdictBackend : std::uint8_t
+{
+    Simulator = 0,    ///< cycle-accurate execution only (default)
+    Model = 1,        ///< analytic graph model only, no simulation
+    Differential = 2, ///< both; disagreements are flagged per cell
+    Triage = 3,       ///< model first, simulate only the frontier
+};
+
+/** Canonical lowercase name ("simulator", "model", ...). */
+const char *backendName(VerdictBackend backend);
+
+/** All canonical backend names, in enum order. */
+std::vector<std::string> backendNames();
+
+/**
+ * Parse a backend name (folded: case and punctuation insensitive).
+ * @return true and set @p out on success.
+ */
+bool parseBackend(const std::string &name, VerdictBackend &out);
+
+/**
+ * "unknown backend 'simluator' (did you mean: simulator?)" — the
+ * same suggestion machinery the catalog uses for attack names.
+ */
+std::string unknownBackendMessage(const std::string &name);
+
+} // namespace specsec::verdict
+
+#endif // SPECSEC_VERDICT_VERDICT_HH

@@ -41,6 +41,7 @@
 #include "tool/report_io.hh"
 #include "tool/schema.hh"
 #include "tool/stream_export.hh"
+#include "verdict/differential.hh"
 
 namespace
 {
@@ -213,10 +214,11 @@ TEST(SchemaBytes, ResultAndStatsFragmentsArePreRefactorIdentical)
               "[45678, 1200, 88, 17, 3, 2, 99, 7]");
 }
 
-// The shard wire format changed in exactly one deliberate way: it
+// The shard wire format changed in exactly two deliberate ways: it
 // gained the "schema" tag line (so mismatched producers are
-// rejected).  Everything else is byte-identical to the pre-refactor
-// writer.
+// rejected) and the verdict-backend counters (all zero under the
+// plain simulator backend).  Everything else is byte-identical to
+// the pre-refactor writer.
 constexpr const char *kShardReportPrefix = "{\n\"version\": 1,\n";
 constexpr const char *kShardReportBodyFixture =
     R"fx("name": "fixture \"campaign\"",
@@ -228,6 +230,10 @@ constexpr const char *kShardReportBodyFixture =
 "shardCount": 1,
 "executedCount": 2,
 "cacheHits": 0,
+"modelDecided": 0,
+"modelUndecided": 0,
+"disagreements": 0,
+"replicatedCells": 0,
 "workers": 1,
 "wallMillis": 3.5,
 "outcomes": [
@@ -314,6 +320,8 @@ TEST(SchemaBytes, CommittedGoldensRoundTripByteIdentically)
     // the in-process version of the CI schema-drift job.
     std::size_t checked = 0;
     std::size_t with_accuracy = 0;
+    std::size_t pin_files = 0;
+    std::size_t pinned_divergences = 0;
     for (const auto &entry :
          std::filesystem::directory_iterator(SPECSEC_GOLDEN_DIR)) {
         if (entry.path().extension() != ".json")
@@ -322,6 +330,19 @@ TEST(SchemaBytes, CommittedGoldensRoundTripByteIdentically)
         ASSERT_TRUE(readTextFile(entry.path().string(), text))
             << entry.path();
         std::string error;
+        const std::string stem = entry.path().filename().string();
+        if (stem.rfind("differential-", 0) == 0) {
+            // Disagreement pins round-trip through their own
+            // serializer with the same byte-identity contract.
+            const auto pins =
+                verdict::parseDisagreementJson(text, &error);
+            ASSERT_TRUE(pins) << entry.path() << ": " << error;
+            EXPECT_EQ(verdict::disagreementJson(*pins), text)
+                << entry.path();
+            ++pin_files;
+            pinned_divergences += pins->disagreements.size();
+            continue;
+        }
         const auto golden = regress::parseGoldenJson(text, &error);
         ASSERT_TRUE(golden) << entry.path() << ": " << error;
         EXPECT_EQ(regress::goldenJson(*golden), text)
@@ -336,6 +357,11 @@ TEST(SchemaBytes, CommittedGoldensRoundTripByteIdentically)
     // The accuracy-golden migration landed: at least one committed
     // golden pins accuracy values under a nonzero tolerance.
     EXPECT_GE(with_accuracy, 1u);
+    // The differential-backend migration landed: every matrix
+    // golden has a disagreement pin file, and at least one known
+    // model-vs-simulator divergence is documented.
+    EXPECT_EQ(pin_files, checked);
+    EXPECT_GE(pinned_divergences, 1u);
 }
 
 // -------------------------------------------------------------------
