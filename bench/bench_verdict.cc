@@ -19,6 +19,7 @@
 #include "bench_util.hh"
 #include "campaign/campaign.hh"
 #include "verdict/model.hh"
+#include "verdict/static_verdict.hh"
 #include "verdict/verdict.hh"
 
 using namespace specsec;
@@ -106,6 +107,42 @@ main(int argc, char **argv)
                 "(%zu decided, %zu undecided)\n",
                 speedup, decided, undecided);
 
+    // Static: the Fig. 9 program analyzer judging the same grid.
+    // Each decided cell rebuilds and analyzes the attack's static
+    // program (graph construction + race queries), so it is slower
+    // than the rule-table model but must still beat cycle-accurate
+    // simulation — that margin is what makes lint-at-sweep-scale
+    // viable.
+    bench::header("static backend: analyzer vs. simulator");
+    std::size_t static_decided = 0, static_undecided = 0;
+    std::size_t static_passes = 0;
+    const auto s0 = std::chrono::steady_clock::now();
+    double static_ms = 0.0;
+    do {
+        static_decided = static_undecided = 0;
+        for (const std::size_t u : grid.uniqueIndices) {
+            const Scenario &s = grid.expanded[u];
+            const verdict::StaticJudgement judged =
+                verdict::judgeScenarioStatic(s.variant, s.config,
+                                             s.options);
+            ++(judged.judgement.decided() ? static_decided
+                                          : static_undecided);
+        }
+        ++static_passes;
+        static_ms = millisSince(s0);
+    } while (static_ms < 200.0);
+    const double static_cells = static_cast<double>(
+        static_passes * grid.uniqueIndices.size());
+    const double static_rate =
+        static_ms > 0.0 ? 1000.0 * static_cells / static_ms : 0.0;
+    const double static_speedup =
+        sim_rate > 0.0 ? static_rate / sim_rate : 0.0;
+    std::printf("%-10s %8zu %14.1f\n", "static",
+                grid.uniqueIndices.size(), static_rate);
+    std::printf("static vs. simulator: %.1fx "
+                "(%zu decided, %zu undecided)\n",
+                static_speedup, static_decided, static_undecided);
+
     // Triage: how much of the grid still needs the simulator once
     // the model has judged it, and whether the export stays
     // byte-identical to the simulator backend's.
@@ -140,6 +177,11 @@ main(int argc, char **argv)
     out.set("model_vs_sim_speedup", speedup);
     out.set("model_decided", static_cast<double>(decided));
     out.set("model_undecided", static_cast<double>(undecided));
+    out.set("static_cells_per_sec", static_rate);
+    out.set("static_vs_sim_speedup", static_speedup);
+    out.set("static_decided", static_cast<double>(static_decided));
+    out.set("static_undecided",
+            static_cast<double>(static_undecided));
     out.set("triage_simulate_fraction", simulate_fraction);
     out.set("triage_replicated_cells",
             static_cast<double>(triage.replicatedCells));

@@ -125,9 +125,12 @@ usage(const char *prog)
         "no\n"
         "                     simulation), differential (both, "
         "disagreements\n"
-        "                     flagged per cell) or triage (model "
+        "                     flagged per cell), triage (model "
         "first,\n"
-        "                     simulate only the undecided frontier)\n"
+        "                     simulate only the undecided frontier) "
+        "or\n"
+        "                     static (Fig. 9 program analysis beside\n"
+        "                     simulation, disagreements flagged)\n"
         "  --rebuild-scenarios  build each cell's simulator state "
         "from scratch\n"
         "                     instead of forking pooled snapshot "
@@ -288,6 +291,10 @@ describeMain(int argc, char **argv)
                 d->modelVerdict
                     ? "analytic hook registered"
                     : "none (always simulated)");
+    std::printf("static program:  %s\n",
+                d->staticProgram
+                    ? "registered (specsec_lint / --backend static)"
+                    : "none");
     if (d->buildGraph) {
         const core::AttackGraph g = d->buildGraph(d->defaultChannel);
         std::printf("attack graph:    %zu operations, %zu "

@@ -18,6 +18,7 @@
 #include "core/catalog.hh"
 #include "core/composer.hh"
 #include "runner.hh"
+#include "static_programs.hh"
 #include "verdict/model.hh"
 
 namespace specsec::core::detail
@@ -47,6 +48,7 @@ builtin(AttackVariant variant,
     d.execute = statsCollectingExecute(run);
     d.modelVerdict = verdict::builtinModelVerdict(variant);
     d.canonicalOptions = verdict::builtinCanonicalOptions(variant);
+    d.staticProgram = attacks::builtinStaticProgram(variant);
     return d;
 }
 
@@ -385,6 +387,7 @@ registerBuiltinAttacks(ScenarioCatalog &catalog)
         };
         d.execute =
             statsCollectingExecute(attacks::runComposedV2FpuGadget);
+        d.staticProgram = attacks::composedV2FpuStaticProgram();
         catalog.registerAttack(std::move(d));
     }
 }

@@ -1,0 +1,296 @@
+#include "static_programs.hh"
+
+#include "attack_kit.hh"
+
+namespace specsec::attacks
+{
+
+namespace
+{
+
+using core::StaticProgramSpec;
+using uarch::Addr;
+using uarch::Cond;
+using uarch::Program;
+using uarch::RegId;
+using uarch::kPageSize;
+
+// Register conventions shared by every shape (mirrors the runner
+// listings in spectre.cc / meltdown.cc).
+constexpr RegId rIdx = 1;      ///< attacker-controlled index
+constexpr RegId rBoundPtr = 2; ///< -> Layout::kVictimBound
+constexpr RegId rArray = 3;    ///< victim array base
+constexpr RegId rProbe = 4;    ///< probe array base
+constexpr RegId rBound = 5;    ///< loaded array length
+constexpr RegId rByte = 6;     ///< transiently read secret byte
+constexpr RegId rAddr = 7;     ///< computed access address
+constexpr RegId rEnc = 8;      ///< byte shifted to a page offset
+constexpr RegId rSend = 9;     ///< probe-array send address
+constexpr RegId rSink = 10;    ///< send-load destination
+constexpr RegId rVal = 11;     ///< planted (public) value
+constexpr RegId rAddr2 = 12;   ///< second address (v1.1/v1.2 write)
+constexpr RegId rSecret = 13;  ///< protected-range base pointer
+constexpr RegId rTable = 14;   ///< v1.1 table / v1.2 page base
+
+/** The cache-channel send chain: encode the byte as a page index
+ *  and touch probe[byte << 6] (dependent load = covert send). */
+void
+emitSend(Program &p, RegId byte_reg)
+{
+    p.emit(uarch::shlImm(rEnc, byte_reg, 6));
+    p.emit(uarch::add(rSend, rProbe, rEnc));
+    p.emit(uarch::load8(rSink, rSend, 0));
+}
+
+/** Listing-1 bounds-bypass read: branch past the bound, then an
+ *  attacker-indexed load feeding the send chain. */
+StaticProgramSpec
+boundsReadSpec(const char *range_name)
+{
+    StaticProgramSpec spec;
+    Program &p = spec.program;
+    p.emit(uarch::load64(rBound, rBoundPtr, 0));
+    Program::Label done = p.newLabel();
+    p.emitBranch(Cond::Geu, rIdx, rBound, done);
+    p.emit(uarch::add(rAddr, rArray, rIdx));
+    p.emit(uarch::load8(rByte, rAddr, 0));
+    emitSend(p, rByte);
+    p.bind(done);
+    p.emit(uarch::halt());
+    spec.ranges = {{Layout::kUserSecret, kPageSize, range_name}};
+    spec.attackerRegs = {rIdx};
+    spec.knownRegs = {{rBoundPtr, Layout::kVictimBound},
+                      {rArray, Layout::kVictimArray},
+                      {rProbe, Layout::kProbeArray}};
+    spec.modelStoreBypass = false;
+    return spec;
+}
+
+/** v1.1/v1.2 speculative out-of-bounds write: the store plants an
+ *  attacker value past the bound, and the same transient window
+ *  reads + sends the secret the corrupted state exposes. */
+StaticProgramSpec
+boundsWriteSpec(Addr write_base, const char *write_name)
+{
+    StaticProgramSpec spec;
+    Program &p = spec.program;
+    p.emit(uarch::movImm(rVal, 0x41));
+    p.emit(uarch::load64(rBound, rBoundPtr, 0));
+    Program::Label done = p.newLabel();
+    p.emitBranch(Cond::Geu, rIdx, rBound, done);
+    p.emit(uarch::add(rAddr2, rTable, rIdx));
+    p.emit(uarch::store64(rAddr2, 0, rVal));
+    p.emit(uarch::add(rAddr, rArray, rIdx));
+    p.emit(uarch::load8(rByte, rAddr, 0));
+    emitSend(p, rByte);
+    p.bind(done);
+    p.emit(uarch::halt());
+    spec.ranges = {{Layout::kUserSecret, kPageSize, write_name}};
+    spec.attackerRegs = {rIdx};
+    spec.knownRegs = {{rBoundPtr, Layout::kVictimBound},
+                      {rArray, Layout::kVictimArray},
+                      {rProbe, Layout::kProbeArray},
+                      {rTable, write_base}};
+    spec.modelStoreBypass = false;
+    return spec;
+}
+
+/** Meltdown-family faulting read: a direct load from a protected
+ *  range; the analyzer expands the in-instruction permission check
+ *  and the transient read as separate micro-ops. */
+StaticProgramSpec
+faultingReadSpec(Addr secret_base, const char *range_name)
+{
+    StaticProgramSpec spec;
+    Program &p = spec.program;
+    p.emit(uarch::load8(rByte, rSecret, 0));
+    emitSend(p, rByte);
+    p.emit(uarch::halt());
+    spec.ranges = {{secret_base, kPageSize, range_name}};
+    spec.knownRegs = {{rSecret, secret_base},
+                      {rProbe, Layout::kProbeArray}};
+    spec.modelBranches = false;
+    spec.modelStoreBypass = false;
+    return spec;
+}
+
+/** TAA/CacheOut: the faulting read inside a TSX transaction whose
+ *  asynchronous abort replaces the architectural fault. */
+StaticProgramSpec
+transactionalReadSpec(Addr secret_base, const char *range_name)
+{
+    StaticProgramSpec spec;
+    Program &p = spec.program;
+    Program::Label abort_handler = p.newLabel();
+    p.emitXBegin(abort_handler);
+    p.emit(uarch::load8(rByte, rSecret, 0));
+    emitSend(p, rByte);
+    p.emit(uarch::xend());
+    p.bind(abort_handler);
+    p.emit(uarch::halt());
+    spec.ranges = {{secret_base, kPageSize, range_name}};
+    spec.knownRegs = {{rSecret, secret_base},
+                      {rProbe, Layout::kProbeArray}};
+    spec.modelBranches = false;
+    spec.modelStoreBypass = false;
+    return spec;
+}
+
+/** Special-register read (RDMSR / stale FPU state) + send chain. */
+StaticProgramSpec
+specialRegisterSpec(bool fpu)
+{
+    StaticProgramSpec spec;
+    Program &p = spec.program;
+    if (fpu)
+        p.emit(uarch::fpRead(rByte, 0));
+    else
+        p.emit(uarch::rdmsr(rByte, 0x3a));
+    emitSend(p, rByte);
+    p.emit(uarch::halt());
+    spec.knownRegs = {{rProbe, Layout::kProbeArray}};
+    spec.modelBranches = false;
+    spec.modelStoreBypass = false;
+    return spec;
+}
+
+/** Spectre v4: a load bypasses the unresolved store it aliases and
+ *  forwards the stale secret to the send chain. */
+StaticProgramSpec
+storeBypassSpec()
+{
+    StaticProgramSpec spec;
+    Program &p = spec.program;
+    p.emit(uarch::movImm(rVal, 0));
+    p.emit(uarch::store64(rBoundPtr, 0, rVal));
+    p.emit(uarch::load64(rByte, rBoundPtr, 0));
+    emitSend(p, rByte);
+    p.emit(uarch::halt());
+    // The stale slot itself is not a protected *range*: the secret
+    // is whatever the overwritten value was (Fig. 6).
+    spec.ranges = {{Layout::kUserSecret, kPageSize,
+                    "stale secret S"}};
+    spec.knownRegs = {{rBoundPtr, Layout::kStaleAddr},
+                      {rProbe, Layout::kProbeArray}};
+    spec.modelBranches = false;
+    spec.modelFaults = false;
+    return spec;
+}
+
+} // anonymous namespace
+
+core::StaticProgramFn
+builtinStaticProgram(core::AttackVariant variant)
+{
+    using enum core::AttackVariant;
+    switch (variant) {
+      case SpectreV1:
+        return [] {
+            StaticProgramSpec spec =
+                boundsReadSpec("victim secret");
+            spec.maskReg = rIdx;
+            spec.maskValue = 0xff;
+            return spec;
+        };
+      case SpectreV1_1:
+        return [] {
+            StaticProgramSpec spec = boundsWriteSpec(
+                Layout::kVictimTable, "victim secret");
+            spec.maskReg = rIdx;
+            spec.maskValue = 0xff;
+            return spec;
+        };
+      case SpectreV1_2:
+        return [] {
+            StaticProgramSpec spec = boundsWriteSpec(
+                Layout::kReadOnlyPage, "victim secret");
+            spec.maskReg = rIdx;
+            spec.maskValue = 0xff;
+            return spec;
+        };
+      // The analyzer is straight-line: it cannot follow BTB/RSB
+      // speculation targets.  v2 and RSB model the mistrained
+      // dispatch as an attacker-guarded forward branch — the
+      // authorization/access race in the transient gadget is
+      // identical, only the predictor that opens the window
+      // differs.
+      case SpectreV2:
+        return [] { return boundsReadSpec("victim secret"); };
+      case SpectreRsb:
+        return [] { return boundsReadSpec("victim secret"); };
+      case Meltdown:
+        return [] {
+            return faultingReadSpec(Layout::kKernelData,
+                                    "kernel data");
+        };
+      case MeltdownV3a:
+        return [] { return specialRegisterSpec(false); };
+      case SpectreV4:
+        return [] { return storeBypassSpec(); };
+      case Foreshadow:
+        return [] {
+            return faultingReadSpec(Layout::kEnclaveData,
+                                    "enclave secret");
+        };
+      case ForeshadowOs:
+        return [] {
+            return faultingReadSpec(Layout::kKernelData,
+                                    "kernel secret");
+        };
+      case ForeshadowVmm:
+        return [] {
+            return faultingReadSpec(Layout::kVmmData,
+                                    "VMM/guest secret");
+        };
+      case LazyFp:
+        return [] { return specialRegisterSpec(true); };
+      case Ridl:
+        return [] {
+            return faultingReadSpec(Layout::kUnmapped,
+                                    "line-fill buffer residue");
+        };
+      case ZombieLoad:
+        return [] {
+            return faultingReadSpec(Layout::kUnmapped,
+                                    "fill-buffer residue");
+        };
+      case Fallout:
+        return [] {
+            return faultingReadSpec(Layout::kUnmapped,
+                                    "store-buffer residue");
+        };
+      case Lvi:
+        return [] {
+            return faultingReadSpec(
+                Layout::kUnmapped,
+                "attacker value M (injected via buffers)");
+        };
+      case Taa:
+        return [] {
+            return transactionalReadSpec(Layout::kUnmapped,
+                                         "buffer residue");
+        };
+      case Cacheout:
+        return [] {
+            return transactionalReadSpec(Layout::kUnmapped,
+                                         "evicted L1 line");
+        };
+      case Spoiler:
+        // Spoiler's verdict is a store-buffer timing threshold;
+        // there is no missing-dependency race to find.
+        return nullptr;
+    }
+    return nullptr;
+}
+
+core::StaticProgramFn
+composedV2FpuStaticProgram()
+{
+    // Composed variant: indirect-branch trigger x stale-FPU-state
+    // source.  The FPU ownership check is the authorization the
+    // transient read races, so the FP-read shape carries the whole
+    // analysis; the indirect trigger only opens the window.
+    return [] { return specialRegisterSpec(true); };
+}
+
+} // namespace specsec::attacks

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Static (Fig. 9 analyzer) programs for the built-in attacks: the
+ * concrete ISA gadget each variant's transient window executes,
+ * expressed as a core::StaticProgramSpec so the lint subsystem and
+ * the static verdict backend can hand any registered attack to
+ * tool::analyzeSpec.
+ *
+ * Each program is the canonical *listing* shape of the variant — a
+ * bounds-check branch plus out-of-bounds access for the Spectre
+ * family, a faulting protected-range load for the Meltdown family,
+ * an RDMSR / FP read for the special-register variants, a
+ * store/load alias pair for v4 — followed by the cache-channel send
+ * chain (shift, add probe base, dependent load).  The straight-line
+ * analyzer cannot follow indirect-branch or return speculation, so
+ * v2 / RSB model their mistrained dispatch as an attacker-guarded
+ * forward conditional branch: the authorization/access race is the
+ * same, only the predictor differs.
+ */
+
+#ifndef SPECSEC_ATTACKS_STATIC_PROGRAMS_HH
+#define SPECSEC_ATTACKS_STATIC_PROGRAMS_HH
+
+#include "core/catalog.hh"
+
+namespace specsec::attacks
+{
+
+/**
+ * The static-program hook for built-in variant @p variant, or an
+ * empty function for variants with no analyzable program (Spoiler:
+ * the verdict is a store-buffer timing threshold, which the
+ * dependency analysis cannot express).
+ */
+core::StaticProgramFn
+builtinStaticProgram(core::AttackVariant variant);
+
+/** The hook for the composed v2-trigger x FPU-source extension. */
+core::StaticProgramFn composedV2FpuStaticProgram();
+
+} // namespace specsec::attacks
+
+#endif // SPECSEC_ATTACKS_STATIC_PROGRAMS_HH

@@ -15,6 +15,7 @@
 #include "core/catalog.hh"
 #include "sink.hh"
 #include "verdict/model.hh"
+#include "verdict/static_verdict.hh"
 
 namespace specsec::campaign
 {
@@ -755,10 +756,12 @@ std::string
 backendCacheKey(verdict::VerdictBackend backend,
                 const std::string &key)
 {
-    // Simulator, Differential and Triage all memoize *simulated*
-    // entries, mutually compatible under the bare key.  Model
-    // entries are predictions, not measurements: tag them so neither
-    // side can ever satisfy the other's lookup.
+    // Simulator, Differential, Static and Triage all memoize
+    // *simulated* entries, mutually compatible under the bare key
+    // (Static's analyzer verdict is an annotation beside the
+    // simulation, never cached).  Model entries are predictions, not
+    // measurements: tag them so neither side can ever satisfy the
+    // other's lookup.
     if (backend == verdict::VerdictBackend::Model)
         return "model|" + key;
     return key;
@@ -949,7 +952,9 @@ CampaignEngine::run(const ScenarioSpec &spec,
     const auto emit = [&](std::size_t pos, const AttackResult &result,
                           const CpuStats &stats, double wallMillis,
                           const core::ModelJudgement *judgement,
-                          const char *agreement) {
+                          const char *agreement,
+                          const verdict::StaticJudgement *rewrite =
+                              nullptr) {
         for (const std::size_t e : backedBy.at(pos)) {
             const Scenario &dup = grid.expanded[e];
             ScenarioOutcome o;
@@ -971,15 +976,35 @@ CampaignEngine::run(const ScenarioSpec &spec,
             }
             if (agreement)
                 o.agreement = agreement;
+            if (rewrite) {
+                o.fencesInserted = rewrite->fencesInserted;
+                o.masksInserted = rewrite->masksInserted;
+                o.extraInstructions = rewrite->extraInstructions;
+            }
             for (OutcomeSink *sink : sinks)
                 sink->consume(o);
         }
     };
 
-    /// Count one judged cell; @return the judgement.
-    const auto judged = [&](const Scenario &s) {
-        core::ModelJudgement j =
-            verdict::judgeScenario(s.variant, s.config, s.options);
+    /// Count one judged cell; @return the judgement.  Under the
+    /// Static backend the verdict comes from the Fig. 9 program
+    /// analyzer (and @p rewrite, when given, receives the applied
+    /// program rewrite's overhead); every other backend asks the
+    /// graph model.
+    const auto judged = [&](const Scenario &s,
+                            verdict::StaticJudgement *rewrite =
+                                nullptr) {
+        core::ModelJudgement j;
+        if (backend == verdict::VerdictBackend::Static) {
+            verdict::StaticJudgement sj = verdict::judgeScenarioStatic(
+                s.variant, s.config, s.options);
+            if (rewrite)
+                *rewrite = sj;
+            j = std::move(sj.judgement);
+        } else {
+            j = verdict::judgeScenario(s.variant, s.config,
+                                       s.options);
+        }
         (j.decided() ? modelDecided : modelUndecided)
             .fetch_add(1, std::memory_order_relaxed);
         return j;
@@ -1053,8 +1078,10 @@ CampaignEngine::run(const ScenarioSpec &spec,
             CpuStats stats;
             double wallMillis = 0.0;
             simulate(s, result, stats, wallMillis);
-            if (backend == verdict::VerdictBackend::Differential) {
-                const core::ModelJudgement j = judged(s);
+            if (backend == verdict::VerdictBackend::Differential ||
+                backend == verdict::VerdictBackend::Static) {
+                verdict::StaticJudgement sj;
+                const core::ModelJudgement j = judged(s, &sj);
                 const char *agreement = "undecided";
                 if (j.decided()) {
                     agreement =
@@ -1065,7 +1092,10 @@ CampaignEngine::run(const ScenarioSpec &spec,
                         disagreements.fetch_add(
                             1, std::memory_order_relaxed);
                 }
-                emit(pos, result, stats, wallMillis, &j, agreement);
+                emit(pos, result, stats, wallMillis, &j, agreement,
+                     backend == verdict::VerdictBackend::Static
+                         ? &sj
+                         : nullptr);
             } else {
                 emit(pos, result, stats, wallMillis, nullptr,
                      nullptr);

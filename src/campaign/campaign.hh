@@ -453,6 +453,13 @@ struct ScenarioOutcome
     std::string modelVerdict;
     std::string agreement;
     std::string evidence;
+    /// Static-backend rewrite overhead: fences / index masks the
+    /// in-program mitigation inserted into the attack's static
+    /// program before analysis, and the resulting instruction-count
+    /// growth.  All zero outside `--backend static`.
+    std::size_t fencesInserted = 0;
+    std::size_t masksInserted = 0;
+    std::size_t extraInstructions = 0;
     /// @}
 };
 

@@ -39,6 +39,7 @@
 
 #include "attacks/attack_kit.hh"
 #include "defense_catalog.hh"
+#include "uarch/isa.hh"
 #include "variants.hh"
 
 namespace specsec::core
@@ -130,6 +131,83 @@ using DefenseApplyFn = std::function<void(uarch::CpuConfig &,
                                           attacks::AttackOptions &)>;
 
 /**
+ * The static-analysis view of an attack: the concrete ISA program
+ * its transient gadget corresponds to, the protected memory ranges
+ * holding the secret, and the registers the attacker controls or
+ * the program knows on entry.  This is exactly the input of the
+ * Section V-C / Fig. 9 analyzer (tool::analyzeSpec); it lives in
+ * core so descriptors can carry it without the catalog depending on
+ * the tool layer — lint and the static verdict backend convert it.
+ */
+struct StaticProgramSpec
+{
+    uarch::Program program;
+
+    /** One memory range holding secrets (tool::ProtectedRange). */
+    struct Range
+    {
+        uarch::Addr base = 0;
+        uarch::Addr length = 0;
+        std::string name = "secret";
+    };
+    std::vector<Range> ranges;
+
+    /// Registers holding attacker-controlled program input.
+    std::vector<uarch::RegId> attackerRegs;
+
+    /// Registers with known constant values (array bases, bounds).
+    std::vector<std::pair<uarch::RegId, uarch::Word>> knownRegs;
+
+    /// array_index_nospec knowledge for the masking transform: the
+    /// speculated index register and the mask that provably clamps
+    /// it into the legal range.  Absent when the shape has no
+    /// maskable index (faulting accesses, special-register reads).
+    std::optional<uarch::RegId> maskReg;
+    std::optional<uarch::Word> maskValue;
+
+    /// Which speculation classes the analysis should consider for
+    /// this shape (mirrors tool::ThreatModel).  Branch-family
+    /// programs switch off store-bypass so incidental store/load
+    /// pairs do not grow spurious disambiguation nodes.
+    bool modelBranches = true;
+    bool modelFaults = true;
+    bool modelStoreBypass = true;
+};
+
+/**
+ * Build the attack's static program on demand.  Optional: attacks
+ * without the hook (pure timing attacks like Spoiler, extensions
+ * that never wrote one) are invisible to the lint subsystem and
+ * Undecided under the static verdict backend.
+ */
+using StaticProgramFn = std::function<StaticProgramSpec()>;
+
+/**
+ * Outcome of a program-level hardening transform (a
+ * MitigationDescriptor realized as an ISA rewrite, not just a
+ * simulator toggle): the hardened spec plus the patch overhead the
+ * campaign exports, and the post-transform static verification.
+ */
+struct TransformResult
+{
+    StaticProgramSpec hardened;
+    std::size_t fencesInserted = 0;
+    std::size_t masksInserted = 0;
+    /// hardened.program.size() - original program size.
+    std::size_t extraInstructions = 0;
+    /// True when re-analyzing the hardened program finds no
+    /// remaining missing security dependency.
+    bool verified = false;
+    /// Races the transform provably cannot close (intra-instruction
+    /// Meltdown-type expansions).
+    std::size_t residualRaces = 0;
+};
+
+/** Apply a hardening transform to one attack's static program. */
+using ProgramTransformFn =
+    std::function<TransformResult(const StaticProgramSpec &)>;
+
+/**
  * First AttackVariant slot the catalog hands to attacks registered
  * without an enum value.  Everything below this is reserved for the
  * named enumerators; scenario keys serialize the slot, so built-in
@@ -174,6 +252,11 @@ struct AttackDescriptor
     /// Canonicalize AttackOptions for triage replication (see
     /// CanonicalOptionsFn).  Optional.
     CanonicalOptionsFn canonicalOptions;
+
+    /// Build the variant's static program for the Fig. 9 analyzer
+    /// (lint + static verdict backend).  Optional — see
+    /// StaticProgramFn for absent semantics.
+    StaticProgramFn staticProgram;
 
     /// Built-in enum slot.  Leave empty for out-of-tree attacks:
     /// registerAttack assigns a synthetic slot >= kExtensionIdBase.
@@ -232,6 +315,13 @@ struct MitigationDescriptor
     std::vector<std::string> aliases;
     std::string description;
     MitigationToggles toggles;
+
+    /// Program-level realization (optional): rewrite the attack's
+    /// static program (fence insertion, index masking) instead of
+    /// only toggling the simulator runner.  The static verdict
+    /// backend analyzes the transformed program and the campaign
+    /// exports the returned patch overhead.
+    ProgramTransformFn transform;
 
     /** OR the toggles into @p options. */
     void applyTo(attacks::AttackOptions &options) const

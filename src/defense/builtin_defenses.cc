@@ -10,6 +10,7 @@
  */
 
 #include "core/catalog.hh"
+#include "verdict/static_verdict.hh"
 
 namespace specsec::core::detail
 {
@@ -363,6 +364,38 @@ registerBuiltinMitigations(ScenarioCatalog &catalog)
             catalog, "flush-l1",
             "L1 flush on enclave/kernel/VMM exit (Foreshadow)", t,
             {"flush-l1-on-exit"});
+    }
+    // Mitigations-as-transforms: same simulator semantics as
+    // "lfence" / "addr-mask" (the toggles), plus a program rewrite
+    // the static backend verifies with the Fig. 9 analyzer and
+    // reports patch overhead for.
+    {
+        MitigationToggles t;
+        t.softwareLfence = true;
+        MitigationDescriptor d;
+        d.name = "fence-harden";
+        d.aliases = {"fence-hardened"};
+        d.description =
+            "statically-verified fence insertion: tool::autoPatch "
+            "rewrites the attack's static program until no "
+            "exploitable flow remains";
+        d.toggles = t;
+        d.transform = verdict::fenceHardenTransform;
+        catalog.registerMitigation(std::move(d));
+    }
+    {
+        MitigationToggles t;
+        t.addressMasking = true;
+        MitigationDescriptor d;
+        d.name = "mask-harden";
+        d.aliases = {"mask-hardened"};
+        d.description =
+            "statically-verified index masking: an "
+            "array_index_nospec clamp after the bounds check, "
+            "re-analyzed post-transform";
+        d.toggles = t;
+        d.transform = verdict::maskHardenTransform;
+        catalog.registerMitigation(std::move(d));
     }
 }
 

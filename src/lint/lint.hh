@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Static leak lint: stable, schema-declared findings over the Fig. 9
+ * analyzer's output for every catalog attack with a static program.
+ *
+ * Each missing security dependency the analyzer reports (a Theorem 1
+ * race) is classified under a fixed rule id with a severity, the
+ * program location of the racing access, and the witness description
+ * of the race.  Reports serialize to JSON ("specsec-lint-v1"),
+ * commit under golden/lint-*.json, and are compared finding-by-
+ * finding like the success-matrix goldens — the analyzer's verdict
+ * over the whole catalog is pinned in CI, not just unit-tested.
+ */
+
+#ifndef SPECSEC_LINT_LINT_HH
+#define SPECSEC_LINT_LINT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/catalog.hh"
+
+namespace specsec::lint
+{
+
+/** One declared lint rule. */
+struct LintRule
+{
+    const char *id;       ///< stable kebab-case rule id
+    const char *severity; ///< "error" | "warning"
+    const char *summary;  ///< one-line description
+};
+
+/** All declared rules, in severity-then-definition order. */
+const std::vector<LintRule> &rules();
+
+/** @return the rule with @p id, or nullptr. */
+const LintRule *findRule(const std::string &id);
+
+/** One classified finding (a missing security dependency). */
+struct LintFinding
+{
+    std::string rule;
+    std::string severity;
+    /// pc of the authorization / racing access; -1 when the node has
+    /// no program location (synthetic receiver).
+    std::int64_t authPc = -1;
+    std::int64_t accessPc = -1;
+    /// Disassembly of the instruction at accessPc.
+    std::string instruction;
+    /// The analyzer's race description (witness path endpoints).
+    std::string witness;
+    /// Cheapest paper strategy whose dependency closes the race.
+    std::string suggested;
+
+    bool operator==(const LintFinding &) const = default;
+};
+
+/** The lint report for one attack's static program. */
+struct LintReport
+{
+    std::string attack;      ///< canonical catalog name
+    bool vulnerable = false; ///< analyzer's overall verdict
+    std::vector<LintFinding> findings;
+};
+
+/**
+ * Run the analyzer over @p descriptor's static program and classify
+ * every finding.  @p descriptor must have the staticProgram hook.
+ */
+LintReport lintAttack(const core::AttackDescriptor &descriptor);
+
+/** Stable file slug for an attack name:
+ *  "Meltdown (Spectre v3)" -> "meltdown-spectre-v3". */
+std::string lintFileSlug(const std::string &attack_name);
+
+/** Serialize a report ("specsec-lint-v1", trailing newline). */
+std::string lintReportJson(const LintReport &report);
+
+/**
+ * Strict parse of a serialized report: unknown keys and a missing
+ * or foreign schema tag fail.  On failure returns nullopt and sets
+ * @p error when non-null.
+ */
+std::optional<LintReport>
+parseLintReportJson(const std::string &text, std::string *error);
+
+/**
+ * Finding-by-finding comparison, analogous to the differential
+ * pins: one drift line per unpinned / changed / vanished finding
+ * and per verdict flip.  Empty means the reports agree.
+ */
+std::vector<std::string> compareLintReports(const LintReport &pinned,
+                                            const LintReport &fresh);
+
+} // namespace specsec::lint
+
+#endif // SPECSEC_LINT_LINT_HH

@@ -239,6 +239,39 @@ vulnAblationSpec()
 }
 
 ScenarioSpec
+staticHardeningSpec()
+{
+    // Hardened-vs-unhardened across the whole catalog: every
+    // enum-backed attack with a static program (all but Spoiler)
+    // against the transform-backed mitigations.  The simulator runs
+    // the toggles; `--backend static` re-judges each cell from the
+    // rewritten program, so bounds-family leaks must flip to
+    // blocked under both columns and the divergence pins stay
+    // empty/documented.
+    ScenarioSpec spec;
+    spec.name = "static-hardening";
+    spec.variants = {
+        AttackVariant::SpectreV1,  AttackVariant::SpectreV1_1,
+        AttackVariant::SpectreV1_2, AttackVariant::SpectreV2,
+        AttackVariant::Meltdown,   AttackVariant::MeltdownV3a,
+        AttackVariant::SpectreV4,  AttackVariant::SpectreRsb,
+        AttackVariant::Foreshadow, AttackVariant::ForeshadowOs,
+        AttackVariant::ForeshadowVmm, AttackVariant::LazyFp,
+        AttackVariant::Ridl,       AttackVariant::ZombieLoad,
+        AttackVariant::Fallout,    AttackVariant::Lvi,
+        AttackVariant::Taa,        AttackVariant::Cacheout,
+    };
+    for (const char *name : {"none", "fence-harden", "mask-harden"}) {
+        const auto m = SoftwareMitigation::byName(name);
+        if (!m)
+            throw std::logic_error(
+                "regress spec names an unregistered mitigation");
+        spec.mitigations.push_back(*m);
+    }
+    return spec;
+}
+
+ScenarioSpec
 cacheGeometrySpec()
 {
     ScenarioSpec spec;
@@ -304,6 +337,10 @@ registeredSpecs()
         {"cache-geometry",
          "cache-geometry sweeps across both covert channels",
          cacheGeometrySpec()},
+        {"static-hardening",
+         "transform-backed mitigations vs. the catalog, verified "
+         "by the static backend",
+         staticHardeningSpec()},
     };
     return specs;
 }

@@ -70,6 +70,12 @@ campaign::ScenarioSpec vulnAblationSpec();
 /// Cache-geometry sweeps (sets/ways/latency) as a grid dimension.
 campaign::ScenarioSpec cacheGeometrySpec();
 
+/// Transform-backed mitigations (fence-harden, mask-harden) across
+/// every enum-backed attack with a static program; the static
+/// backend re-verifies each hardened cell from the rewritten
+/// program.
+campaign::ScenarioSpec staticHardeningSpec();
+
 /// @}
 
 } // namespace specsec::regress

@@ -56,6 +56,7 @@
 #include "tool/report_io.hh"
 #include "verdict/differential.hh"
 #include "verdict/model.hh"
+#include "verdict/static_verdict.hh"
 #include "verdict/verdict.hh"
 
 using namespace specsec;
@@ -81,18 +82,23 @@ usage(const char *prog)
         "                     differential backend and also "
         "(re)writes the\n"
         "                     disagreement pins "
-        "golden/differential-<spec>.json\n"
+        "golden/differential-<spec>.json and\n"
+        "                     golden/differential-static-<spec>.json\n"
         "  --check            compare a fresh run against goldens "
         "(default)\n"
         "  --backend B        with --check: simulator (default), "
         "differential\n"
         "                     (also gate model-vs-simulator "
         "disagreements against\n"
-        "                     the committed pins) or triage (model "
+        "                     the committed pins), triage (model "
         "first, simulate\n"
         "                     only the undecided frontier; matrices "
         "must still\n"
-        "                     match the goldens byte-for-byte)\n"
+        "                     match the goldens byte-for-byte) or "
+        "static (gate\n"
+        "                     analyzer-vs-simulator disagreements "
+        "against the\n"
+        "                     differential-static-<spec>.json pins)\n"
         "  --merge            merge shard reports from --shard-dir "
         "and compare\n"
         "                     the merged matrices against goldens\n"
@@ -330,15 +336,25 @@ mergeShards(const NamedSpec &named, const std::string &shard_dir)
     return merged;
 }
 
+/** Pin-file basename prefix for a judging backend's divergences. */
+const char *
+pinPrefix(verdict::VerdictBackend backend)
+{
+    return backend == verdict::VerdictBackend::Static
+               ? "differential-static-"
+               : "differential-";
+}
+
 /**
- * The disagreements of a differential-backend run, one entry per
- * distinct scenario key (grid dedup can back several cells with one
- * execution), with the model rule's rationale re-derived so recorded
- * pins are self-documenting.
+ * The disagreements of a differential- or static-backend run, one
+ * entry per distinct scenario key (grid dedup can back several cells
+ * with one execution), with the judging backend's rationale
+ * re-derived so recorded pins are self-documenting.
  */
 verdict::DisagreementSet
 freshDisagreements(const NamedSpec &named,
-                   const campaign::CampaignReport &report)
+                   const campaign::CampaignReport &report,
+                   verdict::VerdictBackend backend)
 {
     verdict::DisagreementSet set;
     set.spec = named.name;
@@ -359,8 +375,13 @@ freshDisagreements(const NamedSpec &named,
         d.simulator = o.result.leaked ? "leak" : "blocked";
         d.evidence = o.evidence;
         d.rationale =
-            verdict::judgeScenario(o.variant, o.config, o.options)
-                .rationale;
+            backend == verdict::VerdictBackend::Static
+                ? verdict::judgeScenarioStatic(o.variant, o.config,
+                                               o.options)
+                      .judgement.rationale
+                : verdict::judgeScenario(o.variant, o.config,
+                                         o.options)
+                      .rationale;
         set.disagreements.push_back(std::move(d));
     }
     return set;
@@ -375,14 +396,16 @@ freshDisagreements(const NamedSpec &named,
 void
 checkDisagreements(const NamedSpec &named,
                    const campaign::CampaignReport &report,
+                   verdict::VerdictBackend backend,
                    const std::string &golden_dir,
                    const std::string &artifact_dir,
                    GateStatus &status)
 {
     const verdict::DisagreementSet fresh =
-        freshDisagreements(named, report);
-    const std::string pin_path =
-        golden_dir + "/differential-" + named.name + ".json";
+        freshDisagreements(named, report, backend);
+    const std::string pin_path = golden_dir + "/" +
+                                 pinPrefix(backend) + named.name +
+                                 ".json";
 
     verdict::DisagreementSet pinned;
     pinned.spec = named.name;
@@ -829,7 +852,9 @@ main(int argc, char **argv)
             // reproduces the committed set byte-for-byte (the CI
             // schema-drift job compares both directions).
             const verdict::DisagreementSet fresh =
-                freshDisagreements(named, report);
+                freshDisagreements(
+                    named, report,
+                    verdict::VerdictBackend::Differential);
             const std::string pin_path =
                 golden_dir + "/differential-" + named.name +
                 ".json";
@@ -844,13 +869,43 @@ main(int argc, char **argv)
                         named.name.c_str(),
                         fresh.disagreements.size(),
                         pin_path.c_str());
+
+            // Static-analyzer pins ride along too: re-judge the same
+            // grid under the static backend (every simulation is a
+            // cache hit from the sweep above) and pin its
+            // divergences next to the model's.
+            campaign::CampaignEngine::Options static_opts =
+                engine_opts;
+            static_opts.backend = verdict::VerdictBackend::Static;
+            const campaign::CampaignReport static_report =
+                campaign::CampaignEngine(static_opts).run(named.spec);
+            const verdict::DisagreementSet static_fresh =
+                freshDisagreements(named, static_report,
+                                   verdict::VerdictBackend::Static);
+            const std::string static_pin_path =
+                golden_dir + "/differential-static-" + named.name +
+                ".json";
+            if (!tool::writeTextFile(
+                    static_pin_path,
+                    verdict::disagreementJson(static_fresh))) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             static_pin_path.c_str());
+                status.io_error = true;
+                continue;
+            }
+            std::printf("pinned   %-28s %4zu static divergence(s) "
+                        "-> %s\n",
+                        named.name.c_str(),
+                        static_fresh.disagreements.size(),
+                        static_pin_path.c_str());
             continue;
         }
 
         checkAgainstGolden(named, report, golden_dir, artifact_dir,
                            status);
-        if (backend == verdict::VerdictBackend::Differential)
-            checkDisagreements(named, report, golden_dir,
+        if (backend == verdict::VerdictBackend::Differential ||
+            backend == verdict::VerdictBackend::Static)
+            checkDisagreements(named, report, backend, golden_dir,
                                artifact_dir, status);
         else if (backend == verdict::VerdictBackend::Triage)
             std::printf("triage   %-28s %zu decided, %zu "

@@ -16,6 +16,21 @@ analyzeSpec(const AnalysisSpec &spec)
     return a.analyze();
 }
 
+AnalysisSpec
+toAnalysisSpec(const core::StaticProgramSpec &spec)
+{
+    AnalysisSpec out;
+    out.program = spec.program;
+    for (const core::StaticProgramSpec::Range &r : spec.ranges)
+        out.ranges.push_back({r.base, r.length, r.name});
+    out.model.branchSpeculation = spec.modelBranches;
+    out.model.faultingAccess = spec.modelFaults;
+    out.model.storeBypass = spec.modelStoreBypass;
+    out.attackerRegs = spec.attackerRegs;
+    out.knownRegs = spec.knownRegs;
+    return out;
+}
+
 PatchResult
 autoPatch(const AnalysisSpec &spec, std::size_t max_iterations)
 {

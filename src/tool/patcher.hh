@@ -9,6 +9,7 @@
 #define SPECSEC_TOOL_PATCHER_HH
 
 #include "analyzer.hh"
+#include "core/catalog.hh"
 
 namespace specsec::tool
 {
@@ -25,6 +26,13 @@ struct AnalysisSpec
 
 /** Build and run an analyzer from a spec. */
 AnalysisResult analyzeSpec(const AnalysisSpec &spec);
+
+/**
+ * Convert a catalog attack's static program (the staticProgram hook
+ * payload) into an analyzer input — ranges, attacker/known
+ * registers and the shape's declared threat model carry over 1:1.
+ */
+AnalysisSpec toAnalysisSpec(const core::StaticProgramSpec &spec);
 
 /** Result of automatic patching. */
 struct PatchResult

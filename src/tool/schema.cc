@@ -547,6 +547,36 @@ makeOutcomeSchema()
              o.evidence = v.s;
              return true;
          }});
+    // Static-backend rewrite overhead (zero elsewhere): how many
+    // fences / index masks the in-program mitigation inserted and
+    // the resulting instruction-count growth.
+    fields.push_back(
+        {"fences_inserted", FieldType::UInt, kVerdict,
+         [](const ScenarioOutcome &o) {
+             return FieldValue::ofUInt(o.fencesInserted);
+         },
+         [](ScenarioOutcome &o, const FieldValue &v) {
+             o.fencesInserted = v.u;
+             return true;
+         }});
+    fields.push_back(
+        {"masks_inserted", FieldType::UInt, kVerdict,
+         [](const ScenarioOutcome &o) {
+             return FieldValue::ofUInt(o.masksInserted);
+         },
+         [](ScenarioOutcome &o, const FieldValue &v) {
+             o.masksInserted = v.u;
+             return true;
+         }});
+    fields.push_back(
+        {"extra_instructions", FieldType::UInt, kVerdict,
+         [](const ScenarioOutcome &o) {
+             return FieldValue::ofUInt(o.extraInstructions);
+         },
+         [](ScenarioOutcome &o, const FieldValue &v) {
+             o.extraInstructions = v.u;
+             return true;
+         }});
     return RecordSchema<ScenarioOutcome>("outcome",
                                          std::move(fields));
 }
@@ -710,6 +740,8 @@ attackDescriptorJson(const core::AttackDescriptor &d)
     out += d.buildGraph ? "true" : "false";
     out += ", \"hasModelVerdict\": ";
     out += d.modelVerdict ? "true" : "false";
+    out += ", \"hasStaticProgram\": ";
+    out += d.staticProgram ? "true" : "false";
     out += "}";
     return out;
 }

@@ -72,10 +72,11 @@ inForeshadowFamily(AttackVariant v)
                      AttackVariant::ForeshadowVmm});
 }
 
-/**
- * The forwarding path (VulnConfig flag) the attack transmits
- * through, or nullptr when it needs none that can be ablated.
- */
+} // anonymous namespace
+
+namespace detail
+{
+
 const char *
 requiredVulnPath(AttackVariant v, const uarch::VulnConfig &vuln,
                  bool &present)
@@ -113,6 +114,11 @@ requiredVulnPath(AttackVariant v, const uarch::VulnConfig &vuln,
     }
 }
 
+} // namespace detail
+
+namespace
+{
+
 ModelJudgement
 undecided(std::string why)
 {
@@ -121,6 +127,11 @@ undecided(std::string why)
     j.evidence = std::move(why);
     return j;
 }
+
+} // anonymous namespace
+
+namespace detail
+{
 
 /**
  * Timing gate: the attack graph orders operations but counts no
@@ -191,6 +202,11 @@ timingKnobOffDefault(const CpuConfig &config,
                  "delayAuthorization");
     return off;
 }
+
+} // namespace detail
+
+namespace
+{
 
 /** One defense mechanism the model understands. */
 struct MechanismRule
@@ -338,7 +354,7 @@ modelJudgement(AttackVariant variant, const CpuConfig &config,
     //    knobs say: an ablated forwarding path never forwards).
     bool present = true;
     if (const char *path =
-            requiredVulnPath(variant, config.vuln, present);
+            detail::requiredVulnPath(variant, config.vuln, present);
         path && !present) {
         ModelJudgement j;
         j.verdict = ModelVerdict::Inapplicable;
@@ -349,7 +365,7 @@ modelJudgement(AttackVariant variant, const CpuConfig &config,
 
     // 2. Timing gate.
     std::string knob;
-    if (timingKnobOffDefault(config, options, knob)) {
+    if (detail::timingKnobOffDefault(config, options, knob)) {
         return undecided("off-default timing knob '" + knob +
                          "'; the graph orders operations but counts "
                          "no cycles");

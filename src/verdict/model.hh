@@ -67,6 +67,32 @@ core::ModelVerdictFn builtinModelVerdict(core::AttackVariant variant);
 core::CanonicalOptionsFn
 builtinCanonicalOptions(core::AttackVariant variant);
 
+namespace detail
+{
+
+/**
+ * The forwarding path (VulnConfig flag) the attack transmits
+ * through, or nullptr when it needs none that can be ablated.
+ * Sets @p present to whether the core still has the path.  Shared
+ * by the model and static backends (gate 1 of both).
+ */
+const char *requiredVulnPath(core::AttackVariant variant,
+                             const uarch::VulnConfig &vuln,
+                             bool &present);
+
+/**
+ * Timing gate shared by the model and static backends: true when
+ * any off-default timing quantity (CPU latency / width knob, cache
+ * geometry, secret length, training rounds, authorization-delay
+ * ablation) makes the cell's outcome simulation-only; names the
+ * first such knob in @p knob.
+ */
+bool timingKnobOffDefault(const uarch::CpuConfig &config,
+                          const attacks::AttackOptions &options,
+                          std::string &knob);
+
+} // namespace detail
+
 } // namespace specsec::verdict
 
 #endif // SPECSEC_VERDICT_MODEL_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The static verdict backend: judge a campaign cell from the Fig. 9
+ * program analyzer instead of the simulator or the hand-curated
+ * graph model.  A cell is a Leak iff an exploitable flow survives
+ * in the attack's static program after the cell's software
+ * mitigation is applied *as a program rewrite* (fence insertion,
+ * address masking); hardware defenses and out-of-program
+ * mitigations (KPTI, RSB stuffing, L1 flush) are outside a
+ * program-level analyzer's scope and yield Undecided.
+ *
+ * Also home of the mitigation-as-transform hooks: fence-harden
+ * (tool::autoPatch) and mask-harden (array_index_nospec-style index
+ * clamping), each statically verified post-transform with patch
+ * overhead reported.
+ */
+
+#ifndef SPECSEC_VERDICT_STATIC_VERDICT_HH
+#define SPECSEC_VERDICT_STATIC_VERDICT_HH
+
+#include "core/catalog.hh"
+
+namespace specsec::verdict
+{
+
+/** A static verdict plus the applied rewrite's overhead. */
+struct StaticJudgement
+{
+    core::ModelJudgement judgement;
+    /// Rewrite overhead (zero when no transform applied).
+    std::size_t fencesInserted = 0;
+    std::size_t masksInserted = 0;
+    std::size_t extraInstructions = 0;
+};
+
+/**
+ * Judge one cell statically for a cataloged attack:
+ *
+ *  1. Options are canonicalized through the descriptor's
+ *     canonicalOptions hook (when present), so toggles the runner
+ *     provably ignores never reach the analyzer — exactly the
+ *     scoping the simulator applies.
+ *  2. Required-vulnerability gate (shared with the model backend):
+ *     ablated forwarding path -> Inapplicable.
+ *  3. Timing gate (shared): off-default timing knob -> Undecided.
+ *  4. Any hardware defense knob -> Undecided (the analyzer sees the
+ *     program, not the core).
+ *  5. Out-of-program mitigations (kpti, rsbStuffing, flushL1OnExit)
+ *     -> Undecided; softwareLfence / addressMasking are applied as
+ *     program rewrites.
+ *  6. The (possibly rewritten) program goes through
+ *     tool::analyzeSpec: an exploitable flow -> Leak, else Blocked.
+ */
+StaticJudgement staticJudgement(const core::AttackDescriptor &attack,
+                                const uarch::CpuConfig &config,
+                                const attacks::AttackOptions &options);
+
+/**
+ * Judge a cell through the catalog: dispatch on @p variant, or
+ * return Undecided when the attack exposes no static program.
+ */
+StaticJudgement
+judgeScenarioStatic(core::AttackVariant variant,
+                    const uarch::CpuConfig &config,
+                    const attacks::AttackOptions &options);
+
+/**
+ * Fence-harden transform: run tool::autoPatch over the spec's
+ * program until no exploitable flow remains.  Closes misprediction
+ * leaks at the bounds check and fences the exfiltration chain of
+ * Meltdown-type shapes (whose intra-instruction races persist as
+ * residualRaces — the paper's relaxed strategy-3 success
+ * criterion).
+ */
+core::TransformResult
+fenceHardenTransform(const core::StaticProgramSpec &spec);
+
+/**
+ * Mask-harden transform: insert an `and index, index, mask` clamp
+ * (array_index_nospec) after the first conditional branch, using
+ * the spec's declared maskReg/maskValue.  Specs without a mask
+ * point (no branch or no declared mask register) come back
+ * unmodified and unverified.
+ */
+core::TransformResult
+maskHardenTransform(const core::StaticProgramSpec &spec);
+
+} // namespace specsec::verdict
+
+#endif // SPECSEC_VERDICT_STATIC_VERDICT_HH

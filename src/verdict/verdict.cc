@@ -13,6 +13,7 @@ backendName(VerdictBackend backend)
       case VerdictBackend::Model: return "model";
       case VerdictBackend::Differential: return "differential";
       case VerdictBackend::Triage: return "triage";
+      case VerdictBackend::Static: return "static";
     }
     return "unknown";
 }
@@ -23,7 +24,8 @@ backendNames()
     return {backendName(VerdictBackend::Simulator),
             backendName(VerdictBackend::Model),
             backendName(VerdictBackend::Differential),
-            backendName(VerdictBackend::Triage)};
+            backendName(VerdictBackend::Triage),
+            backendName(VerdictBackend::Static)};
 }
 
 bool
@@ -32,7 +34,8 @@ parseBackend(const std::string &name, VerdictBackend &out)
     const std::string key = core::foldName(name);
     for (const VerdictBackend backend :
          {VerdictBackend::Simulator, VerdictBackend::Model,
-          VerdictBackend::Differential, VerdictBackend::Triage}) {
+          VerdictBackend::Differential, VerdictBackend::Triage,
+          VerdictBackend::Static}) {
         if (key == core::foldName(backendName(backend))) {
             out = backend;
             return true;
@@ -44,7 +47,7 @@ parseBackend(const std::string &name, VerdictBackend &out)
 std::string
 unknownBackendMessage(const std::string &name)
 {
-    // A closed four-name set: when nothing is close enough to
+    // A closed five-name set: when nothing is close enough to
     // suggest, list every valid backend instead of answering bare.
     std::vector<std::string> suggestions =
         core::suggestNames(backendNames(), name);

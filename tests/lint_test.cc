@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the static leak lint (src/lint/):
+ *
+ *  - the declared rule table (stable ids, severities, lookup);
+ *  - classification: each catalog family lands on the expected
+ *    rule (transient-send, spec-bypass-read/-write, stale-forward,
+ *    intra-instruction-race ordering hazards);
+ *  - the file slug used for golden/lint-*.json stems;
+ *  - JSON round-trip under the strict "specsec-lint-v1" parser,
+ *    including rejection of foreign tags and unknown keys;
+ *  - finding-by-finding drift comparison (verdict flips, changed /
+ *    unpinned / vanished findings).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.hh"
+#include "lint/lint.hh"
+
+namespace
+{
+
+using namespace specsec;
+
+const core::AttackDescriptor &
+attack(const std::string &name)
+{
+    const core::AttackDescriptor *d =
+        core::ScenarioCatalog::instance().findAttack(name);
+    EXPECT_NE(d, nullptr) << name;
+    return *d;
+}
+
+TEST(Lint, RuleTableIsStable)
+{
+    const auto &table = lint::rules();
+    ASSERT_EQ(table.size(), 5u);
+    for (const lint::LintRule &rule : table) {
+        EXPECT_EQ(lint::findRule(rule.id), &rule);
+        const std::string severity = rule.severity;
+        EXPECT_TRUE(severity == "error" || severity == "warning")
+            << rule.id;
+    }
+    ASSERT_NE(lint::findRule("transient-send"), nullptr);
+    EXPECT_STREQ(lint::findRule("transient-send")->severity,
+                 "warning");
+    ASSERT_NE(lint::findRule("spec-bypass-read"), nullptr);
+    EXPECT_STREQ(lint::findRule("spec-bypass-read")->severity,
+                 "error");
+    EXPECT_EQ(lint::findRule("no-such-rule"), nullptr);
+}
+
+TEST(Lint, SpectreV1ClassifiesAsBypassReadPlusSend)
+{
+    const lint::LintReport report =
+        lint::lintAttack(attack("spectre-v1"));
+    EXPECT_TRUE(report.vulnerable);
+    ASSERT_GE(report.findings.size(), 2u);
+    bool read = false, send = false;
+    for (const lint::LintFinding &f : report.findings) {
+        if (f.rule == "spec-bypass-read") {
+            read = true;
+            EXPECT_EQ(f.severity, "error");
+            EXPECT_GE(f.accessPc, 0);
+            EXPECT_FALSE(f.instruction.empty());
+            EXPECT_FALSE(f.suggested.empty());
+        }
+        if (f.rule == "transient-send") {
+            send = true;
+            EXPECT_EQ(f.severity, "warning");
+        }
+    }
+    EXPECT_TRUE(read);
+    EXPECT_TRUE(send);
+}
+
+TEST(Lint, SpeculativeStoreClassifiesAsBypassWrite)
+{
+    const lint::LintReport report =
+        lint::lintAttack(attack("spectre-v1.1"));
+    bool write = false;
+    for (const lint::LintFinding &f : report.findings)
+        write = write || f.rule == "spec-bypass-write";
+    EXPECT_TRUE(write);
+}
+
+TEST(Lint, DisambiguationClassifiesAsStaleForward)
+{
+    // Spectre v4's disambiguation authorization shares its pc with
+    // the stale read, so this also pins the classification order:
+    // the stale-forward rule must win over intra-instruction-race.
+    const lint::LintReport report =
+        lint::lintAttack(attack("spectre-v4"));
+    bool stale = false;
+    for (const lint::LintFinding &f : report.findings) {
+        EXPECT_NE(f.rule, "intra-instruction-race");
+        stale = stale || f.rule == "stale-forward";
+    }
+    EXPECT_TRUE(stale);
+}
+
+TEST(Lint, MeltdownClassifiesAsIntraInstructionRace)
+{
+    const lint::LintReport report =
+        lint::lintAttack(attack("meltdown"));
+    bool intra = false;
+    for (const lint::LintFinding &f : report.findings)
+        if (f.rule == "intra-instruction-race") {
+            intra = true;
+            EXPECT_EQ(f.authPc, f.accessPc);
+        }
+    EXPECT_TRUE(intra);
+}
+
+TEST(Lint, FileSlugIsStable)
+{
+    EXPECT_EQ(lint::lintFileSlug("Meltdown (Spectre v3)"),
+              "meltdown-spectre-v3");
+    EXPECT_EQ(lint::lintFileSlug("Spectre v1.1"), "spectre-v1-1");
+    EXPECT_EQ(lint::lintFileSlug("--Weird  name!!"), "weird-name");
+}
+
+TEST(Lint, JsonRoundTripsByteIdentically)
+{
+    const lint::LintReport report =
+        lint::lintAttack(attack("spectre-v1"));
+    const std::string text = lint::lintReportJson(report);
+    std::string error;
+    const auto parsed = lint::parseLintReportJson(text, &error);
+    ASSERT_TRUE(parsed) << error;
+    EXPECT_EQ(parsed->attack, report.attack);
+    EXPECT_EQ(parsed->vulnerable, report.vulnerable);
+    EXPECT_EQ(parsed->findings, report.findings);
+    EXPECT_EQ(lint::lintReportJson(*parsed), text);
+}
+
+TEST(Lint, ParserRejectsForeignSchemaAndUnknownKeys)
+{
+    std::string error;
+    EXPECT_FALSE(lint::parseLintReportJson(
+        "{\n \"schema\": \"specsec-lint-v0\", \"attack\": \"x\", "
+        "\"vulnerable\": false, \"findings\": []\n}\n",
+        &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(lint::parseLintReportJson(
+        "{\n \"schema\": \"specsec-lint-v1\", \"attack\": \"x\", "
+        "\"vulnerable\": false, \"findings\": [], \"extra\": 1\n}\n",
+        &error));
+    EXPECT_FALSE(lint::parseLintReportJson("not json", &error));
+}
+
+TEST(Lint, CompareReportsDrift)
+{
+    const lint::LintReport pinned =
+        lint::lintAttack(attack("spectre-v1"));
+
+    // Identical reports agree.
+    EXPECT_TRUE(lint::compareLintReports(pinned, pinned).empty());
+
+    // A verdict flip is its own drift line.
+    lint::LintReport flipped = pinned;
+    flipped.vulnerable = false;
+    const auto flip = lint::compareLintReports(pinned, flipped);
+    ASSERT_FALSE(flip.empty());
+
+    // A changed field on a pinned finding is reported per-field.
+    lint::LintReport changed = pinned;
+    ASSERT_FALSE(changed.findings.empty());
+    changed.findings[0].suggested = "other-strategy";
+    EXPECT_FALSE(lint::compareLintReports(pinned, changed).empty());
+
+    // A fresh finding with no pin, and a pinned finding that
+    // vanished, both drift.
+    lint::LintReport extra = pinned;
+    lint::LintFinding f = pinned.findings[0];
+    f.authPc = 999;
+    extra.findings.push_back(f);
+    EXPECT_FALSE(lint::compareLintReports(pinned, extra).empty());
+    lint::LintReport missing = pinned;
+    missing.findings.pop_back();
+    EXPECT_FALSE(lint::compareLintReports(pinned, missing).empty());
+}
+
+TEST(Lint, EveryCatalogAttackWithProgramLints)
+{
+    // The acceptance bar behind golden/lint-*.json: every built-in
+    // attack exposes a static program (Spoiler excepted — a timing
+    // attack with no leak/blocked program shape) and lints without
+    // throwing.
+    std::size_t linted = 0;
+    for (const core::AttackDescriptor *d :
+         core::ScenarioCatalog::instance().attacks()) {
+        if (!d->staticProgram) {
+            EXPECT_EQ(d->name, "Spoiler");
+            continue;
+        }
+        const lint::LintReport report = lint::lintAttack(*d);
+        EXPECT_EQ(report.attack, d->name);
+        EXPECT_FALSE(report.findings.empty()) << d->name;
+        ++linted;
+    }
+    EXPECT_GE(linted, 19u);
+}
+
+} // namespace

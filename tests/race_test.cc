@@ -182,6 +182,37 @@ TEST(Race, PathAvoidingMaskSizeChecked)
                  std::invalid_argument);
 }
 
+TEST(Race, PathAvoidingSelfIsAlwaysReachable)
+{
+    // u == v holds by the empty path, even when the node itself is
+    // in the excluded set (endpoints are never excluded).
+    Tsg g;
+    const NodeId a = g.addNode("a");
+    std::vector<bool> excl(1, true);
+    EXPECT_TRUE(pathExistsAvoiding(g, a, a, excl));
+}
+
+TEST(Race, PathAvoidingAllAlternativeSourcesExcluded)
+{
+    // Fig. 4 OR-join: two alternative secret sources feed the same
+    // send.  Excluding one source reroutes the flow through the
+    // other; excluding every source disconnects the send entirely.
+    Tsg g;
+    const NodeId auth = g.addNode("auth");
+    const NodeId s1 = g.addNode("source-1");
+    const NodeId s2 = g.addNode("source-2");
+    const NodeId send = g.addNode("send");
+    g.addEdge(auth, s1);
+    g.addEdge(auth, s2);
+    g.addEdge(s1, send);
+    g.addEdge(s2, send);
+    std::vector<bool> excl(4, false);
+    excl[s1] = true;
+    EXPECT_TRUE(pathExistsAvoiding(g, auth, send, excl));
+    excl[s2] = true;
+    EXPECT_FALSE(pathExistsAvoiding(g, auth, send, excl));
+}
+
 /**
  * Theorem 1 property test: on random DAGs, path-based race
  * detection must agree with the definition (two valid orderings

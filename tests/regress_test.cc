@@ -294,6 +294,7 @@ TEST(Specs, RegistryMatchesTheCtestSuite)
         "mitigation-matrix",
         "vuln-ablation",
         "cache-geometry",
+        "static-hardening",
     };
     std::vector<std::string> actual;
     for (const NamedSpec &named : registeredSpecs())

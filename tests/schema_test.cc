@@ -36,6 +36,7 @@
 
 #include "campaign/campaign.hh"
 #include "core/catalog.hh"
+#include "lint/lint.hh"
 #include "regress/golden.hh"
 #include "tool/report.hh"
 #include "tool/report_io.hh"
@@ -322,6 +323,7 @@ TEST(SchemaBytes, CommittedGoldensRoundTripByteIdentically)
     std::size_t with_accuracy = 0;
     std::size_t pin_files = 0;
     std::size_t pinned_divergences = 0;
+    std::size_t lint_files = 0;
     for (const auto &entry :
          std::filesystem::directory_iterator(SPECSEC_GOLDEN_DIR)) {
         if (entry.path().extension() != ".json")
@@ -331,6 +333,15 @@ TEST(SchemaBytes, CommittedGoldensRoundTripByteIdentically)
             << entry.path();
         std::string error;
         const std::string stem = entry.path().filename().string();
+        if (stem.rfind("lint-", 0) == 0) {
+            // Lint pins round-trip through the lint serializer.
+            const auto report = lint::parseLintReportJson(text, &error);
+            ASSERT_TRUE(report) << entry.path() << ": " << error;
+            EXPECT_EQ(lint::lintReportJson(*report), text)
+                << entry.path();
+            ++lint_files;
+            continue;
+        }
         if (stem.rfind("differential-", 0) == 0) {
             // Disagreement pins round-trip through their own
             // serializer with the same byte-identity contract.
@@ -358,10 +369,18 @@ TEST(SchemaBytes, CommittedGoldensRoundTripByteIdentically)
     // golden pins accuracy values under a nonzero tolerance.
     EXPECT_GE(with_accuracy, 1u);
     // The differential-backend migration landed: every matrix
-    // golden has a disagreement pin file, and at least one known
-    // model-vs-simulator divergence is documented.
-    EXPECT_EQ(pin_files, checked);
+    // golden has a model pin file AND a static pin file, and at
+    // least one known model-vs-simulator divergence is documented.
+    EXPECT_EQ(pin_files, 2 * checked);
     EXPECT_GE(pinned_divergences, 1u);
+    // The lint migration landed: one lint pin per catalog attack
+    // with a static program.
+    std::size_t static_attacks = 0;
+    for (const auto &a : core::ScenarioCatalog::instance().attacks())
+        if (a->staticProgram)
+            ++static_attacks;
+    EXPECT_EQ(lint_files, static_attacks);
+    EXPECT_GE(lint_files, 19u);
 }
 
 // -------------------------------------------------------------------

@@ -292,6 +292,38 @@ TEST(Tool, AutoPatchMeltdownTypeCutsExfiltration)
     EXPECT_FALSE(after.vulnerable);
 }
 
+TEST(Tool, AutoPatchVerifiedSemanticsPinned)
+{
+    // `verified` pins the post-patch analyzer verdict — no
+    // exploitable flow remains — NOT the absence of races: a
+    // bounds-check shape patches with zero residual races, while a
+    // Meltdown-type shape stays verified with its intra-instruction
+    // race documented (the paper's relaxed strategy-3 criterion).
+    const PatchResult bounds = autoPatch(listing1Spec());
+    EXPECT_TRUE(bounds.verified);
+    EXPECT_EQ(bounds.residualRaces, 0u);
+
+    Program p;
+    p.emit(load8(6, 3, 0));
+    p.emit(shlImm(8, 6, 12));
+    p.emit(add(9, 4, 8));
+    p.emit(load8(10, 9, 0));
+    p.emit(halt());
+    AnalysisSpec spec;
+    spec.program = p;
+    spec.ranges = {{Layout::kKernelData, kPageSize, "kernel"}};
+    spec.knownRegs = {{3, Layout::kKernelData},
+                      {4, Layout::kProbeArray}};
+    const PatchResult meltdown = autoPatch(spec);
+    EXPECT_TRUE(meltdown.verified);
+    EXPECT_GE(meltdown.residualRaces, 1u);
+    // Verified + residual races must coexist with a non-vulnerable
+    // re-analysis: the residual race has no exfiltration path left.
+    EXPECT_FALSE(analyzeSpec({meltdown.patched, spec.ranges,
+                              spec.model, {}, spec.knownRegs})
+                     .vulnerable);
+}
+
 /** End-to-end: the tool's patched program stops leaking on the
  *  simulator (detect -> patch -> verify, Fig. 9's full loop). */
 TEST(Tool, PatchedProgramStopsLeakOnSimulator)

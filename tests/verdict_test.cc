@@ -173,12 +173,14 @@ TEST(VerdictBackend, ParseAcceptsFoldedNames)
     EXPECT_EQ(b, VerdictBackend::Differential);
     EXPECT_TRUE(verdict::parseBackend("tri-age", b));
     EXPECT_EQ(b, VerdictBackend::Triage);
+    EXPECT_TRUE(verdict::parseBackend("STATIC", b));
+    EXPECT_EQ(b, VerdictBackend::Static);
 
     EXPECT_FALSE(verdict::parseBackend("hardware", b));
     EXPECT_FALSE(verdict::parseBackend("", b));
 
     const auto names = verdict::backendNames();
-    ASSERT_EQ(names.size(), 4u);
+    ASSERT_EQ(names.size(), 5u);
     for (const std::string &name : names) {
         EXPECT_TRUE(verdict::parseBackend(name, b)) << name;
         EXPECT_EQ(verdict::backendName(b), name);
